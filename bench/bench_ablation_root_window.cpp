@@ -1,0 +1,106 @@
+// Ablation — acceptable-root window size (the §III group-synchronisation
+// design point): a publisher whose proof references a slightly stale tree
+// root must still be routable, or registration churn silently censors
+// in-flight messages. A window of 1 accepts only the newest root; larger
+// windows trade a little forgery surface (only against roots the group
+// actually had) for robustness to sync lag.
+
+#include <cstdio>
+
+#include "rln/prover.h"
+#include "waku/harness.h"
+
+using namespace wakurln;
+
+namespace {
+
+// Returns how many of `kMessages` proofs made against the *pre-churn* root
+// are still delivered after `churn` registrations land in one block.
+double delivery_after_churn(std::size_t window, int churn) {
+  waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+  cfg.node_count = 10;
+  cfg.rln.acceptable_root_window = window;
+  // Long epochs so that the churn delay (one block per registration) stays
+  // inside the epoch window — isolating ROOT staleness from epoch expiry.
+  cfg.rln.epoch_period_seconds = 60;
+  cfg.rln.max_delay_seconds = 120;
+  cfg.seed = 8000 + window * 100 + churn;
+  waku::SimHarness world(cfg);
+  world.subscribe_all("abl/window");
+  world.register_all();
+  world.run_seconds(3);
+
+  // Craft one in-flight signal against the current (soon stale) root.
+  // (A single message: several signals in one epoch would collide on the
+  // internal nullifier and measure slashing, not sync tolerance.)
+  auto& sender = world.node(0);
+  rln::RlnProver prover(world.crs().pk, sender.identity());
+  const auto index = sender.group().index_of(sender.identity().pk);
+  util::Rng prng(19);
+  constexpr int kMessages = 1;
+  std::vector<std::pair<util::Bytes, rln::RlnSignal>> prepared;
+  for (int i = 0; i < kMessages; ++i) {
+    const util::Bytes payload = util::to_bytes("inflight-" + std::to_string(i));
+    const auto signal = prover.create_signal(payload, sender.current_epoch(),
+                                             sender.group(), *index, prng, 0);
+    prepared.emplace_back(payload, *signal);
+  }
+
+  // Churn: `churn` new members register; each lands in its own block so
+  // each advances the acceptable-root deque by one entry.
+  util::Rng newcomer_rng(29);
+  for (int c = 0; c < churn; ++c) {
+    const auto id = rln::Identity::generate(newcomer_rng);
+    world.chain().ledger().mint(90'000 + c, 10'000'000);
+    world.chain().submit(
+        90'000 + c, world.contract().config().stake_wei,
+        eth::MembershipContract::kRegisterCalldataBytes,
+        [&world, pk = id.pk](eth::TxContext& ctx) {
+          world.contract().register_member(ctx, pk);
+        },
+        world.scheduler().now() / sim::kUsPerSecond);
+    world.run_seconds(world.chain().config().block_time_seconds + 1);
+  }
+
+  // Publish the stale-root messages now (bypassing the sender's own
+  // validation so the *network's* policy is what is measured).
+  std::size_t delivered = 0;
+  for (const auto& [payload, signal] : prepared) {
+    world.clear_deliveries();
+    world.relay(0).publish("abl/window",
+                           waku::WakuRlnRelay::encode_envelope(signal, payload),
+                           /*apply_validator=*/false);
+    world.run_seconds(5);
+    std::vector<bool> seen(world.size(), false);
+    for (const auto& d : world.deliveries()) {
+      if (d.node_index != 0 && d.payload == payload && !seen[d.node_index]) {
+        seen[d.node_index] = true;
+        ++delivered;
+      }
+    }
+  }
+  return static_cast<double>(delivered) /
+         static_cast<double>(kMessages * (world.size() - 1));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ablation: acceptable-root window vs registration churn (paper §III)\n\n");
+  std::printf("%14s", "churn (blocks)");
+  const std::size_t windows[] = {1, 2, 5, 8};
+  for (const auto w : windows) std::printf("   window=%zu", w);
+  std::printf("\n");
+  for (const int churn : {0, 1, 3, 6}) {
+    std::printf("%14d", churn);
+    for (const auto w : windows) {
+      std::printf("   %7.0f%% ", delivery_after_churn(w, churn) * 100);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nshape check: a window of 1 censors any message proved before the\n"
+              "latest registration; window >= churn depth keeps delivery at 100%%.\n"
+              "The cost is bounded: only roots the group historically had are ever\n"
+              "accepted, so no forgery surface opens up.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E0 (supporting) — microbenchmarks of the cryptographic substrates the
+// §IV numbers decompose into: field multiplication, Poseidon, SHA-256,
+// Merkle insertion/proof, Shamir reconstruction.
+
+#include <benchmark/benchmark.h>
+
+#include "hash/poseidon.h"
+#include "hash/sha256.h"
+#include "merkle/merkle_tree.h"
+#include "shamir/shamir.h"
+#include "util/rng.h"
+
+using namespace wakurln;
+
+namespace {
+
+void BM_FieldMul(benchmark::State& state) {
+  util::Rng rng(1);
+  field::Fr a = field::Fr::random(rng);
+  const field::Fr b = field::Fr::random(rng);
+  for (auto _ : state) {
+    a = a * b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_FieldInverse(benchmark::State& state) {
+  util::Rng rng(2);
+  field::Fr a = field::Fr::random(rng);
+  for (auto _ : state) {
+    a = a.inverse();
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldInverse);
+
+void BM_Poseidon2(benchmark::State& state) {
+  util::Rng rng(3);
+  field::Fr a = field::Fr::random(rng);
+  const field::Fr b = field::Fr::random(rng);
+  for (auto _ : state) {
+    a = hash::poseidon_hash2(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Poseidon2);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  util::Rng rng(4);
+  util::Bytes data(1024);
+  rng.fill(data);
+  for (auto _ : state) {
+    auto d = hash::Sha256::digest(data);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_MerkleInsert(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  merkle::MerkleTree tree(depth);
+  for (auto _ : state) {
+    if (tree.size() == tree.capacity()) {
+      state.PauseTiming();
+      tree = merkle::MerkleTree(depth);
+      state.ResumeTiming();
+    }
+    tree.append(field::Fr::random(rng));
+  }
+}
+BENCHMARK(BM_MerkleInsert)->Arg(10)->Arg(20)->Arg(32);
+
+void BM_MerkleProveAndVerify(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  merkle::MerkleTree tree(depth);
+  const field::Fr leaf = field::Fr::random(rng);
+  tree.append(leaf);
+  for (int i = 0; i < 31; ++i) tree.append(field::Fr::random(rng));
+  for (auto _ : state) {
+    const auto proof = tree.prove(0);
+    bool ok = merkle::MerkleTree::verify(tree.root(), leaf, proof);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_MerkleProveAndVerify)->Arg(10)->Arg(20)->Arg(32);
+
+void BM_ShamirReconstruct(benchmark::State& state) {
+  util::Rng rng(7);
+  const field::Fr sk = field::Fr::random(rng), a1 = field::Fr::random(rng);
+  const auto s1 = shamir::make_share(sk, a1, field::Fr::random(rng));
+  const auto s2 = shamir::make_share(sk, a1, field::Fr::random(rng));
+  for (auto _ : state) {
+    auto r = shamir::reconstruct(s1, s2);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ShamirReconstruct);
+
+}  // namespace
+
+BENCHMARK_MAIN();

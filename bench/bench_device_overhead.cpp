@@ -1,0 +1,87 @@
+// E9 — §I/§IV claims: WAKU-RLN-RELAY's "light computational overhead makes
+// it suitable for resource-limited environments", unlike PoW where pricing
+// out attackers prices out phones first.
+//
+// Per-message cost table across device classes: PoW sealing time at
+// increasing difficulty vs the (modelled) RLN proving cost and the
+// verification cost a routing peer pays.
+
+#include <chrono>
+#include <cstdio>
+
+#include "baselines/pow.h"
+#include "rln/group.h"
+#include "rln/identity.h"
+#include "rln/prover.h"
+#include "zksnark/cost_model.h"
+
+using namespace wakurln;
+
+int main() {
+  std::printf("E9: per-message sender cost by device class (paper §I/§IV)\n\n");
+
+  std::printf("-- PoW sealing time (expected), seconds per message --\n");
+  std::printf("%12s", "difficulty");
+  for (const auto& dev : zksnark::DeviceProfile::all()) {
+    std::printf(" %12s", dev.name.c_str());
+  }
+  std::printf("\n");
+  for (const int bits : {16, 20, 24, 28}) {
+    std::printf("%9d bit", bits);
+    for (const auto& dev : zksnark::DeviceProfile::all()) {
+      std::printf(" %12.4f", baselines::expected_seal_seconds(bits, dev));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n-- RLN cost (modelled real Groth16, depth-32 group = 2^32 members) --\n");
+  std::printf("%12s", "");
+  for (const auto& dev : zksnark::DeviceProfile::all()) {
+    std::printf(" %12s", dev.name.c_str());
+  }
+  std::printf("\n%12s", "prove (s)");
+  for (const auto& dev : zksnark::DeviceProfile::all()) {
+    std::printf(" %12.4f", zksnark::CostModel::prove_ms(32, dev) / 1000.0);
+  }
+  std::printf("\n%12s", "verify (s)");
+  for (const auto& dev : zksnark::DeviceProfile::all()) {
+    std::printf(" %12.4f", zksnark::CostModel::verify_ms(dev) / 1000.0);
+  }
+
+  // Measured cost of this implementation's full signal pipeline (mock
+  // proof backend) for context.
+  util::Rng rng(11);
+  rln::RlnGroup group(20);
+  const rln::Identity id = rln::Identity::generate(rng);
+  const auto index = group.add_member(id.pk);
+  const auto keys = zksnark::MockGroth16::setup(20, rng);
+  const rln::RlnProver prover(keys.pk, id);
+  const rln::RlnVerifier verifier(keys.vk);
+  const util::Bytes payload = util::to_bytes("device overhead probe");
+
+  const int kIters = 200;
+  auto t0 = std::chrono::steady_clock::now();
+  std::optional<rln::RlnSignal> signal;
+  for (int i = 0; i < kIters; ++i) {
+    signal = prover.create_signal(payload, i, group, index, rng);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    (void)verifier.verify(payload, *signal);
+  }
+  auto t2 = std::chrono::steady_clock::now();
+  const double prove_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / kIters;
+  const double verify_us =
+      std::chrono::duration<double, std::micro>(t2 - t1).count() / kIters;
+  std::printf("\n\n-- measured on this host (mock backend, depth 20) --\n");
+  std::printf("signal creation: %.1f us/msg, verification: %.1f us/msg\n", prove_us,
+              verify_us);
+
+  std::printf("\nshape check: RLN's sender cost is CONSTANT in difficulty-space and\n"
+              "~0.5 s even on a phone (paper anchor), while PoW at an\n"
+              "attacker-deterring 28-bit target costs a phone >2 minutes per\n"
+              "message. Router-side: one RLN verification ≈30 ms, one PoW check\n"
+              "is 1 hash — both fine; only PoW's *sender* economics break.\n");
+  return 0;
+}

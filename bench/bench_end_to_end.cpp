@@ -1,0 +1,80 @@
+// E1 — Figure 1 of the paper: the full WAKU-RLN-RELAY pipeline as one
+// timed scenario. Registration (stake on the contract), group sync via
+// contract events, rate-limited anonymous publishing, routing with RLN
+// verification, spam detection, key reconstruction, and slashing — with
+// the wall-clock of each phase in simulated time.
+
+#include <cstdio>
+
+#include "waku/harness.h"
+
+using namespace wakurln;
+
+namespace {
+double sim_s(sim::TimeUs t) { return static_cast<double>(t) / sim::kUsPerSecond; }
+}  // namespace
+
+int main() {
+  std::printf("E1: end-to-end pipeline timeline (paper Fig. 1)\n\n");
+  waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+  cfg.node_count = 20;
+  waku::SimHarness world(cfg);
+  world.subscribe_all("e2e/topic");
+
+  std::printf("%10s  %s\n", "t (sim)", "event");
+  std::printf("%9.1fs  %zu peers online, contract deployed, CRS distributed\n",
+              sim_s(world.scheduler().now()), world.size());
+
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    world.node(i).request_registration();
+  }
+  std::printf("%9.1fs  %zu registration txs submitted (stake %llu wei each)\n",
+              sim_s(world.scheduler().now()), world.size(),
+              static_cast<unsigned long long>(world.config().stake_wei));
+
+  world.run_seconds(world.chain().config().block_time_seconds + 2);
+  std::printf("%9.1fs  block %llu sealed: %llu members, every peer's tree synced\n",
+              sim_s(world.scheduler().now()),
+              static_cast<unsigned long long>(world.chain().height()),
+              static_cast<unsigned long long>(world.contract().member_count()));
+
+  const auto payload = util::to_bytes("figure-1 message");
+  const sim::TimeUs pub_at = world.scheduler().now();
+  world.node(3).publish("e2e/topic", payload);
+  world.run_seconds(5);
+  std::printf("%9.1fs  anonymous publish delivered to %zu/%zu peers (%.0f ms spread)\n",
+              sim_s(world.scheduler().now()), world.nodes_delivered(payload),
+              world.size(),
+              world.deliveries().empty()
+                  ? 0.0
+                  : static_cast<double>(world.deliveries().back().at - pub_at) /
+                        sim::kUsPerMs);
+
+  world.node(7).publish_unchecked("e2e/topic", util::to_bytes("spam one"));
+  world.node(7).publish_unchecked("e2e/topic", util::to_bytes("spam two"));
+  const sim::TimeUs spam_at = world.scheduler().now();
+  std::printf("%9.1fs  node 7 double-signals within one epoch\n", sim_s(spam_at));
+
+  // Advance until detection.
+  while (world.aggregate_stats().double_signals == 0) world.run_ms(50);
+  std::printf("%9.1fs  routers reconstruct node 7's sk from the two shares (+%.2f s)\n",
+              sim_s(world.scheduler().now()),
+              sim_s(world.scheduler().now() - spam_at));
+
+  while (world.contract().is_active(world.node(7).identity().pk)) world.run_ms(200);
+  std::printf("%9.1fs  slash tx mined: member removed, %llu wei burnt, reward paid\n",
+              sim_s(world.scheduler().now()),
+              static_cast<unsigned long long>(world.chain().ledger().burnt_total()));
+
+  world.run_seconds(3);
+  const auto stats = world.aggregate_stats();
+  std::printf("\npipeline totals: published=%llu accepted=%llu double_signals=%llu "
+              "slashes=%llu\n",
+              static_cast<unsigned long long>(stats.published),
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.double_signals),
+              static_cast<unsigned long long>(stats.slashes_submitted));
+  std::printf("every stage of Fig. 1 — registration, sync, publish, route+verify,\n"
+              "detect, slash — executed against real module boundaries.\n");
+  return 0;
+}

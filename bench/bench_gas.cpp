@@ -1,0 +1,84 @@
+// E6 — §III claim: keeping the Merkle tree off-chain gives constant-gas
+// registration/deletion and "optimiz[es] gas consumption by an order of
+// magnitude" versus maintaining the tree on-chain.
+//
+// Sweeps group size and prints per-operation gas for both contract
+// variants at the paper's deployment depth (20).
+
+#include <cstdio>
+#include <memory>
+
+#include "eth/membership_contract.h"
+#include "rln/identity.h"
+#include "util/rng.h"
+
+using namespace wakurln;
+
+namespace {
+
+eth::Receipt run_register(eth::Chain& chain, eth::MembershipContract& c,
+                          const field::Fr& pk, std::uint64_t& now) {
+  const auto tx = chain.submit(
+      1, c.config().stake_wei, eth::MembershipContract::kRegisterCalldataBytes,
+      [&c, pk](eth::TxContext& ctx) { c.register_member(ctx, pk); }, now);
+  chain.mine_block(now += 12);
+  return *chain.receipt(tx);
+}
+
+eth::Receipt run_slash(eth::Chain& chain, eth::MembershipContract& c,
+                       const field::Fr& sk, std::uint64_t& now) {
+  const auto tx = chain.submit(
+      2, 0, eth::MembershipContract::kSlashCalldataBytes,
+      [&c, sk](eth::TxContext& ctx) { c.slash(ctx, sk); }, now);
+  chain.mine_block(now += 12);
+  return *chain.receipt(tx);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kDepth = 20;
+  eth::Chain chain({});
+  chain.ledger().mint(1, 1'000'000'000'000ULL);
+  eth::MembershipConfig cfg;
+  cfg.tree_depth = kDepth;
+  eth::RegistryListContract registry(chain, cfg);
+  eth::OnChainTreeContract onchain(chain, cfg);
+  util::Rng rng(7);
+  std::uint64_t now = 0;
+
+  std::printf("E6: registration gas vs group size, depth %zu (paper §III)\n", kDepth);
+  std::printf("%12s %18s %18s %8s\n", "group size", "registry (paper)", "on-chain tree",
+              "ratio");
+
+  const std::size_t checkpoints[] = {1, 10, 100, 1000, 5000};
+  std::size_t registered = 0;
+  std::uint64_t last_registry_gas = 0, last_onchain_gas = 0;
+  rln::Identity last_id = rln::Identity::generate(rng);
+  for (const std::size_t target : checkpoints) {
+    while (registered < target) {
+      last_id = rln::Identity::generate(rng);
+      const auto r1 = run_register(chain, registry, last_id.pk, now);
+      const auto r2 = run_register(chain, onchain, last_id.pk, now);
+      last_registry_gas = r1.gas_used;
+      last_onchain_gas = r2.gas_used;
+      ++registered;
+    }
+    std::printf("%12zu %18llu %18llu %7.1fx\n", target,
+                static_cast<unsigned long long>(last_registry_gas),
+                static_cast<unsigned long long>(last_onchain_gas),
+                static_cast<double>(last_onchain_gas) /
+                    static_cast<double>(last_registry_gas));
+  }
+
+  const auto s1 = run_slash(chain, registry, last_id.sk, now);
+  const auto s2 = run_slash(chain, onchain, last_id.sk, now);
+  std::printf("\nslashing gas: registry %llu, on-chain tree %llu (%.1fx)\n",
+              static_cast<unsigned long long>(s1.gas_used),
+              static_cast<unsigned long long>(s2.gas_used),
+              static_cast<double>(s2.gas_used) / static_cast<double>(s1.gas_used));
+  std::printf("\nshape check: registry column is CONSTANT in group size and the\n"
+              "on-chain tree costs >=10x at deployment depth — the paper's\n"
+              "order-of-magnitude claim.\n");
+  return 0;
+}

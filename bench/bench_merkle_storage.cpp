@@ -1,0 +1,49 @@
+// E5 — §IV claim: "A membership tree with depth 20 requires 67 MB storage
+// which can be optimized to 0.128 KB using [9]."
+//
+// Compares the fully materialised per-node tree against the append-only
+// frontier accumulator (reference [9]'s storage optimisation) across
+// depths, and verifies at a small scale that both structures agree on the
+// root (so the saving is free of semantic cost for root tracking).
+
+#include <cstdio>
+
+#include "merkle/frontier.h"
+#include "merkle/merkle_tree.h"
+#include "util/rng.h"
+
+using namespace wakurln;
+
+int main() {
+  std::printf("E5: membership tree storage, full vs frontier (paper §IV)\n");
+  std::printf("%6s %18s %18s %14s\n", "depth", "full tree (calc)", "frontier (meas)",
+              "reduction");
+  util::Rng rng(5);
+  for (std::size_t depth : {10u, 16u, 20u, 24u, 32u}) {
+    const std::uint64_t full = merkle::MerkleTree::full_storage_bytes(depth);
+    merkle::MerkleFrontier frontier(depth);
+    for (int i = 0; i < 64; ++i) frontier.append(field::Fr::random(rng));
+    const std::size_t small = frontier.storage_bytes();
+    std::printf("%6zu %15.2f MB %15zu B %13.0fx\n", depth,
+                static_cast<double>(full) / 1e6, small,
+                static_cast<double>(full) / static_cast<double>(small));
+  }
+
+  // Root-equivalence spot check at depth 20.
+  merkle::MerkleTree tree(20);
+  merkle::MerkleFrontier frontier(20);
+  util::Rng rng2(6);
+  for (int i = 0; i < 500; ++i) {
+    const field::Fr leaf = field::Fr::random(rng2);
+    tree.append(leaf);
+    frontier.append(leaf);
+  }
+  std::printf("\nroot equivalence after 500 appends at depth 20: %s\n",
+              tree.root() == frontier.root() ? "IDENTICAL" : "MISMATCH");
+  std::printf("measured full-tree allocation for those 500 members: %.2f MB\n",
+              static_cast<double>(tree.storage_bytes()) / 1e6);
+  std::printf("\npaper anchors: 67 MB full tree at depth 20 -> 0.128 KB optimised.\n"
+              "(our frontier keeps depth+1 nodes ~= 0.7 KB; same order as [9],\n"
+              "which additionally prunes interior bookkeeping)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E13 — §III claim: "the nullifier map suffices to hold messages [that]
+// belong to the last Thr epochs because older messages are considered
+// invalid by default" — i.e. router memory for spam defence is bounded by
+// rate x window, not by history length.
+//
+// Sweeps message rate and retention window and prints steady-state memory,
+// demonstrating that GC keeps the footprint flat over time.
+
+#include <cstdio>
+
+#include "rln/nullifier_map.h"
+#include "util/rng.h"
+
+using namespace wakurln;
+
+int main() {
+  std::printf("E13: nullifier-map memory vs rate and retention (paper §III)\n\n");
+  std::printf("%16s %12s %16s %16s\n", "msgs/epoch", "kept epochs", "records",
+              "memory");
+
+  for (const std::size_t rate : {10u, 100u, 1000u}) {
+    for (const std::uint64_t keep : {2ull, 4ull, 8ull}) {
+      rln::NullifierMap map;
+      util::Rng rng(rate * 31 + keep);
+      // Simulate 100 epochs of traffic with pruning to `keep` epochs.
+      for (std::uint64_t epoch = 0; epoch < 100; ++epoch) {
+        for (std::size_t m = 0; m < rate; ++m) {
+          map.observe(epoch, field::Fr::random(rng), field::Fr::random(rng),
+                      field::Fr::random(rng));
+        }
+        if (epoch >= keep) map.prune_before(epoch - keep + 1);
+      }
+      std::printf("%16zu %12llu %16zu %13.1f KB\n", rate,
+                  static_cast<unsigned long long>(keep), map.record_count(),
+                  static_cast<double>(map.memory_bytes()) / 1024.0);
+    }
+  }
+
+  // Without pruning the map grows linearly with history — the §III point.
+  rln::NullifierMap unbounded;
+  util::Rng rng(99);
+  for (std::uint64_t epoch = 0; epoch < 100; ++epoch) {
+    for (std::size_t m = 0; m < 100; ++m) {
+      unbounded.observe(epoch, field::Fr::random(rng), field::Fr::random(rng),
+                        field::Fr::random(rng));
+    }
+  }
+  std::printf("\nwithout pruning, the same 100-epoch trace costs %.1f KB\n",
+              static_cast<double>(unbounded.memory_bytes()) / 1024.0);
+  std::printf("\nshape check: memory = O(rate x kept epochs), constant over time;\n"
+              "the epoch-validity rule makes records older than Thr useless, so\n"
+              "pruning them is safe.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E7 — §III claim: distributing messages off-chain over the gossip network
+// achieves "higher message propagation speed as opposed to the on-chain
+// case where messages should be mined before being visible", and saves the
+// posting gas entirely.
+//
+// Gossip: measured first-delivery latency across the swarm.
+// On-chain: inclusion latency (submit -> sealed block) on the simulated
+// chain, plus the gas a sender would burn per message.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "eth/signal_board.h"
+#include "waku/harness.h"
+
+using namespace wakurln;
+
+namespace {
+
+struct LatencyStats {
+  double median_ms = 0, p95_ms = 0, max_ms = 0;
+};
+
+LatencyStats summarize(std::vector<double> ms) {
+  LatencyStats out;
+  if (ms.empty()) return out;
+  std::sort(ms.begin(), ms.end());
+  out.median_ms = ms[ms.size() / 2];
+  out.p95_ms = ms[static_cast<std::size_t>(static_cast<double>(ms.size() - 1) * 0.95)];
+  out.max_ms = ms.back();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7: message visibility latency, gossip vs on-chain (paper §III)\n\n");
+  std::printf("-- gossip path (WAKU-RLN-RELAY) --\n");
+  std::printf("%8s %12s %12s %12s\n", "peers", "median", "p95", "max");
+
+  for (const std::size_t n : {25u, 50u, 100u}) {
+    waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+    cfg.node_count = n;
+    cfg.seed = 1000 + n;
+    waku::SimHarness world(cfg);
+    world.subscribe_all("bench/prop");
+    world.register_all();
+    world.run_seconds(5);
+
+    std::vector<double> latencies_ms;
+    for (int msg = 0; msg < 5; ++msg) {
+      world.clear_deliveries();
+      const auto payload = util::to_bytes("prop-" + std::to_string(msg));
+      const sim::TimeUs sent_at = world.scheduler().now();
+      world.node(msg % n).publish("bench/prop", payload);
+      world.run_seconds(world.config().rln.epoch_period_seconds);
+      for (const auto& d : world.deliveries()) {
+        latencies_ms.push_back(static_cast<double>(d.at - sent_at) / sim::kUsPerMs);
+      }
+    }
+    const LatencyStats s = summarize(std::move(latencies_ms));
+    std::printf("%8zu %9.1f ms %9.1f ms %9.1f ms\n", n, s.median_ms, s.p95_ms, s.max_ms);
+  }
+
+  std::printf("\n-- on-chain path (signals posted to the contract) --\n");
+  std::printf("%14s %16s %14s\n", "block time", "inclusion (avg)", "gas/message");
+  for (const std::uint64_t block_time : {12ull, 15ull}) {
+    eth::Chain::Config ccfg;
+    ccfg.block_time_seconds = block_time;
+    eth::Chain chain(ccfg);
+    eth::SignalBoardContract board(chain);
+    util::Rng rng(3);
+    double total_latency = 0;
+    std::uint64_t total_gas = 0;
+    const int kMessages = 40;
+    std::uint64_t now = 0;
+    for (int i = 0; i < kMessages; ++i) {
+      // Senders submit at random offsets inside the block interval.
+      const std::uint64_t submit_at = now + rng.uniform(0, block_time - 1);
+      const std::uint64_t payload = 256;
+      const auto tx = chain.submit(
+          1, 0, eth::SignalBoardContract::calldata_bytes(payload),
+          [&board, payload](eth::TxContext& ctx) { board.post(ctx, payload); },
+          submit_at);
+      now += block_time;
+      chain.mine_block(now);
+      const auto* r = chain.receipt(tx);
+      total_latency += static_cast<double>(r->block_timestamp - r->submitted_at);
+      total_gas += r->gas_used;
+    }
+    std::printf("%12llu s %13.1f s %14llu\n",
+                static_cast<unsigned long long>(block_time),
+                total_latency / kMessages,
+                static_cast<unsigned long long>(total_gas / kMessages));
+  }
+
+  std::printf("\nshape check: gossip delivers in sub-second time at all sizes,\n"
+              "on-chain visibility is bounded below by block production (seconds)\n"
+              "and costs ~200k gas per 256 B message; off-chain messaging is free.\n");
+  return 0;
+}

@@ -1,0 +1,251 @@
+// E8 — §I claims: RLN "controls spammers globally" where the two
+// state-of-the-art defences do not: PoW is "computationally expensive
+// hence not suitable for resource-constrained devices" yet cheap for
+// attackers with hardware, and peer scoring "is prone to censorship and
+// inexpensive attacks where millions of bots can be deployed".
+//
+// One bot swarm, four defences:
+//   none     — open relay
+//   pow      — Whisper-style PoW validator (bots own a GPU rig)
+//   scoring  — GossipSub v1.1 peer scoring (bots on distinct IPs / one IP)
+//   rln      — WAKU-RLN-RELAY (bots must stake; flooding leaks their keys)
+//
+// Reported per defence: spam that reached an average honest subscriber,
+// honest-message delivery, bandwidth consumed, and the attacker's cost.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/pow.h"
+#include "sim/topology.h"
+#include "waku/harness.h"
+
+using namespace wakurln;
+
+namespace {
+
+constexpr std::size_t kHonest = 20;
+constexpr std::size_t kBots = 10;
+constexpr int kSpamPerBot = 30;       // messages each bot pushes
+constexpr int kPowBitsInSim = 12;     // real grinding kept cheap in-sim
+constexpr const char* kTopic = "bench/spam";
+
+struct Result {
+  std::string name;
+  double spam_per_honest_node = 0;       // distinct spam deliveries / honest node
+  double honest_delivery_ratio = 0;      // of honest messages, fraction delivered
+  double mbytes_total = 0;               // network bytes during the attack
+  std::string attacker_cost;
+};
+
+bool is_spam(const util::Bytes& payload) {
+  return payload.size() >= 4 && payload[0] == 'S' && payload[1] == 'P';
+}
+
+// Schemes 1-3 share a raw-relay swarm; `mode` switches the defence.
+Result run_relay_scheme(const std::string& name, bool use_pow, bool use_scoring,
+                        bool bots_share_ip) {
+  sim::Scheduler sched;
+  util::Rng rng(9000 + use_pow + 2 * use_scoring + 4 * bots_share_ip);
+  sim::LinkParams link;
+  link.base_latency = 30 * sim::kUsPerMs;
+  link.jitter = 20 * sim::kUsPerMs;
+  sim::Network net(sched, rng, link);
+
+  gossipsub::GossipSubParams params;
+  params.enable_scoring = use_scoring;
+
+  std::vector<sim::NodeId> ids;
+  std::vector<std::unique_ptr<waku::WakuRelay>> relays;
+  for (std::size_t i = 0; i < kHonest + kBots; ++i) {
+    const auto id = net.add_node({});
+    ids.push_back(id);
+    relays.push_back(std::make_unique<waku::WakuRelay>(id, net, params));
+  }
+  sim::connect_ring_plus_random(net, ids, 3, rng);
+
+  std::vector<std::vector<util::Bytes>> inbox(kHonest);
+  for (std::size_t i = 0; i < kHonest + kBots; ++i) {
+    relays[i]->start();
+    if (use_pow) {
+      relays[i]->router().set_validator(kTopic,
+                                        baselines::make_pow_validator(kPowBitsInSim));
+    }
+    if (use_scoring && bots_share_ip && i >= kHonest) {
+      // Honest routers observe all bots behind one IP (naive botnet).
+      for (std::size_t h = 0; h < kHonest; ++h) {
+        relays[h]->router().set_peer_ip(ids[i], 0xbadbeef);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < kHonest; ++i) {
+    relays[i]->subscribe(kTopic, [&inbox, i](const gossipsub::TopicId&,
+                                             const util::Bytes& payload) {
+      inbox[i].push_back(payload);
+    });
+  }
+  sched.run_for(5 * sim::kUsPerSecond);
+
+  const std::uint64_t bytes_before = net.stats().bytes_sent;
+
+  // Attack: bots interleave spam over 30 s; honest node 0 publishes one
+  // message per 10 s.
+  int honest_sent = 0;
+  for (int second = 0; second < 30; ++second) {
+    if (second % 10 == 0) {
+      util::Bytes payload = util::to_bytes("HONEST-" + std::to_string(second));
+      if (use_pow) payload = baselines::pow_seal(payload, kPowBitsInSim).serialize();
+      relays[0]->publish(kTopic, std::move(payload));
+      ++honest_sent;
+    }
+    // kSpamPerBot messages spread over the attack: one per bot per second.
+    if (second < kSpamPerBot) {
+      for (std::size_t b = 0; b < kBots; ++b) {
+        util::Bytes payload =
+            util::to_bytes("SPAM-" + std::to_string(b) + "-" + std::to_string(second));
+        if (use_pow) {
+          payload = baselines::pow_seal(payload, kPowBitsInSim).serialize();
+        }
+        relays[kHonest + b]->publish(kTopic, std::move(payload),
+                                     /*apply_validator=*/false);
+      }
+    }
+    sched.run_for(sim::kUsPerSecond);
+  }
+  sched.run_for(10 * sim::kUsPerSecond);
+
+  Result r;
+  r.name = name;
+  std::size_t spam_deliveries = 0, honest_deliveries = 0;
+  for (std::size_t i = 0; i < kHonest; ++i) {
+    for (const auto& payload : inbox[i]) {
+      // Unwrap PoW envelopes for classification.
+      util::Bytes content = payload;
+      if (use_pow) {
+        if (const auto env = baselines::PowEnvelope::deserialize(payload)) {
+          content = env->payload;
+        }
+      }
+      if (is_spam(content)) {
+        ++spam_deliveries;
+      } else {
+        ++honest_deliveries;
+      }
+    }
+  }
+  r.spam_per_honest_node = static_cast<double>(spam_deliveries) / kHonest;
+  r.honest_delivery_ratio =
+      honest_sent == 0
+          ? 0
+          : static_cast<double>(honest_deliveries) / (honest_sent * kHonest);
+  r.mbytes_total = static_cast<double>(net.stats().bytes_sent - bytes_before) / 1e6;
+  return r;
+}
+
+Result run_rln_scheme() {
+  waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+  cfg.node_count = kHonest + kBots;
+  cfg.seed = 4242;
+  waku::SimHarness world(cfg);
+  world.subscribe_all(kTopic);
+  world.register_all();
+  world.run_seconds(5);
+
+  const std::uint64_t bytes_before = world.network().stats().bytes_sent;
+  const std::uint64_t burnt_before = world.chain().ledger().burnt_total();
+
+  int honest_sent = 0;
+  for (int second = 0; second < 30; ++second) {
+    if (second % 10 == 0) {
+      world.node(0).publish(kTopic, util::to_bytes("HONEST-" + std::to_string(second)));
+      ++honest_sent;
+    }
+    if (second < kSpamPerBot) {
+      for (std::size_t b = 0; b < kBots; ++b) {
+        world.node(kHonest + b).publish_unchecked(
+            kTopic,
+            util::to_bytes("SPAM-" + std::to_string(b) + "-" + std::to_string(second)));
+      }
+    }
+    world.run_seconds(1);
+  }
+  world.run_seconds(15);  // slash txs mined
+
+  Result r;
+  r.name = "rln (this paper)";
+  std::size_t spam_deliveries = 0, honest_deliveries = 0;
+  for (const auto& d : world.deliveries()) {
+    if (d.node_index >= kHonest) continue;  // count honest victims only
+    if (is_spam(d.payload)) {
+      ++spam_deliveries;
+    } else {
+      ++honest_deliveries;
+    }
+  }
+  r.spam_per_honest_node = static_cast<double>(spam_deliveries) / kHonest;
+  r.honest_delivery_ratio =
+      static_cast<double>(honest_deliveries) / (honest_sent * kHonest);
+  r.mbytes_total =
+      static_cast<double>(world.network().stats().bytes_sent - bytes_before) / 1e6;
+  const auto burnt = world.chain().ledger().burnt_total() - burnt_before;
+  std::size_t slashed = 0;
+  for (std::size_t b = 0; b < kBots; ++b) {
+    if (!world.contract().is_active(world.node(kHonest + b).identity().pk)) ++slashed;
+  }
+  r.attacker_cost = std::to_string(kBots) + " stakes locked, " +
+                    std::to_string(slashed) + "/" + std::to_string(kBots) +
+                    " bots slashed, " + std::to_string(burnt) + " wei burnt";
+  return r;
+}
+
+void print(const Result& r, int spam_sent_per_bot) {
+  std::printf("%-22s %16.1f %14.0f%% %11.2f MB  %s\n", r.name.c_str(),
+              r.spam_per_honest_node, r.honest_delivery_ratio * 100, r.mbytes_total,
+              r.attacker_cost.c_str());
+  (void)spam_sent_per_bot;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: bot swarm (%zu bots x %d msgs) vs %zu honest subscribers (paper §I)\n\n",
+              kBots, kSpamPerBot, kHonest);
+  std::printf("%-22s %16s %15s %13s  %s\n", "defence", "spam/honest node",
+              "honest deliv.", "traffic", "attacker cost");
+
+  Result none = run_relay_scheme("none", false, false, false);
+  none.attacker_cost = "none";
+  print(none, kSpamPerBot);
+
+  Result pow = run_relay_scheme("pow (EIP-627)", true, false, false);
+  {
+    const double rig_s = baselines::expected_seal_seconds(
+        24, zksnark::DeviceProfile::gpu_rig());
+    const double phone_s = baselines::expected_seal_seconds(
+        24, zksnark::DeviceProfile::iphone8());
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%.3f s/msg on rig at 24-bit target (phones: %.1f s/msg)",
+                  rig_s * kSpamPerBot * kBots / (kSpamPerBot * kBots), phone_s);
+    pow.attacker_cost = buf;
+  }
+  print(pow, kSpamPerBot);
+
+  Result scoring = run_relay_scheme("scoring (distinct IPs)", false, true, false);
+  scoring.attacker_cost = "bot identities are free";
+  print(scoring, kSpamPerBot);
+
+  Result scoring_ip = run_relay_scheme("scoring (shared IP)", false, true, true);
+  scoring_ip.attacker_cost = "needs 1 IP per bot to evade";
+  print(scoring_ip, kSpamPerBot);
+
+  print(run_rln_scheme(), kSpamPerBot);
+
+  std::printf("\nshape check (paper §I): 'none', 'pow' (attacker owns hardware) and\n"
+              "'scoring' (distinct IPs) leak the full flood to every subscriber;\n"
+              "RLN caps deliverable spam at ~1 message per bot per epoch and\n"
+              "converts the flood into slashed stakes.\n");
+  return 0;
+}

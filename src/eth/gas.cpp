@@ -1,0 +1,10 @@
+#include "eth/gas.h"
+
+namespace wakurln::eth {
+
+const GasSchedule& GasSchedule::standard() {
+  static const GasSchedule schedule{};
+  return schedule;
+}
+
+}  // namespace wakurln::eth

@@ -1,0 +1,22 @@
+#include "eth/ledger.h"
+
+namespace wakurln::eth {
+
+void Ledger::mint(Address account, std::uint64_t amount) {
+  balances_[account] += amount;
+}
+
+std::uint64_t Ledger::balance_of(Address account) const {
+  const auto it = balances_.find(account);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+bool Ledger::transfer(Address from, Address to, std::uint64_t amount) {
+  auto it = balances_.find(from);
+  if (it == balances_.end() || it->second < amount) return false;
+  it->second -= amount;
+  balances_[to] += amount;
+  return true;
+}
+
+}  // namespace wakurln::eth

@@ -1,0 +1,33 @@
+#pragma once
+// Account balances for the simulated chain. Address 0 is the burn address:
+// funds sent there are provably destroyed (the paper's "a portion of the
+// staked fund of the deleted member is burnt").
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace wakurln::eth {
+
+using Address = std::uint64_t;
+
+/// Funds sent here are burnt.
+inline constexpr Address kBurnAddress = 0;
+
+class Ledger {
+ public:
+  /// Credits `amount` wei to `account` out of thin air (test/genesis use).
+  void mint(Address account, std::uint64_t amount);
+
+  std::uint64_t balance_of(Address account) const;
+
+  /// Moves funds; returns false (no effect) on insufficient balance.
+  [[nodiscard]] bool transfer(Address from, Address to, std::uint64_t amount);
+
+  /// Total ever sent to the burn address.
+  std::uint64_t burnt_total() const { return balance_of(kBurnAddress); }
+
+ private:
+  std::unordered_map<Address, std::uint64_t> balances_;
+};
+
+}  // namespace wakurln::eth

@@ -1,0 +1,20 @@
+#include "eth/signal_board.h"
+
+namespace wakurln::eth {
+
+SignalBoardContract::SignalBoardContract(Chain& chain)
+    : chain_(chain), address_(chain.allocate_contract_address()) {}
+
+std::uint64_t SignalBoardContract::post(TxContext& ctx, std::uint64_t payload_bytes) {
+  const GasSchedule& g = chain_.config().gas;
+  // Message payloads are stored in storage slots (32 bytes each) plus an
+  // index bump, and logged for listeners.
+  const std::uint64_t slots = (payload_bytes + 31) / 32;
+  ctx.gas().charge(slots * g.sstore_set + g.sstore_update);
+  ctx.gas().charge(g.log_base + g.log_topic + payload_bytes * g.log_byte);
+  const std::uint64_t id = next_signal_id_++;
+  ctx.emit(SignalPosted{id, payload_bytes});
+  return id;
+}
+
+}  // namespace wakurln::eth

@@ -1,0 +1,37 @@
+#pragma once
+// On-chain signalling comparator (the original RLN deployment model the
+// paper argues against in §III): messages are posted to the contract and
+// become visible to the network only once mined. bench_propagation pits
+// this against gossip distribution.
+
+#include <cstdint>
+#include <vector>
+
+#include "eth/chain.h"
+
+namespace wakurln::eth {
+
+class SignalBoardContract {
+ public:
+  explicit SignalBoardContract(Chain& chain);
+
+  Address address() const { return address_; }
+
+  /// Contract entry point: stores a payload of `payload_bytes` on-chain.
+  /// Returns the signal id.
+  std::uint64_t post(TxContext& ctx, std::uint64_t payload_bytes);
+
+  std::uint64_t signal_count() const { return next_signal_id_; }
+
+  /// Calldata size for a payload of n bytes (selector + length + data).
+  static std::uint64_t calldata_bytes(std::uint64_t payload_bytes) {
+    return 4 + 32 + payload_bytes;
+  }
+
+ private:
+  Chain& chain_;
+  Address address_;
+  std::uint64_t next_signal_id_ = 0;
+};
+
+}  // namespace wakurln::eth

@@ -1,0 +1,304 @@
+#include "field/fr.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace wakurln::field {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using Limbs = std::array<u64, 4>;
+
+// BN254 scalar field modulus, little-endian limbs.
+constexpr Limbs kModulus = {0x43e1f593f0000001ULL, 0x2833e84879b97091ULL,
+                            0xb85045b68181585dULL, 0x30644e72e131a029ULL};
+
+// -r^{-1} mod 2^64, computed at compile time by Newton iteration.
+constexpr u64 compute_n0_inv() {
+  u64 inv = 1;
+  for (int i = 0; i < 6; ++i) {
+    inv *= 2 - kModulus[0] * inv;
+  }
+  return ~inv + 1;  // negate mod 2^64
+}
+constexpr u64 kN0Inv = compute_n0_inv();
+
+constexpr bool geq(const Limbs& a, const Limbs& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return true;
+}
+
+// a -= b, assuming a >= b.
+constexpr void sub_in_place(Limbs& a, const Limbs& b) {
+  u64 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 d = static_cast<u128>(a[i]) - b[i] - borrow;
+    a[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>((d >> 64) & 1);
+  }
+}
+
+// a += a (doubling with reduction), used only for constant generation.
+constexpr void double_mod(Limbs& a) {
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u64 hi = a[i] >> 63;
+    a[i] = (a[i] << 1) | carry;
+    carry = hi;
+  }
+  if (carry != 0 || geq(a, kModulus)) sub_in_place(a, kModulus);
+}
+
+// 2^512 mod r, for Montgomery conversion: to_mont(a) = mont_mul(a, R2).
+constexpr Limbs compute_r2() {
+  Limbs x = {1, 0, 0, 0};
+  for (int i = 0; i < 512; ++i) double_mod(x);
+  return x;
+}
+constexpr Limbs kR2 = compute_r2();
+
+// 2^256 mod r == Montgomery form of 1.
+constexpr Limbs compute_r1() {
+  Limbs x = {1, 0, 0, 0};
+  for (int i = 0; i < 256; ++i) double_mod(x);
+  return x;
+}
+constexpr Limbs kOneMont = compute_r1();
+
+// CIOS Montgomery multiplication: out = a * b * R^{-1} mod r.
+// Inputs must be < r.
+void mont_mul(const Limbs& a, const Limbs& b, Limbs& out) {
+  u64 t[6] = {0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    // t += a * b[i]
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a[j]) * b[i] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = cur >> 64;
+    }
+    u128 cur = static_cast<u128>(t[4]) + carry;
+    t[4] = static_cast<u64>(cur);
+    t[5] = static_cast<u64>(cur >> 64);
+
+    // reduce: add m * r where m = t[0] * n0inv, then shift one limb
+    const u64 m = t[0] * kN0Inv;
+    cur = static_cast<u128>(t[0]) + static_cast<u128>(m) * kModulus[0];
+    carry = cur >> 64;
+    for (int j = 1; j < 4; ++j) {
+      cur = static_cast<u128>(t[j]) + static_cast<u128>(m) * kModulus[j] + carry;
+      t[j - 1] = static_cast<u64>(cur);
+      carry = cur >> 64;
+    }
+    cur = static_cast<u128>(t[4]) + carry;
+    t[3] = static_cast<u64>(cur);
+    t[4] = t[5] + static_cast<u64>(cur >> 64);
+  }
+  Limbs r = {t[0], t[1], t[2], t[3]};
+  if (t[4] != 0 || geq(r, kModulus)) sub_in_place(r, kModulus);
+  out = r;
+}
+
+void add_mod(const Limbs& a, const Limbs& b, Limbs& out) {
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 s = static_cast<u128>(a[i]) + b[i] + carry;
+    out[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  if (carry != 0 || geq(out, kModulus)) sub_in_place(out, kModulus);
+}
+
+void sub_mod(const Limbs& a, const Limbs& b, Limbs& out) {
+  u64 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 d = static_cast<u128>(a[i]) - b[i] - borrow;
+    out[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>((d >> 64) & 1);
+  }
+  if (borrow != 0) {
+    u64 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      const u128 s = static_cast<u128>(out[i]) + kModulus[i] + carry;
+      out[i] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+  }
+}
+
+// Reduce an arbitrary 256-bit value (< 2^256) to canonical range [0, r).
+// 2^256 / r < 6, so a handful of conditional subtractions suffice.
+void reduce_canonical(Limbs& a) {
+  while (geq(a, kModulus)) sub_in_place(a, kModulus);
+}
+
+Limbs bytes_be_to_limbs(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != Fr::kByteSize) {
+    throw std::invalid_argument("Fr: expected 32 bytes");
+  }
+  Limbs out = {0, 0, 0, 0};
+  for (int i = 0; i < 32; ++i) {
+    out[3 - i / 8] |= static_cast<u64>(bytes[i]) << (8 * (7 - i % 8));
+  }
+  return out;
+}
+
+}  // namespace
+
+// Friend of Fr: constructs elements directly from raw Montgomery limbs.
+struct FrDetail {
+  static Fr make(const Limbs& limbs) { return Fr(limbs); }
+};
+
+namespace {
+using FrAccess = FrDetail;
+}  // namespace
+
+Fr Fr::one() {
+  return FrAccess::make(kOneMont);
+}
+
+Fr Fr::from_u64(std::uint64_t v) {
+  Limbs x = {v, 0, 0, 0};
+  Limbs out;
+  mont_mul(x, kR2, out);
+  return FrAccess::make(out);
+}
+
+Fr Fr::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  Limbs x = bytes_be_to_limbs(bytes);
+  reduce_canonical(x);
+  Limbs out;
+  mont_mul(x, kR2, out);
+  return FrAccess::make(out);
+}
+
+std::optional<Fr> Fr::from_bytes_canonical(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kByteSize) return std::nullopt;
+  Limbs x = bytes_be_to_limbs(bytes);
+  if (geq(x, kModulus)) return std::nullopt;
+  Limbs out;
+  mont_mul(x, kR2, out);
+  return FrAccess::make(out);
+}
+
+Fr Fr::random(util::Rng& rng) {
+  // Rejection sampling on the top limb keeps the distribution uniform.
+  while (true) {
+    Limbs x;
+    for (auto& l : x) l = rng.next_u64();
+    x[3] &= (1ULL << 62) - 1;  // trim to < 2^254; modulus is ~2^253.5
+    if (geq(x, kModulus)) continue;
+    Limbs out;
+    mont_mul(x, kR2, out);
+    return FrAccess::make(out);
+  }
+}
+
+std::array<std::uint8_t, Fr::kByteSize> Fr::modulus_bytes_be() {
+  std::array<std::uint8_t, kByteSize> out{};
+  for (int i = 0; i < 32; ++i) {
+    out[i] = static_cast<std::uint8_t>(kModulus[3 - i / 8] >> (8 * (7 - i % 8)));
+  }
+  return out;
+}
+
+Fr Fr::operator+(const Fr& o) const {
+  Limbs out;
+  add_mod(limbs_, o.limbs_, out);
+  return FrAccess::make(out);
+}
+
+Fr Fr::operator-(const Fr& o) const {
+  Limbs out;
+  sub_mod(limbs_, o.limbs_, out);
+  return FrAccess::make(out);
+}
+
+Fr Fr::operator*(const Fr& o) const {
+  Limbs out;
+  mont_mul(limbs_, o.limbs_, out);
+  return FrAccess::make(out);
+}
+
+Fr Fr::operator-() const {
+  if (is_zero()) return *this;
+  Limbs out = kModulus;
+  sub_in_place(out, limbs_);
+  return FrAccess::make(out);
+}
+
+Fr Fr::square() const {
+  return *this * *this;
+}
+
+Fr Fr::pow(const std::array<std::uint64_t, 4>& exp_limbs) const {
+  Fr result = Fr::one();
+  Fr base = *this;
+  bool started = false;
+  for (int limb = 3; limb >= 0; --limb) {
+    for (int bit = 63; bit >= 0; --bit) {
+      if (started) result = result.square();
+      if ((exp_limbs[limb] >> bit) & 1) {
+        result = result * base;
+        started = true;
+      }
+    }
+  }
+  return result;
+}
+
+Fr Fr::pow(std::uint64_t exp) const {
+  return pow(std::array<std::uint64_t, 4>{exp, 0, 0, 0});
+}
+
+Fr Fr::inverse() const {
+  if (is_zero()) {
+    throw std::domain_error("Fr::inverse: zero has no inverse");
+  }
+  // Fermat: a^(r-2).
+  Limbs e = kModulus;
+  e[0] -= 2;  // r is odd and > 2, no borrow
+  return pow(e);
+}
+
+bool Fr::is_zero() const {
+  return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+}
+
+std::array<std::uint8_t, Fr::kByteSize> Fr::to_bytes_be() const {
+  // Convert out of Montgomery form: mont_mul(a, 1).
+  Limbs one = {1, 0, 0, 0};
+  Limbs canon;
+  mont_mul(limbs_, one, canon);
+  std::array<std::uint8_t, kByteSize> out{};
+  for (int i = 0; i < 32; ++i) {
+    out[i] = static_cast<std::uint8_t>(canon[3 - i / 8] >> (8 * (7 - i % 8)));
+  }
+  return out;
+}
+
+std::string Fr::to_hex() const {
+  const auto b = to_bytes_be();
+  return util::to_hex(b);
+}
+
+std::uint64_t Fr::hash64() const {
+  // splitmix-style mixing over the Montgomery limbs (equality-compatible).
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& l : limbs_) {
+    std::uint64_t z = h ^ l;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = z ^ (z >> 31);
+  }
+  return h;
+}
+
+}  // namespace wakurln::field

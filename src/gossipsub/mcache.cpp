@@ -1,0 +1,45 @@
+#include "gossipsub/mcache.h"
+
+#include <stdexcept>
+
+namespace wakurln::gossipsub {
+
+MessageCache::MessageCache(std::size_t history_len, std::size_t gossip_len)
+    : history_len_(history_len), gossip_len_(gossip_len) {
+  if (history_len == 0 || gossip_len > history_len) {
+    throw std::invalid_argument("MessageCache: need 0 < gossip_len <= history_len");
+  }
+  windows_.emplace_back();
+}
+
+void MessageCache::put(std::shared_ptr<const GsMessage> msg) {
+  windows_.back().push_back(Entry{msg->id, msg->topic});
+  by_id_[msg->id] = std::move(msg);
+}
+
+std::shared_ptr<const GsMessage> MessageCache::get(const MessageId& id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<MessageId> MessageCache::gossip_ids(const TopicId& topic) const {
+  std::vector<MessageId> out;
+  const std::size_t start =
+      windows_.size() > gossip_len_ ? windows_.size() - gossip_len_ : 0;
+  for (std::size_t w = start; w < windows_.size(); ++w) {
+    for (const Entry& e : windows_[w]) {
+      if (e.topic == topic) out.push_back(e.id);
+    }
+  }
+  return out;
+}
+
+void MessageCache::shift() {
+  windows_.emplace_back();
+  while (windows_.size() > history_len_) {
+    for (const Entry& e : windows_.front()) by_id_.erase(e.id);
+    windows_.pop_front();
+  }
+}
+
+}  // namespace wakurln::gossipsub

@@ -1,0 +1,47 @@
+#pragma once
+// Message cache ("mcache") from GossipSub: retains recent full messages in
+// sliding heartbeat windows so IWANT requests can be served, and exposes
+// the ids of the most recent windows for IHAVE gossip.
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gossipsub/message.h"
+
+namespace wakurln::gossipsub {
+
+class MessageCache {
+ public:
+  /// `history_len` windows retained; ids from the newest `gossip_len`
+  /// windows are advertised.
+  MessageCache(std::size_t history_len, std::size_t gossip_len);
+
+  void put(std::shared_ptr<const GsMessage> msg);
+
+  /// Full message lookup for IWANT service.
+  std::shared_ptr<const GsMessage> get(const MessageId& id) const;
+
+  /// Ids in the gossip windows for `topic`.
+  std::vector<MessageId> gossip_ids(const TopicId& topic) const;
+
+  /// Advances one heartbeat window, dropping messages older than
+  /// `history_len` windows.
+  void shift();
+
+  std::size_t size() const { return by_id_.size(); }
+
+ private:
+  struct Entry {
+    MessageId id;
+    TopicId topic;
+  };
+
+  std::size_t history_len_;
+  std::size_t gossip_len_;
+  std::deque<std::vector<Entry>> windows_;
+  std::unordered_map<MessageId, std::shared_ptr<const GsMessage>, MessageIdHash> by_id_;
+};
+
+}  // namespace wakurln::gossipsub

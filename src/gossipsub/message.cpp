@@ -1,0 +1,37 @@
+#include "gossipsub/message.h"
+
+#include <cstring>
+
+#include "hash/sha256.h"
+#include "util/serde.h"
+
+namespace wakurln::gossipsub {
+
+GsMessage GsMessage::create(TopicId topic, util::Bytes data) {
+  GsMessage msg;
+  msg.topic = std::move(topic);
+  msg.data = std::move(data);
+  util::ByteWriter w;
+  w.put_var(util::to_bytes(msg.topic));
+  w.put_var(msg.data);
+  msg.id = hash::Sha256::digest(w.data());
+  return msg;
+}
+
+bool Rpc::empty() const {
+  return publish.empty() && subscriptions.empty() && ihave.empty() && iwant.empty() &&
+         graft.empty() && prune.empty();
+}
+
+std::size_t Rpc::wire_size() const {
+  std::size_t size = 8;  // frame header
+  for (const auto& m : publish) size += m.wire_size();
+  for (const auto& s : subscriptions) size += s.topic.size() + 2;
+  for (const auto& ih : ihave) size += ih.topic.size() + ih.ids.size() * 32 + 4;
+  for (const auto& iw : iwant) size += iw.ids.size() * 32 + 4;
+  for (const auto& g : graft) size += g.topic.size() + 2;
+  for (const auto& p : prune) size += p.topic.size() + 2 + p.px.size() * 4;
+  return size;
+}
+
+}  // namespace wakurln::gossipsub

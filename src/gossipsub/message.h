@@ -1,0 +1,86 @@
+#pragma once
+// GossipSub wire frames (modelled on libp2p GossipSub v1.1 [3]). Messages
+// are content-addressed — the id is a hash of (topic, data) — which is a
+// prerequisite for sender anonymity: no sequence numbers or origin fields
+// appear anywhere in the frame (Waku-Relay's PII stripping, §I).
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace wakurln::gossipsub {
+
+using TopicId = std::string;
+
+/// Content-derived message identifier.
+using MessageId = std::array<std::uint8_t, 32>;
+
+struct MessageIdHash {
+  std::size_t operator()(const MessageId& id) const {
+    std::uint64_t v;
+    std::memcpy(&v, id.data(), sizeof(v));
+    return static_cast<std::size_t>(v);
+  }
+};
+
+/// A published application message.
+struct GsMessage {
+  TopicId topic;
+  util::Bytes data;
+  MessageId id{};
+
+  /// Builds a message with its content-derived id.
+  static GsMessage create(TopicId topic, util::Bytes data);
+
+  /// Approximate wire footprint (payload + topic + framing).
+  std::size_t wire_size() const { return data.size() + topic.size() + 40; }
+};
+
+/// "I have these message ids in topic" gossip advertisement.
+struct ControlIHave {
+  TopicId topic;
+  std::vector<MessageId> ids;
+};
+
+/// Request for full messages previously advertised.
+struct ControlIWant {
+  std::vector<MessageId> ids;
+};
+
+/// Mesh join request for a topic.
+struct ControlGraft {
+  TopicId topic;
+};
+
+/// Mesh leave notice for a topic. Optionally carries Peer Exchange (PX):
+/// other peers on the topic the pruned node may connect to instead, so
+/// pruning does not strand sparsely-connected subscribers.
+struct ControlPrune {
+  TopicId topic;
+  std::vector<std::uint32_t> px;  ///< candidate peer ids (NodeId)
+};
+
+/// Subscription state announcement.
+struct SubscriptionChange {
+  TopicId topic;
+  bool subscribe = true;
+};
+
+/// One router-to-router frame batching messages and control traffic.
+struct Rpc {
+  std::vector<GsMessage> publish;
+  std::vector<SubscriptionChange> subscriptions;
+  std::vector<ControlIHave> ihave;
+  std::vector<ControlIWant> iwant;
+  std::vector<ControlGraft> graft;
+  std::vector<ControlPrune> prune;
+
+  bool empty() const;
+  std::size_t wire_size() const;
+};
+
+}  // namespace wakurln::gossipsub

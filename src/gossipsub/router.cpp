@@ -1,0 +1,509 @@
+#include "gossipsub/router.h"
+
+#include <algorithm>
+
+namespace wakurln::gossipsub {
+
+using sim::NodeId;
+
+GossipSubRouter::GossipSubRouter(NodeId self, sim::Network& network,
+                                 GossipSubParams params)
+    : self_(self),
+      network_(network),
+      params_(params),
+      rng_(network.rng().next_u64() ^ (0x9e3779b97f4a7c15ULL * (self + 1))),
+      mcache_(params.mcache_len, params.mcache_gossip),
+      score_tracker_(params.score) {}
+
+void GossipSubRouter::start() {
+  if (started_) return;
+  started_ = true;
+  sim::NodeCallbacks callbacks;
+  callbacks.on_frame = [this](NodeId from, const std::any& frame, std::size_t) {
+    on_frame(from, frame);
+  };
+  callbacks.on_peer_connected = [this](NodeId peer) { on_peer_connected(peer); };
+  callbacks.on_peer_disconnected = [this](NodeId peer) { on_peer_disconnected(peer); };
+  network_.set_callbacks(self_, std::move(callbacks));
+
+  // Adopt peers connected before start().
+  for (NodeId peer : network_.neighbors(self_)) on_peer_connected(peer);
+
+  const sim::TimeUs stagger = rng_.uniform(0, params_.heartbeat_interval - 1);
+  network_.scheduler().schedule_after(stagger, [this] { heartbeat(); });
+}
+
+void GossipSubRouter::on_peer_connected(NodeId peer) {
+  if (peers_.contains(peer)) return;
+  peers_.emplace(peer, PeerState{});
+  score_tracker_.set_peer_ip(peer, peer);  // default: unique IP per node
+  // Announce our subscriptions to the new peer.
+  if (!topics_.empty()) {
+    Rpc rpc;
+    for (const TopicId& t : topics_) rpc.subscriptions.push_back({t, true});
+    send_rpc(peer, std::move(rpc));
+  }
+}
+
+void GossipSubRouter::on_peer_disconnected(NodeId peer) {
+  peers_.erase(peer);
+  for (auto& [topic, mesh] : mesh_) {
+    if (mesh.erase(peer) > 0) score_tracker_.on_leave_mesh(peer, topic);
+  }
+  for (auto& [topic, fanout] : fanout_) fanout.peers.erase(peer);
+  score_tracker_.remove_peer(peer);
+}
+
+void GossipSubRouter::set_peer_ip(NodeId peer, std::uint32_t ip) {
+  score_tracker_.set_peer_ip(peer, ip);
+}
+
+void GossipSubRouter::on_frame(NodeId from, const std::any& frame) {
+  const auto* rpc = std::any_cast<std::shared_ptr<const Rpc>>(&frame);
+  if (rpc == nullptr || *rpc == nullptr) return;  // foreign frame type
+  handle_rpc(from, **rpc);
+}
+
+void GossipSubRouter::subscribe(const TopicId& topic) {
+  if (!topics_.insert(topic).second) return;
+  mesh_.try_emplace(topic);
+  // Move fanout peers into the mesh seed set, as in libp2p.
+  if (const auto it = fanout_.find(topic); it != fanout_.end()) {
+    for (NodeId p : it->second.peers) {
+      if (mesh_[topic].size() < static_cast<std::size_t>(params_.d)) {
+        mesh_[topic].insert(p);
+        score_tracker_.on_join_mesh(p, topic, network_.scheduler().now());
+      }
+    }
+    fanout_.erase(it);
+  }
+  Rpc announce;
+  announce.subscriptions.push_back({topic, true});
+  for (const auto& [peer, st] : peers_) {
+    Rpc copy = announce;
+    send_rpc(peer, std::move(copy));
+  }
+  // Graft eagerly where possible; the heartbeat tops the mesh up later.
+  auto& mesh = mesh_[topic];
+  maintain_mesh(topic, mesh);
+}
+
+void GossipSubRouter::unsubscribe(const TopicId& topic) {
+  if (topics_.erase(topic) == 0) return;
+  if (const auto it = mesh_.find(topic); it != mesh_.end()) {
+    for (NodeId peer : it->second) {
+      Rpc rpc;
+      rpc.prune.push_back(make_prune(topic, peer));
+      rpc.subscriptions.push_back({topic, false});
+      send_rpc(peer, std::move(rpc));
+      score_tracker_.on_leave_mesh(peer, topic);
+    }
+    mesh_.erase(it);
+  }
+  Rpc announce;
+  announce.subscriptions.push_back({topic, false});
+  for (const auto& [peer, st] : peers_) {
+    Rpc copy = announce;
+    send_rpc(peer, std::move(copy));
+  }
+}
+
+MessageId GossipSubRouter::publish(const TopicId& topic, util::Bytes payload,
+                                   bool apply_validator) {
+  GsMessage msg = GsMessage::create(topic, std::move(payload));
+  const MessageId id = msg.id;
+
+  if (apply_validator) {
+    if (const auto it = validators_.find(topic); it != validators_.end()) {
+      switch (it->second(self_, msg)) {
+        case Validation::kReject:
+          ++stats_.rejected;  // own message; no score self-penalty
+          return id;
+        case Validation::kIgnore:
+          ++stats_.ignored;
+          return id;
+        case Validation::kAccept:
+          break;
+      }
+    }
+  }
+
+  const auto shared = std::make_shared<const GsMessage>(std::move(msg));
+
+  seen_[id] = network_.scheduler().now();
+  mcache_.put(shared);
+
+  std::vector<NodeId> targets;
+  if (topics_.contains(topic)) {
+    // Own-topic publish: deliver locally and send to the mesh.
+    if (message_handler_) message_handler_(*shared);
+    ++stats_.delivered;
+    const auto& mesh = mesh_.at(topic);
+    targets.assign(mesh.begin(), mesh.end());
+  } else {
+    // Fanout publish.
+    FanoutState& fanout = fanout_[topic];
+    fanout.last_publish = network_.scheduler().now();
+    if (fanout.peers.empty()) {
+      for (NodeId p :
+           sample(topic_peers(topic, params_.score.publish_threshold),
+                  static_cast<std::size_t>(params_.d))) {
+        fanout.peers.insert(p);
+      }
+    }
+    targets.assign(fanout.peers.begin(), fanout.peers.end());
+  }
+
+  for (NodeId peer : targets) {
+    if (params_.enable_scoring && score_of(peer) < params_.score.publish_threshold) {
+      continue;
+    }
+    Rpc rpc;
+    rpc.publish.push_back(*shared);
+    send_rpc(peer, std::move(rpc));
+  }
+  return id;
+}
+
+void GossipSubRouter::set_message_handler(MessageHandler handler) {
+  message_handler_ = std::move(handler);
+}
+
+void GossipSubRouter::set_validator(const TopicId& topic, Validator validator) {
+  validators_[topic] = std::move(validator);
+}
+
+void GossipSubRouter::handle_rpc(NodeId from, const Rpc& rpc) {
+  if (!peers_.contains(from)) {
+    // Frame from a peer whose connect notification raced this frame.
+    peers_.emplace(from, PeerState{});
+    score_tracker_.set_peer_ip(from, from);
+  }
+  if (params_.enable_scoring &&
+      score_of(from) < params_.score.graylist_threshold) {
+    ++stats_.graylisted_frames;
+    return;
+  }
+
+  for (const SubscriptionChange& sub : rpc.subscriptions) {
+    if (sub.subscribe) {
+      peers_[from].topics.insert(sub.topic);
+    } else {
+      peers_[from].topics.erase(sub.topic);
+      if (const auto it = mesh_.find(sub.topic); it != mesh_.end()) {
+        if (it->second.erase(from) > 0) score_tracker_.on_leave_mesh(from, sub.topic);
+      }
+    }
+  }
+
+  Rpc reply;
+  for (const ControlGraft& graft : rpc.graft) handle_graft(from, graft.topic, reply);
+  for (const ControlPrune& prune : rpc.prune) handle_prune(from, prune);
+
+  for (const GsMessage& msg : rpc.publish) handle_message(from, msg);
+
+  // IHAVE: request unseen ids, respecting the gossip score threshold.
+  if (!(params_.enable_scoring && score_of(from) < params_.score.gossip_threshold)) {
+    ControlIWant iwant;
+    for (const ControlIHave& ihave : rpc.ihave) {
+      if (!topics_.contains(ihave.topic)) continue;
+      for (const MessageId& id : ihave.ids) {
+        if (!seen_.contains(id) && iwant.ids.size() < params_.max_iwant_ids) {
+          iwant.ids.push_back(id);
+        }
+      }
+    }
+    if (!iwant.ids.empty()) reply.iwant.push_back(std::move(iwant));
+  }
+
+  // IWANT: serve from the message cache.
+  for (const ControlIWant& iwant : rpc.iwant) {
+    for (const MessageId& id : iwant.ids) {
+      if (const auto msg = mcache_.get(id)) reply.publish.push_back(*msg);
+    }
+  }
+
+  if (!reply.empty()) send_rpc(from, std::move(reply));
+}
+
+void GossipSubRouter::handle_message(NodeId from, const GsMessage& msg) {
+  // P3 bookkeeping: deliveries (first or duplicate) from mesh members.
+  if (const auto mesh_it = mesh_.find(msg.topic);
+      mesh_it != mesh_.end() && mesh_it->second.contains(from)) {
+    score_tracker_.on_mesh_delivery(from, msg.topic);
+  }
+  if (seen_.contains(msg.id)) {
+    ++stats_.duplicates;
+    return;
+  }
+  seen_[msg.id] = network_.scheduler().now();
+
+  // Application validation (the WAKU-RLN-RELAY hook).
+  Validation verdict = Validation::kAccept;
+  if (const auto it = validators_.find(msg.topic); it != validators_.end()) {
+    verdict = it->second(from, msg);
+  }
+  switch (verdict) {
+    case Validation::kReject:
+      ++stats_.rejected;
+      score_tracker_.on_invalid_message(from, msg.topic);
+      return;
+    case Validation::kIgnore:
+      ++stats_.ignored;
+      return;
+    case Validation::kAccept:
+      break;
+  }
+
+  score_tracker_.on_first_delivery(from, msg.topic);
+  mcache_.put(std::make_shared<const GsMessage>(msg));
+
+  if (topics_.contains(msg.topic)) {
+    ++stats_.delivered;
+    if (message_handler_) message_handler_(msg);
+  }
+  forward(msg, from);
+}
+
+void GossipSubRouter::handle_graft(NodeId from, const TopicId& topic, Rpc& reply) {
+  if (!topics_.contains(topic) || in_backoff(topic, from) ||
+      (params_.enable_scoring && score_of(from) < params_.score.mesh_threshold)) {
+    reply.prune.push_back(make_prune(topic, from));
+    set_backoff(topic, from);
+    return;
+  }
+  auto& mesh = mesh_[topic];
+  if (mesh.insert(from).second) {
+    score_tracker_.on_join_mesh(from, topic, network_.scheduler().now());
+  }
+}
+
+void GossipSubRouter::handle_prune(NodeId from, const ControlPrune& prune) {
+  const TopicId& topic = prune.topic;
+  if (const auto it = mesh_.find(topic); it != mesh_.end()) {
+    if (it->second.erase(from) > 0) score_tracker_.on_leave_mesh(from, topic);
+  }
+  set_backoff(topic, from);  // do not re-graft the pruner for a while
+
+  // Peer exchange: connect to advertised topic peers we do not know yet,
+  // unless the pruner's score disqualifies its referrals.
+  if (prune.px.empty() || params_.px_connect == 0) return;
+  if (params_.enable_scoring &&
+      score_of(from) < params_.score.accept_px_threshold) {
+    return;
+  }
+  std::size_t opened = 0;
+  for (const std::uint32_t candidate : prune.px) {
+    if (opened >= params_.px_connect) break;
+    if (candidate == self_ || network_.are_connected(self_, candidate)) continue;
+    network_.connect(self_, candidate);
+    ++opened;
+  }
+}
+
+ControlPrune GossipSubRouter::make_prune(const TopicId& topic, NodeId about_to_prune) {
+  ControlPrune prune;
+  prune.topic = topic;
+  if (params_.px_peers > 0) {
+    std::vector<NodeId> candidates = topic_peers(topic, params_.score.gossip_threshold);
+    candidates.erase(
+        std::remove(candidates.begin(), candidates.end(), about_to_prune),
+        candidates.end());
+    for (NodeId peer : sample(std::move(candidates), params_.px_peers)) {
+      prune.px.push_back(peer);
+    }
+  }
+  return prune;
+}
+
+void GossipSubRouter::set_backoff(const TopicId& topic, NodeId peer) {
+  backoff_[topic][peer] = network_.scheduler().now() + params_.prune_backoff;
+}
+
+bool GossipSubRouter::in_backoff(const TopicId& topic, NodeId peer) const {
+  const auto topic_it = backoff_.find(topic);
+  if (topic_it == backoff_.end()) return false;
+  const auto peer_it = topic_it->second.find(peer);
+  return peer_it != topic_it->second.end() &&
+         network_.scheduler().now() < peer_it->second;
+}
+
+void GossipSubRouter::forward(const GsMessage& msg, std::optional<NodeId> exclude) {
+  const auto it = mesh_.find(msg.topic);
+  if (it == mesh_.end()) return;
+  for (NodeId peer : it->second) {
+    if (exclude && peer == *exclude) continue;
+    Rpc rpc;
+    rpc.publish.push_back(msg);
+    send_rpc(peer, std::move(rpc));
+    ++stats_.forwarded;
+  }
+}
+
+void GossipSubRouter::heartbeat() {
+  // 1. Mesh maintenance.
+  for (auto& [topic, mesh] : mesh_) maintain_mesh(topic, mesh);
+
+  // 2. Fanout expiry.
+  const sim::TimeUs now = network_.scheduler().now();
+  for (auto it = fanout_.begin(); it != fanout_.end();) {
+    if (now - it->second.last_publish > params_.fanout_ttl) {
+      it = fanout_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // 3. Gossip emission (IHAVE to non-mesh peers).
+  emit_gossip();
+
+  // 4. Cache maintenance.
+  mcache_.shift();
+  for (auto it = seen_.begin(); it != seen_.end();) {
+    if (now - it->second > params_.seen_ttl) {
+      it = seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [topic, entries] : backoff_) {
+    for (auto it = entries.begin(); it != entries.end();) {
+      if (now >= it->second) {
+        it = entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // 5. Score decay.
+  score_tracker_.decay();
+
+  network_.scheduler().schedule_after(params_.heartbeat_interval,
+                                      [this] { heartbeat(); });
+}
+
+void GossipSubRouter::maintain_mesh(const TopicId& topic, std::set<NodeId>& mesh) {
+  // Drop mesh members that fell below the mesh score threshold.
+  if (params_.enable_scoring) {
+    for (auto it = mesh.begin(); it != mesh.end();) {
+      if (score_of(*it) < params_.score.mesh_threshold) {
+        Rpc rpc;
+        rpc.prune.push_back(make_prune(topic, *it));
+        send_rpc(*it, std::move(rpc));
+        score_tracker_.on_leave_mesh(*it, topic);
+        it = mesh.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  if (mesh.size() < static_cast<std::size_t>(params_.d_lo)) {
+    std::vector<NodeId> candidates =
+        topic_peers(topic, params_.score.mesh_threshold);
+    candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                    [&](NodeId p) {
+                                      return mesh.contains(p) || in_backoff(topic, p);
+                                    }),
+                     candidates.end());
+    const std::size_t want = static_cast<std::size_t>(params_.d) - mesh.size();
+    for (NodeId peer : sample(std::move(candidates), want)) {
+      mesh.insert(peer);
+      score_tracker_.on_join_mesh(peer, topic, network_.scheduler().now());
+      Rpc rpc;
+      rpc.graft.push_back({topic});
+      send_rpc(peer, std::move(rpc));
+    }
+  } else if (mesh.size() > static_cast<std::size_t>(params_.d_hi)) {
+    std::vector<NodeId> members(mesh.begin(), mesh.end());
+    if (params_.enable_scoring) {
+      // Keep the highest-scoring peers: prune from the low end.
+      std::sort(members.begin(), members.end(), [&](NodeId a, NodeId b) {
+        return score_of(a) < score_of(b);
+      });
+    } else {
+      members = sample(std::move(members), members.size());  // shuffle
+    }
+    while (mesh.size() > static_cast<std::size_t>(params_.d) && !members.empty()) {
+      const NodeId victim = members.front();
+      members.erase(members.begin());
+      mesh.erase(victim);
+      score_tracker_.on_leave_mesh(victim, topic);
+      set_backoff(topic, victim);
+      Rpc rpc;
+      rpc.prune.push_back(make_prune(topic, victim));
+      send_rpc(victim, std::move(rpc));
+    }
+  }
+}
+
+void GossipSubRouter::emit_gossip() {
+  for (const TopicId& topic : topics_) {
+    const std::vector<MessageId> ids = mcache_.gossip_ids(topic);
+    if (ids.empty()) continue;
+    std::vector<NodeId> candidates = topic_peers(topic, params_.score.gossip_threshold);
+    const auto& mesh = mesh_.at(topic);
+    candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                    [&](NodeId p) { return mesh.contains(p); }),
+                     candidates.end());
+    for (NodeId peer :
+         sample(std::move(candidates), static_cast<std::size_t>(params_.d_lazy))) {
+      Rpc rpc;
+      rpc.ihave.push_back({topic, ids});
+      send_rpc(peer, std::move(rpc));
+    }
+  }
+}
+
+void GossipSubRouter::send_rpc(NodeId to, Rpc rpc) {
+  if (!network_.are_connected(self_, to)) return;
+  const std::size_t bytes = rpc.wire_size();
+  network_.send(self_, to, std::make_shared<const Rpc>(std::move(rpc)), bytes);
+}
+
+std::vector<NodeId> GossipSubRouter::topic_peers(const TopicId& topic,
+                                                 double min_score) const {
+  std::vector<NodeId> out;
+  for (const auto& [peer, st] : peers_) {
+    if (!st.topics.contains(topic)) continue;
+    if (params_.enable_scoring && score_of(peer) < min_score) continue;
+    out.push_back(peer);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> GossipSubRouter::sample(std::vector<NodeId> pool, std::size_t n) {
+  const std::size_t picks = std::min(n, pool.size());
+  for (std::size_t i = 0; i < picks; ++i) {
+    const std::size_t j = i + rng_.uniform(0, pool.size() - 1 - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(picks);
+  return pool;
+}
+
+double GossipSubRouter::score_of(NodeId peer) const {
+  return score_tracker_.score(peer, network_.scheduler().now());
+}
+
+std::vector<NodeId> GossipSubRouter::mesh_peers(const TopicId& topic) const {
+  const auto it = mesh_.find(topic);
+  if (it == mesh_.end()) return {};
+  return std::vector<NodeId>(it->second.begin(), it->second.end());
+}
+
+std::vector<NodeId> GossipSubRouter::known_peers() const {
+  std::vector<NodeId> out;
+  out.reserve(peers_.size());
+  for (const auto& [peer, st] : peers_) out.push_back(peer);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double GossipSubRouter::peer_score(NodeId peer) const {
+  return score_of(peer);
+}
+
+}  // namespace wakurln::gossipsub

@@ -1,0 +1,167 @@
+#pragma once
+// GossipSub v1.1 router [3]: mesh overlay per topic (D / D_lo / D_hi),
+// heartbeat-driven mesh maintenance, IHAVE/IWANT lazy gossip over the
+// message cache, seen-cache deduplication, fanout publishing, GRAFT/PRUNE
+// control traffic, per-topic message validators (the hook WAKU-RLN-RELAY
+// plugs its RLN checks into) and optional peer scoring.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gossipsub/mcache.h"
+#include "gossipsub/message.h"
+#include "gossipsub/score.h"
+#include "sim/network.h"
+
+namespace wakurln::gossipsub {
+
+struct GossipSubParams {
+  int d = 6;       ///< target mesh degree
+  int d_lo = 4;    ///< lower bound before grafting
+  int d_hi = 12;   ///< upper bound before pruning
+  int d_lazy = 6;  ///< gossip emission degree
+
+  sim::TimeUs heartbeat_interval = sim::kUsPerSecond;
+  std::size_t mcache_len = 5;
+  std::size_t mcache_gossip = 3;
+  sim::TimeUs seen_ttl = 120 * sim::kUsPerSecond;
+  sim::TimeUs fanout_ttl = 60 * sim::kUsPerSecond;
+  /// After a PRUNE, neither side re-grafts the link for this long
+  /// (GossipSub v1.1 backoff; prevents graft/prune oscillation).
+  sim::TimeUs prune_backoff = 60 * sim::kUsPerSecond;
+  /// Peer-exchange candidates attached to each PRUNE (0 disables PX).
+  std::size_t px_peers = 6;
+  /// Max new connections a pruned peer opens from one PX record.
+  std::size_t px_connect = 3;
+  /// Max ids requested per IWANT exchange.
+  std::size_t max_iwant_ids = 500;
+
+  bool enable_scoring = false;
+  PeerScoreParams score;
+};
+
+/// Outcome of application-level message validation (libp2p semantics).
+enum class Validation {
+  kAccept,  ///< deliver and forward
+  kReject,  ///< drop and penalise the propagation source
+  kIgnore,  ///< drop silently (e.g. duplicates/out-of-window)
+};
+
+class GossipSubRouter {
+ public:
+  using MessageHandler = std::function<void(const GsMessage&)>;
+  using Validator = std::function<Validation(sim::NodeId source, const GsMessage&)>;
+
+  struct Stats {
+    std::uint64_t delivered = 0;          ///< first-time accepted messages
+    std::uint64_t duplicates = 0;         ///< seen-cache hits
+    std::uint64_t rejected = 0;           ///< validator rejections
+    std::uint64_t ignored = 0;            ///< validator ignores
+    std::uint64_t forwarded = 0;          ///< messages relayed to mesh peers
+    std::uint64_t graylisted_frames = 0;  ///< frames dropped by score
+  };
+
+  GossipSubRouter(sim::NodeId self, sim::Network& network, GossipSubParams params);
+
+  sim::NodeId id() const { return self_; }
+  const GossipSubParams& params() const { return params_; }
+  const Stats& stats() const { return stats_; }
+  sim::Network& network() { return network_; }
+  const sim::Network& network() const { return network_; }
+
+  /// Registers callbacks with the network and schedules the first
+  /// heartbeat (staggered randomly within one interval).
+  void start();
+
+  // -- application API -------------------------------------------------
+  void subscribe(const TopicId& topic);
+  void unsubscribe(const TopicId& topic);
+  bool subscribed(const TopicId& topic) const { return topics_.contains(topic); }
+
+  /// Publishes payload to the topic (to mesh members, or fanout if not
+  /// subscribed). Returns the message id.
+  ///
+  /// As in go-libp2p, the topic validator also runs on locally published
+  /// messages; a rejected/ignored publish is not delivered or forwarded.
+  /// `apply_validator = false` models a modified (attacker) client that
+  /// skips its own validation — honest peers still validate on arrival.
+  MessageId publish(const TopicId& topic, util::Bytes payload,
+                    bool apply_validator = true);
+
+  void set_message_handler(MessageHandler handler);
+  void set_validator(const TopicId& topic, Validator validator);
+
+  // -- introspection for tests/benches ---------------------------------
+  std::vector<sim::NodeId> mesh_peers(const TopicId& topic) const;
+  std::vector<sim::NodeId> known_peers() const;
+  double peer_score(sim::NodeId peer) const;
+  bool has_seen(const MessageId& id) const { return seen_.contains(id); }
+
+  /// Declares the IP a peer is observed on (defaults to its node id).
+  void set_peer_ip(sim::NodeId peer, std::uint32_t ip);
+
+ private:
+  struct PeerState {
+    std::set<TopicId> topics;  ///< peer's announced subscriptions
+  };
+  struct FanoutState {
+    std::set<sim::NodeId> peers;
+    sim::TimeUs last_publish = 0;
+  };
+
+  void on_peer_connected(sim::NodeId peer);
+  void on_peer_disconnected(sim::NodeId peer);
+  void on_frame(sim::NodeId from, const std::any& frame);
+
+  void handle_rpc(sim::NodeId from, const Rpc& rpc);
+  void handle_message(sim::NodeId from, const GsMessage& msg);
+  void handle_graft(sim::NodeId from, const TopicId& topic, Rpc& reply);
+  void handle_prune(sim::NodeId from, const ControlPrune& prune);
+
+  /// Builds the PX candidate list for a PRUNE sent to `about_to_prune`.
+  ControlPrune make_prune(const TopicId& topic, sim::NodeId about_to_prune);
+
+  void heartbeat();
+  void maintain_mesh(const TopicId& topic, std::set<sim::NodeId>& mesh);
+  void emit_gossip();
+
+  /// Records a PRUNE (sent or received) so neither side re-grafts early.
+  void set_backoff(const TopicId& topic, sim::NodeId peer);
+  bool in_backoff(const TopicId& topic, sim::NodeId peer) const;
+
+  void forward(const GsMessage& msg, std::optional<sim::NodeId> exclude);
+  void send_rpc(sim::NodeId to, Rpc rpc);
+
+  /// Peers subscribed to `topic`, sorted for determinism.
+  std::vector<sim::NodeId> topic_peers(const TopicId& topic, double min_score) const;
+  /// Samples up to n elements of `pool` without replacement.
+  std::vector<sim::NodeId> sample(std::vector<sim::NodeId> pool, std::size_t n);
+
+  double score_of(sim::NodeId peer) const;
+
+  sim::NodeId self_;
+  sim::Network& network_;
+  GossipSubParams params_;
+  util::Rng rng_;
+
+  std::unordered_map<sim::NodeId, PeerState> peers_;
+  std::set<TopicId> topics_;                        ///< own subscriptions
+  std::map<TopicId, std::set<sim::NodeId>> mesh_;   ///< mesh per topic
+  std::map<TopicId, FanoutState> fanout_;
+  MessageCache mcache_;
+  /// (topic, peer) -> earliest time a re-graft is allowed.
+  std::map<TopicId, std::unordered_map<sim::NodeId, sim::TimeUs>> backoff_;
+  std::unordered_map<MessageId, sim::TimeUs, MessageIdHash> seen_;
+  std::unordered_map<TopicId, Validator> validators_;
+  MessageHandler message_handler_;
+  PeerScoreTracker score_tracker_;
+  Stats stats_;
+  bool started_ = false;
+};
+
+}  // namespace wakurln::gossipsub

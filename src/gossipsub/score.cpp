@@ -1,0 +1,115 @@
+#include "gossipsub/score.h"
+
+#include <algorithm>
+
+namespace wakurln::gossipsub {
+
+void PeerScoreTracker::set_peer_ip(sim::NodeId peer, std::uint32_t ip) {
+  PeerState& st = peers_[peer];
+  if (st.has_ip) {
+    auto it = peers_per_ip_.find(st.ip);
+    if (it != peers_per_ip_.end() && it->second > 0) --it->second;
+  }
+  st.ip = ip;
+  st.has_ip = true;
+  ++peers_per_ip_[ip];
+}
+
+void PeerScoreTracker::remove_peer(sim::NodeId peer) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  if (it->second.has_ip) {
+    auto ip_it = peers_per_ip_.find(it->second.ip);
+    if (ip_it != peers_per_ip_.end() && ip_it->second > 0) --ip_it->second;
+  }
+  peers_.erase(it);
+}
+
+void PeerScoreTracker::on_join_mesh(sim::NodeId peer, const TopicId& topic,
+                                    sim::TimeUs now) {
+  TopicCounters& tc = peers_[peer].topics[topic];
+  tc.in_mesh = true;
+  tc.mesh_joined_at = now;
+}
+
+void PeerScoreTracker::on_leave_mesh(sim::NodeId peer, const TopicId& topic) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  const auto tit = it->second.topics.find(topic);
+  if (tit != it->second.topics.end()) tit->second.in_mesh = false;
+}
+
+void PeerScoreTracker::on_first_delivery(sim::NodeId peer, const TopicId& topic) {
+  TopicCounters& tc = peers_[peer].topics[topic];
+  tc.first_message_deliveries = std::min(tc.first_message_deliveries + 1.0,
+                                         params_.topic.first_message_deliveries_cap);
+}
+
+void PeerScoreTracker::on_mesh_delivery(sim::NodeId peer, const TopicId& topic) {
+  TopicCounters& tc = peers_[peer].topics[topic];
+  tc.mesh_message_deliveries = std::min(tc.mesh_message_deliveries + 1.0,
+                                        params_.topic.mesh_message_deliveries_cap);
+}
+
+void PeerScoreTracker::on_invalid_message(sim::NodeId peer, const TopicId& topic) {
+  peers_[peer].topics[topic].invalid_message_deliveries += 1.0;
+}
+
+void PeerScoreTracker::decay() {
+  for (auto& [peer, st] : peers_) {
+    for (auto& [topic, tc] : st.topics) {
+      tc.first_message_deliveries *= params_.topic.first_message_deliveries_decay;
+      tc.mesh_message_deliveries *= params_.topic.mesh_message_deliveries_decay;
+      tc.invalid_message_deliveries *= params_.topic.invalid_message_deliveries_decay;
+    }
+  }
+}
+
+double PeerScoreTracker::score(sim::NodeId peer, sim::TimeUs now) const {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return 0.0;
+  const PeerState& st = it->second;
+
+  double total = 0.0;
+  for (const auto& [topic, tc] : st.topics) {
+    double topic_score = 0.0;
+    // P1: time in mesh.
+    if (tc.in_mesh) {
+      const double quanta =
+          static_cast<double>(now - tc.mesh_joined_at) /
+          static_cast<double>(params_.topic.time_in_mesh_quantum);
+      topic_score += params_.topic.time_in_mesh_weight *
+                     std::min(quanta, params_.topic.time_in_mesh_cap);
+    }
+    // P2: first message deliveries.
+    topic_score +=
+        params_.topic.first_message_deliveries_weight * tc.first_message_deliveries;
+    // P3: mesh delivery deficit (active only after the activation window).
+    if (params_.topic.mesh_message_deliveries_weight != 0.0 && tc.in_mesh &&
+        now - tc.mesh_joined_at >= params_.topic.mesh_message_deliveries_activation) {
+      const double deficit = params_.topic.mesh_message_deliveries_threshold -
+                             tc.mesh_message_deliveries;
+      if (deficit > 0) {
+        topic_score +=
+            params_.topic.mesh_message_deliveries_weight * deficit * deficit;
+      }
+    }
+    // P4: invalid messages (squared).
+    topic_score += params_.topic.invalid_message_deliveries_weight *
+                   tc.invalid_message_deliveries * tc.invalid_message_deliveries;
+    total += params_.topic.topic_weight * topic_score;
+  }
+
+  // P6: IP colocation.
+  if (st.has_ip) {
+    const auto ip_it = peers_per_ip_.find(st.ip);
+    const double count = ip_it == peers_per_ip_.end() ? 0.0 : ip_it->second;
+    const double excess = count - static_cast<double>(params_.ip_colocation_threshold);
+    if (excess > 0) {
+      total += params_.ip_colocation_weight * excess * excess;
+    }
+  }
+  return total;
+}
+
+}  // namespace wakurln::gossipsub

@@ -1,0 +1,110 @@
+#include "hash/poseidon.h"
+
+#include <string>
+
+#include "hash/sha256.h"
+#include "util/bytes.h"
+
+namespace wakurln::hash {
+
+namespace {
+
+using field::Fr;
+
+// Derives a field element from a domain-separated SHA-256 expansion.
+Fr derive_constant(const std::string& label) {
+  const Digest d = Sha256::digest(label);
+  return Fr::from_bytes_be(d);
+}
+
+PoseidonParams build_params() {
+  PoseidonParams p;
+  const int rounds = PoseidonParams::kFullRounds + PoseidonParams::kPartialRounds;
+  p.round_constants.reserve(rounds);
+  for (int r = 0; r < rounds; ++r) {
+    std::array<Fr, PoseidonParams::kWidth> rc;
+    for (int j = 0; j < PoseidonParams::kWidth; ++j) {
+      rc[j] = derive_constant("wakurln.poseidon.t3.rc." + std::to_string(r) + "." +
+                              std::to_string(j));
+    }
+    p.round_constants.push_back(rc);
+  }
+  // Cauchy MDS: M[i][j] = 1 / (x_i + y_j) with x = {0,1,2}, y = {3,4,5}.
+  // All x_i distinct, all y_j distinct and x_i + y_j != 0 in Fr, which
+  // guarantees the matrix is MDS (maximum distance separable).
+  for (int i = 0; i < PoseidonParams::kWidth; ++i) {
+    for (int j = 0; j < PoseidonParams::kWidth; ++j) {
+      p.mds[i][j] =
+          (Fr::from_u64(static_cast<std::uint64_t>(i)) +
+           Fr::from_u64(static_cast<std::uint64_t>(PoseidonParams::kWidth + j)))
+              .inverse();
+    }
+  }
+  return p;
+}
+
+Fr sbox(const Fr& x) {
+  const Fr x2 = x.square();
+  const Fr x4 = x2.square();
+  return x4 * x;
+}
+
+void mix(const PoseidonParams& p, std::array<Fr, PoseidonParams::kWidth>& state) {
+  std::array<Fr, PoseidonParams::kWidth> out;
+  for (int i = 0; i < PoseidonParams::kWidth; ++i) {
+    Fr acc = Fr::zero();
+    for (int j = 0; j < PoseidonParams::kWidth; ++j) {
+      acc += p.mds[i][j] * state[j];
+    }
+    out[i] = acc;
+  }
+  state = out;
+}
+
+}  // namespace
+
+const PoseidonParams& PoseidonParams::instance() {
+  static const PoseidonParams params = build_params();
+  return params;
+}
+
+void poseidon_permute(std::array<Fr, PoseidonParams::kWidth>& state) {
+  const PoseidonParams& p = PoseidonParams::instance();
+  const int half_full = PoseidonParams::kFullRounds / 2;
+  int round = 0;
+
+  for (int r = 0; r < half_full; ++r, ++round) {
+    for (int j = 0; j < PoseidonParams::kWidth; ++j) {
+      state[j] = sbox(state[j] + p.round_constants[round][j]);
+    }
+    mix(p, state);
+  }
+  for (int r = 0; r < PoseidonParams::kPartialRounds; ++r, ++round) {
+    for (int j = 0; j < PoseidonParams::kWidth; ++j) {
+      state[j] += p.round_constants[round][j];
+    }
+    state[0] = sbox(state[0]);
+    mix(p, state);
+  }
+  for (int r = 0; r < half_full; ++r, ++round) {
+    for (int j = 0; j < PoseidonParams::kWidth; ++j) {
+      state[j] = sbox(state[j] + p.round_constants[round][j]);
+    }
+    mix(p, state);
+  }
+}
+
+field::Fr poseidon_hash1(const Fr& a) {
+  // Capacity element carries the domain tag (input arity).
+  std::array<Fr, PoseidonParams::kWidth> state = {Fr::from_u64(1), a, Fr::zero()};
+  poseidon_permute(state);
+  return state[0];
+}
+
+field::Fr poseidon_hash2(const Fr& a, const Fr& b) {
+  std::array<Fr, PoseidonParams::kWidth> state = {Fr::from_u64(2), a, b};
+  poseidon_permute(state);
+  return state[0];
+}
+
+}  // namespace wakurln::hash

@@ -1,0 +1,15 @@
+#include "rln/identity.h"
+
+#include "hash/poseidon.h"
+
+namespace wakurln::rln {
+
+Identity Identity::generate(util::Rng& rng) {
+  return from_sk(field::Fr::random(rng));
+}
+
+Identity Identity::from_sk(const field::Fr& sk) {
+  return Identity{sk, hash::poseidon_hash1(sk)};
+}
+
+}  // namespace wakurln::rln

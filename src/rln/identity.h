@@ -1,0 +1,24 @@
+#pragma once
+// RLN member identity: a secret key sk (random field element) and the
+// public identity commitment pk = H(sk) that is registered on the
+// membership contract. Both serialise to 32 bytes (paper §IV).
+
+#include "field/fr.h"
+#include "util/rng.h"
+
+namespace wakurln::rln {
+
+struct Identity {
+  field::Fr sk;
+  field::Fr pk;
+
+  /// Samples a fresh identity.
+  static Identity generate(util::Rng& rng);
+
+  /// Rebuilds the identity (pk = H(sk)) from an existing secret.
+  static Identity from_sk(const field::Fr& sk);
+
+  bool operator==(const Identity&) const = default;
+};
+
+}  // namespace wakurln::rln

@@ -1,0 +1,44 @@
+#include "rln/nullifier_map.h"
+
+#include "shamir/shamir.h"
+
+namespace wakurln::rln {
+
+NullifierMap::CheckResult NullifierMap::observe(std::uint64_t epoch,
+                                                const field::Fr& nullifier,
+                                                const field::Fr& x, const field::Fr& y) {
+  EpochRecords& records = by_epoch_[epoch];
+  const auto it = records.find(nullifier);
+  if (it == records.end()) {
+    records.emplace(nullifier, Record{x, y});
+    return {Outcome::kFresh, std::nullopt};
+  }
+  const Record& prior = it->second;
+  if (prior.x == x) {
+    // Same evaluation point: either the exact same message relayed twice
+    // (y must match since y = A(x)) or a malformed variant; never slashable
+    // evidence, because one point cannot reconstruct the line.
+    return {Outcome::kDuplicateMessage, std::nullopt};
+  }
+  const auto sk = shamir::reconstruct(shamir::Share{prior.x, prior.y}, shamir::Share{x, y});
+  return {Outcome::kDoubleSignal, sk};
+}
+
+void NullifierMap::prune_before(std::uint64_t oldest_kept_epoch) {
+  by_epoch_.erase(by_epoch_.begin(), by_epoch_.lower_bound(oldest_kept_epoch));
+}
+
+std::size_t NullifierMap::record_count() const {
+  std::size_t n = 0;
+  for (const auto& [epoch, records] : by_epoch_) n += records.size();
+  return n;
+}
+
+std::size_t NullifierMap::memory_bytes() const {
+  // nullifier key (32) + record (64) + unordered_map node overhead (~48).
+  constexpr std::size_t kPerRecord = 32 + 64 + 48;
+  constexpr std::size_t kPerEpoch = 96;  // map node + bucket array baseline
+  return record_count() * kPerRecord + epoch_count() * kPerEpoch;
+}
+
+}  // namespace wakurln::rln

@@ -1,0 +1,57 @@
+#pragma once
+// Nullifier map (paper §III): every routing peer records, for the last Thr
+// epochs, the internal nullifier φ and the share (x, y) of every message it
+// routed. A new message whose nullifier collides with a stored record is a
+// double-signal — unless it is the *same* message again (a gossip
+// duplicate), which is ignored rather than slashed. On a true double-signal
+// the two distinct shares reconstruct the offender's secret key.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "field/fr.h"
+
+namespace wakurln::rln {
+
+class NullifierMap {
+ public:
+  enum class Outcome {
+    kFresh,             ///< first message for this nullifier — record and relay
+    kDuplicateMessage,  ///< identical (nullifier, x): gossip duplicate, ignore
+    kDoubleSignal,      ///< same nullifier, different share: rate violation
+  };
+
+  struct CheckResult {
+    Outcome outcome = Outcome::kFresh;
+    /// Reconstructed secret key on kDoubleSignal (slashing evidence).
+    std::optional<field::Fr> breached_sk;
+  };
+
+  /// Checks (and on kFresh records) a message's nullifier evidence.
+  CheckResult observe(std::uint64_t epoch, const field::Fr& nullifier,
+                      const field::Fr& x, const field::Fr& y);
+
+  /// Drops all records with epoch < `oldest_kept_epoch` (§III: older
+  /// messages are invalid by default, so keeping them is pointless).
+  void prune_before(std::uint64_t oldest_kept_epoch);
+
+  std::size_t epoch_count() const { return by_epoch_.size(); }
+  std::size_t record_count() const;
+
+  /// Approximate resident memory of the records (for E13).
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Record {
+    field::Fr x;
+    field::Fr y;
+  };
+  using EpochRecords = std::unordered_map<field::Fr, Record, field::FrHash>;
+
+  /// Ordered by epoch so pruning is a range erase.
+  std::map<std::uint64_t, EpochRecords> by_epoch_;
+};
+
+}  // namespace wakurln::rln

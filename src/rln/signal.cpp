@@ -1,0 +1,40 @@
+#include "rln/signal.h"
+
+#include "util/serde.h"
+
+namespace wakurln::rln {
+
+util::Bytes RlnSignal::serialize() const {
+  util::ByteWriter w;
+  w.put_u64(epoch);
+  w.put_u64(message_index);
+  w.put_raw(y.to_bytes_be());
+  w.put_raw(nullifier.to_bytes_be());
+  w.put_raw(root.to_bytes_be());
+  w.put_raw(proof.bytes);
+  return w.take();
+}
+
+std::optional<RlnSignal> RlnSignal::deserialize(std::span<const std::uint8_t> data) {
+  if (data.size() != kWireSize) return std::nullopt;
+  try {
+    util::ByteReader r(data);
+    RlnSignal s;
+    s.epoch = r.get_u64();
+    s.message_index = r.get_u64();
+    const auto y = field::Fr::from_bytes_canonical(r.get_raw(32));
+    const auto nullifier = field::Fr::from_bytes_canonical(r.get_raw(32));
+    const auto root = field::Fr::from_bytes_canonical(r.get_raw(32));
+    if (!y || !nullifier || !root) return std::nullopt;
+    s.y = *y;
+    s.nullifier = *nullifier;
+    s.root = *root;
+    const auto proof_bytes = r.get_array<zksnark::Proof::kSize>();
+    s.proof.bytes = proof_bytes;
+    return s;
+  } catch (const util::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace wakurln::rln

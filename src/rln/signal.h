@@ -1,0 +1,33 @@
+#pragma once
+// RLN signal: the metadata a publisher attaches to every message
+// (paper §II: (m, ∅, φ, [sk], π)). The share's x-coordinate is not
+// transmitted — verifiers recompute x = H(m) from the payload, which also
+// binds the proof to the exact message bytes.
+
+#include <cstdint>
+#include <optional>
+
+#include "field/fr.h"
+#include "util/bytes.h"
+#include "zksnark/proof_system.h"
+
+namespace wakurln::rln {
+
+struct RlnSignal {
+  std::uint64_t epoch = 0;          ///< epoch of the external nullifier ∅
+  std::uint64_t message_index = 0;  ///< slot index when rate > 1 (0 in the paper's scheme)
+  field::Fr y;                      ///< Shamir share value [sk]
+  field::Fr nullifier;              ///< internal nullifier φ
+  field::Fr root;                   ///< membership root the proof refers to
+  zksnark::Proof proof;             ///< π
+
+  /// Wire size: epoch(8) + index(8) + y(32) + nullifier(32) + root(32) + proof(128).
+  static constexpr std::size_t kWireSize = 8 + 8 + 32 + 32 + 32 + zksnark::Proof::kSize;
+
+  util::Bytes serialize() const;
+  static std::optional<RlnSignal> deserialize(std::span<const std::uint8_t> data);
+
+  bool operator==(const RlnSignal&) const = default;
+};
+
+}  // namespace wakurln::rln

@@ -1,0 +1,23 @@
+#include "shamir/shamir.h"
+
+namespace wakurln::shamir {
+
+using field::Fr;
+
+Share make_share(const Fr& sk, const Fr& a1, const Fr& x) {
+  return Share{x, sk + a1 * x};
+}
+
+std::optional<Fr> reconstruct(const Share& s1, const Share& s2) {
+  if (s1.x == s2.x) return std::nullopt;
+  // Lagrange at X=0 for a line: sk = (y1*x2 - y2*x1) / (x2 - x1).
+  const Fr denom = (s2.x - s1.x).inverse();
+  return (s1.y * s2.x - s2.y * s1.x) * denom;
+}
+
+std::optional<Fr> recover_slope(const Share& s1, const Share& s2) {
+  if (s1.x == s2.x) return std::nullopt;
+  return (s2.y - s1.y) * (s2.x - s1.x).inverse();
+}
+
+}  // namespace wakurln::shamir

@@ -1,0 +1,36 @@
+#pragma once
+// Degree-1 Shamir secret sharing over the BN254 scalar field — the `[sk]`
+// component of every RLN signal (paper §II).
+//
+// The dealer's polynomial is the line A(X) = sk + a1·X where
+// a1 = H(sk, external_nullifier). A signal for message m reveals the single
+// evaluation point (x, y) = (H(m), A(x)). One point reveals nothing about
+// the intercept sk; two points with distinct x from the same epoch lie on
+// the same line and reconstruct sk — the slashing mechanism.
+
+#include <optional>
+
+#include "field/fr.h"
+
+namespace wakurln::shamir {
+
+/// One evaluation point of the dealer line.
+struct Share {
+  field::Fr x;
+  field::Fr y;
+
+  bool operator==(const Share&) const = default;
+};
+
+/// Evaluates y = sk + a1 * x.
+Share make_share(const field::Fr& sk, const field::Fr& a1, const field::Fr& x);
+
+/// Reconstructs the intercept (sk) from two points on the same line.
+/// Returns nullopt when the shares have equal x (the same message twice —
+/// a gossip duplicate, not a rate violation).
+std::optional<field::Fr> reconstruct(const Share& s1, const Share& s2);
+
+/// Recovers the slope a1 from two points (used in tests and forensics).
+std::optional<field::Fr> recover_slope(const Share& s1, const Share& s2);
+
+}  // namespace wakurln::shamir

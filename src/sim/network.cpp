@@ -1,0 +1,109 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wakurln::sim {
+
+Network::Network(Scheduler& scheduler, util::Rng& rng, LinkParams default_link)
+    : scheduler_(scheduler), rng_(rng), default_link_(default_link) {}
+
+NodeId Network::add_node(NodeCallbacks callbacks) {
+  nodes_.push_back(NodeState{std::move(callbacks), {}, 0, 0});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::set_callbacks(NodeId node, NodeCallbacks callbacks) {
+  nodes_.at(node).callbacks = std::move(callbacks);
+}
+
+std::uint64_t Network::link_key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+const LinkParams& Network::params_for(NodeId a, NodeId b) const {
+  const auto it = link_overrides_.find(link_key(a, b));
+  return it == link_overrides_.end() ? default_link_ : it->second;
+}
+
+void Network::connect(NodeId a, NodeId b) {
+  if (a == b) throw std::invalid_argument("Network: self-links not allowed");
+  NodeState& na = nodes_.at(a);
+  NodeState& nb = nodes_.at(b);
+  if (na.links.contains(b)) return;
+  na.links.insert(b);
+  nb.links.insert(a);
+  if (na.callbacks.on_peer_connected) na.callbacks.on_peer_connected(b);
+  if (nb.callbacks.on_peer_connected) nb.callbacks.on_peer_connected(a);
+}
+
+void Network::disconnect(NodeId a, NodeId b) {
+  NodeState& na = nodes_.at(a);
+  NodeState& nb = nodes_.at(b);
+  if (!na.links.contains(b)) return;
+  na.links.erase(b);
+  nb.links.erase(a);
+  if (na.callbacks.on_peer_disconnected) na.callbacks.on_peer_disconnected(b);
+  if (nb.callbacks.on_peer_disconnected) nb.callbacks.on_peer_disconnected(a);
+}
+
+bool Network::are_connected(NodeId a, NodeId b) const {
+  return nodes_.at(a).links.contains(b);
+}
+
+std::vector<NodeId> Network::neighbors(NodeId node) const {
+  const auto& links = nodes_.at(node).links;
+  std::vector<NodeId> out(links.begin(), links.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Network::set_link_params(NodeId a, NodeId b, LinkParams params) {
+  link_overrides_[link_key(a, b)] = params;
+}
+
+void Network::send(NodeId from, NodeId to, std::any frame, std::size_t bytes) {
+  if (!are_connected(from, to)) {
+    throw std::logic_error("Network: send over non-existent link");
+  }
+  stats_.frames_sent += 1;
+  stats_.bytes_sent += bytes;
+  nodes_[from].bytes_sent += bytes;
+
+  const LinkParams& link = params_for(from, to);
+  if (rng_.chance(link.loss_rate)) {
+    stats_.frames_lost += 1;
+    return;
+  }
+  TimeUs delay = link.base_latency;
+  if (link.jitter > 0) delay += rng_.uniform(0, link.jitter - 1);
+  if (link.bandwidth_bytes_per_sec > 0) {
+    delay += static_cast<TimeUs>(static_cast<double>(bytes) /
+                                 link.bandwidth_bytes_per_sec * kUsPerSecond);
+  }
+
+  scheduler_.schedule_after(
+      delay, [this, from, to, frame = std::move(frame), bytes]() {
+        // Link may have been torn down in flight.
+        if (!are_connected(from, to)) {
+          stats_.frames_lost += 1;
+          return;
+        }
+        stats_.frames_delivered += 1;
+        nodes_[to].bytes_received += bytes;
+        if (nodes_[to].callbacks.on_frame) {
+          nodes_[to].callbacks.on_frame(from, frame, bytes);
+        }
+      });
+}
+
+std::uint64_t Network::bytes_sent_by(NodeId node) const {
+  return nodes_.at(node).bytes_sent;
+}
+
+std::uint64_t Network::bytes_received_by(NodeId node) const {
+  return nodes_.at(node).bytes_received;
+}
+
+}  // namespace wakurln::sim

@@ -1,0 +1,96 @@
+#pragma once
+// Simulated peer-to-peer network: point-to-point links with configurable
+// latency, jitter, bandwidth and loss. Message payloads are passed as
+// std::any (protocol layers define their own frames); the network charges
+// wire bytes for traffic accounting.
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace wakurln::sim {
+
+using NodeId = std::uint32_t;
+
+struct LinkParams {
+  /// Fixed propagation delay.
+  TimeUs base_latency = 50 * kUsPerMs;
+  /// Uniform extra delay in [0, jitter).
+  TimeUs jitter = 20 * kUsPerMs;
+  /// Probability a packet is silently dropped.
+  double loss_rate = 0.0;
+  /// Serialisation rate; 0 disables the size-dependent term.
+  double bandwidth_bytes_per_sec = 12.5e6;  // ~100 Mbit/s
+};
+
+/// Handlers a node registers when joining the network.
+struct NodeCallbacks {
+  std::function<void(NodeId from, const std::any& frame, std::size_t bytes)> on_frame;
+  std::function<void(NodeId peer)> on_peer_connected;
+  std::function<void(NodeId peer)> on_peer_disconnected;
+};
+
+class Network {
+ public:
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_delivered = 0;
+    std::uint64_t frames_lost = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+
+  Network(Scheduler& scheduler, util::Rng& rng, LinkParams default_link = {});
+
+  /// Adds a node; callbacks may be filled in later via set_callbacks.
+  NodeId add_node(NodeCallbacks callbacks);
+  void set_callbacks(NodeId node, NodeCallbacks callbacks);
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Creates a bidirectional link (no-op if present). Both endpoints get
+  /// on_peer_connected.
+  void connect(NodeId a, NodeId b);
+  void disconnect(NodeId a, NodeId b);
+  bool are_connected(NodeId a, NodeId b) const;
+  /// Sorted list of a node's neighbours.
+  std::vector<NodeId> neighbors(NodeId node) const;
+
+  /// Per-link parameter override (applies to both directions).
+  void set_link_params(NodeId a, NodeId b, LinkParams params);
+
+  /// Sends a frame over an existing link; throws if not connected.
+  void send(NodeId from, NodeId to, std::any frame, std::size_t bytes);
+
+  const Stats& stats() const { return stats_; }
+  std::uint64_t bytes_sent_by(NodeId node) const;
+  std::uint64_t bytes_received_by(NodeId node) const;
+
+  Scheduler& scheduler() { return scheduler_; }
+  util::Rng& rng() { return rng_; }
+
+ private:
+  struct NodeState {
+    NodeCallbacks callbacks;
+    std::unordered_set<NodeId> links;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+  };
+
+  static std::uint64_t link_key(NodeId a, NodeId b);
+  const LinkParams& params_for(NodeId a, NodeId b) const;
+
+  Scheduler& scheduler_;
+  util::Rng& rng_;
+  LinkParams default_link_;
+  std::vector<NodeState> nodes_;
+  std::unordered_map<std::uint64_t, LinkParams> link_overrides_;
+  Stats stats_;
+};
+
+}  // namespace wakurln::sim

@@ -1,0 +1,44 @@
+#include "sim/scheduler.h"
+
+#include <stdexcept>
+
+namespace wakurln::sim {
+
+void Scheduler::schedule_at(TimeUs t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Scheduler: cannot schedule in the past");
+  }
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Scheduler::schedule_after(TimeUs delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::run_next() {
+  if (queue_.empty()) return false;
+  // Copy out before pop: the callback may schedule new events.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+void Scheduler::run_until(TimeUs t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    run_next();
+  }
+  if (t > now_) now_ = t;
+}
+
+void Scheduler::run_for(TimeUs duration) {
+  run_until(now_ + duration);
+}
+
+void Scheduler::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace wakurln::sim

@@ -1,0 +1,62 @@
+#pragma once
+// Deterministic discrete-event scheduler: the clock of the whole simulated
+// world (network, gossip heartbeats, epochs, block mining). Events with
+// equal timestamps run in submission order, so a fixed seed reproduces an
+// experiment exactly.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace wakurln::sim {
+
+/// Simulation time in microseconds.
+using TimeUs = std::uint64_t;
+
+inline constexpr TimeUs kUsPerMs = 1'000;
+inline constexpr TimeUs kUsPerSecond = 1'000'000;
+
+class Scheduler {
+ public:
+  TimeUs now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void schedule_at(TimeUs t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` microseconds from now.
+  void schedule_after(TimeUs delay, std::function<void()> fn);
+
+  /// Runs the earliest pending event, if any. Returns false when idle.
+  bool run_next();
+
+  /// Runs every event with timestamp <= t, then advances the clock to t.
+  void run_until(TimeUs t);
+
+  /// Convenience: run_until(now + duration).
+  void run_for(TimeUs duration);
+
+  /// Drains the queue completely (use only for terminating workloads).
+  void run_all();
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeUs time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeUs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace wakurln::sim

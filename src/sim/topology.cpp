@@ -1,0 +1,46 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+
+namespace wakurln::sim {
+
+void connect_ring_plus_random(Network& network, std::span<const NodeId> nodes,
+                              std::size_t extra_per_node, util::Rng& rng) {
+  const std::size_t n = nodes.size();
+  if (n < 2) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    network.connect(nodes[i], nodes[(i + 1) % n]);
+  }
+  if (n < 3) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < extra_per_node; ++k) {
+      const NodeId peer = nodes[rng.uniform(0, n - 1)];
+      if (peer != nodes[i]) network.connect(nodes[i], peer);
+    }
+  }
+}
+
+void connect_erdos_renyi(Network& network, std::span<const NodeId> nodes, double p,
+                         util::Rng& rng) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (rng.chance(p)) network.connect(nodes[i], nodes[j]);
+    }
+  }
+}
+
+void connect_to_random_peers(Network& network, NodeId newcomer,
+                             std::span<const NodeId> targets, std::size_t degree,
+                             util::Rng& rng) {
+  std::vector<NodeId> pool(targets.begin(), targets.end());
+  pool.erase(std::remove(pool.begin(), pool.end(), newcomer), pool.end());
+  // Partial Fisher-Yates for `degree` distinct picks.
+  const std::size_t picks = std::min(degree, pool.size());
+  for (std::size_t i = 0; i < picks; ++i) {
+    const std::size_t j = i + rng.uniform(0, pool.size() - 1 - i);
+    std::swap(pool[i], pool[j]);
+    network.connect(newcomer, pool[i]);
+  }
+}
+
+}  // namespace wakurln::sim

@@ -1,0 +1,27 @@
+#pragma once
+// Topology builders for experiment setup.
+
+#include <span>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace wakurln::sim {
+
+/// Ring over all nodes plus `extra_per_node` random chords: connected,
+/// low-diameter, the default experiment topology.
+void connect_ring_plus_random(Network& network, std::span<const NodeId> nodes,
+                              std::size_t extra_per_node, util::Rng& rng);
+
+/// Erdős–Rényi: each pair linked independently with probability p.
+/// (May be disconnected for small p; callers that need connectivity should
+/// prefer connect_ring_plus_random.)
+void connect_erdos_renyi(Network& network, std::span<const NodeId> nodes, double p,
+                         util::Rng& rng);
+
+/// Connects `newcomer` to `degree` distinct random members of `targets`.
+void connect_to_random_peers(Network& network, NodeId newcomer,
+                             std::span<const NodeId> targets, std::size_t degree,
+                             util::Rng& rng);
+
+}  // namespace wakurln::sim

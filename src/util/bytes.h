@@ -1,0 +1,28 @@
+#pragma once
+// Byte-buffer helpers shared by every module.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wakurln::util {
+
+/// Owning byte buffer used throughout the library.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Lowercase hex encoding of `data` (no "0x" prefix).
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Decodes a hex string (optionally "0x"-prefixed, even length).
+/// Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Copies the raw characters of `s` into a byte buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Constant-time-ish equality for fixed-size secrets (length leak only).
+bool equal_ct(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+}  // namespace wakurln::util

@@ -1,0 +1,45 @@
+#pragma once
+// Deterministic, seedable random number generator (xoshiro256**).
+//
+// Every stochastic component of the library (simulator, workload
+// generators, key generation in tests) draws from an explicitly seeded Rng
+// so that experiments are exactly reproducible.
+
+#include <cstdint>
+#include <span>
+
+namespace wakurln::util {
+
+/// xoshiro256** seeded via splitmix64. Not cryptographically secure; key
+/// material in production deployments must come from an OS CSPRNG, which is
+/// outside the scope of this reproduction (see DESIGN.md).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponential random variable with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Fills `out` with uniform random bytes.
+  void fill(std::span<std::uint8_t> out);
+
+  /// Forks an independent child stream (stable given the call order).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace wakurln::util

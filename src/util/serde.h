@@ -1,0 +1,71 @@
+#pragma once
+// Minimal bounds-checked binary serialisation used for protocol envelopes.
+// Integers are little-endian; variable buffers carry a u32 length prefix.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace wakurln::util {
+
+/// Appends primitive values to a growable byte buffer.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  /// Raw bytes, no length prefix (fixed-size fields).
+  void put_raw(std::span<const std::uint8_t> data);
+  /// Length-prefixed (u32) variable-size buffer.
+  void put_var(std::span<const std::uint8_t> data);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Error thrown by ByteReader on truncated or malformed input.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads primitive values from a byte span with bounds checking.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  /// Exactly n raw bytes.
+  std::span<const std::uint8_t> get_raw(std::size_t n);
+  /// Length-prefixed buffer written by put_var.
+  std::span<const std::uint8_t> get_var();
+
+  template <std::size_t N>
+  std::array<std::uint8_t, N> get_array() {
+    auto s = get_raw(N);
+    std::array<std::uint8_t, N> out{};
+    std::copy(s.begin(), s.end(), out.begin());
+    return out;
+  }
+
+  bool empty() const { return pos_ >= data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wakurln::util

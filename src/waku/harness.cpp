@@ -1,0 +1,95 @@
+#include "waku/harness.h"
+
+#include "sim/topology.h"
+
+namespace wakurln::waku {
+
+SimHarness::SimHarness(HarnessConfig config)
+    : config_(config),
+      rng_(config.seed),
+      network_(scheduler_, rng_, config.link),
+      chain_(config.chain) {
+  eth::MembershipConfig mcfg;
+  mcfg.tree_depth = config_.rln.tree_depth;
+  mcfg.stake_wei = config_.stake_wei;
+  mcfg.burn_fraction = config_.burn_fraction;
+  contract_ = std::make_unique<eth::RegistryListContract>(chain_, mcfg);
+  crs_ = zksnark::MockGroth16::setup(config_.rln.tree_depth, rng_);
+
+  std::vector<sim::NodeId> ids;
+  ids.reserve(config_.node_count);
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    const sim::NodeId id = network_.add_node({});
+    ids.push_back(id);
+    relays_.push_back(std::make_unique<WakuRelay>(id, network_, config_.gossip));
+    chain_.ledger().mint(account_of(i), config_.initial_balance_wei);
+    nodes_.push_back(std::make_unique<WakuRlnRelay>(
+        *relays_.back(), chain_, *contract_, crs_, account_of(i), config_.rln,
+        util::Rng(rng_.next_u64())));
+  }
+  sim::connect_ring_plus_random(network_, ids, config_.extra_links_per_node, rng_);
+  for (auto& r : relays_) r->start();
+  mine_loop();
+}
+
+void SimHarness::mine_loop() {
+  scheduler_.schedule_after(
+      chain_.config().block_time_seconds * sim::kUsPerSecond, [this] {
+        chain_.mine_block(scheduler_.now() / sim::kUsPerSecond);
+        mine_loop();
+      });
+}
+
+void SimHarness::subscribe_all(const gossipsub::TopicId& topic) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->subscribe(topic, [this, i](const gossipsub::TopicId&,
+                                          const util::Bytes& payload) {
+      deliveries_.push_back(Delivery{i, payload, scheduler_.now()});
+    });
+  }
+}
+
+void SimHarness::register_all() {
+  for (auto& n : nodes_) n->request_registration();
+  run_seconds(chain_.config().block_time_seconds + 3);
+}
+
+void SimHarness::run_seconds(std::uint64_t seconds) {
+  scheduler_.run_for(seconds * sim::kUsPerSecond);
+}
+
+void SimHarness::run_ms(std::uint64_t ms) {
+  scheduler_.run_for(ms * sim::kUsPerMs);
+}
+
+std::size_t SimHarness::nodes_delivered(const util::Bytes& payload) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::size_t count = 0;
+  for (const Delivery& d : deliveries_) {
+    if (d.payload == payload && !seen[d.node_index]) {
+      seen[d.node_index] = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
+WakuRlnRelay::Stats SimHarness::aggregate_stats() const {
+  WakuRlnRelay::Stats total;
+  for (const auto& n : nodes_) {
+    const auto& s = n->stats();
+    total.published += s.published;
+    total.accepted += s.accepted;
+    total.invalid_envelope += s.invalid_envelope;
+    total.invalid_epoch += s.invalid_epoch;
+    total.invalid_slot += s.invalid_slot;
+    total.unknown_root += s.unknown_root;
+    total.invalid_proof += s.invalid_proof;
+    total.duplicates += s.duplicates;
+    total.double_signals += s.double_signals;
+    total.slashes_submitted += s.slashes_submitted;
+  }
+  return total;
+}
+
+}  // namespace wakurln::waku

@@ -1,0 +1,27 @@
+#include "waku/relay.h"
+
+namespace wakurln::waku {
+
+WakuRelay::WakuRelay(sim::NodeId self, sim::Network& network,
+                     gossipsub::GossipSubParams params)
+    : router_(self, network, params) {
+  router_.set_message_handler([this](const gossipsub::GsMessage& msg) {
+    if (handler_) handler_(msg.topic, msg.data);
+  });
+}
+
+void WakuRelay::subscribe(const gossipsub::TopicId& topic, PayloadHandler handler) {
+  handler_ = std::move(handler);
+  router_.subscribe(topic);
+}
+
+void WakuRelay::unsubscribe(const gossipsub::TopicId& topic) {
+  router_.unsubscribe(topic);
+}
+
+gossipsub::MessageId WakuRelay::publish(const gossipsub::TopicId& topic,
+                                        util::Bytes payload, bool apply_validator) {
+  return router_.publish(topic, std::move(payload), apply_validator);
+}
+
+}  // namespace wakurln::waku

@@ -1,0 +1,49 @@
+#pragma once
+// WAKU-RELAY (paper §I): an anonymous gossip-based Pub/Sub layer over
+// GossipSub. Sender anonymity comes from what the envelope does *not*
+// contain — no digital signature, no peer id, no sequence number — and
+// receiver anonymity from the gossip routing itself. This wrapper exposes
+// a payload-only publish/subscribe API and keeps the underlying router
+// config anonymity-preserving (content-addressed message ids).
+
+#include <functional>
+#include <memory>
+
+#include "gossipsub/router.h"
+
+namespace wakurln::waku {
+
+class WakuRelay {
+ public:
+  using PayloadHandler =
+      std::function<void(const gossipsub::TopicId&, const util::Bytes&)>;
+
+  WakuRelay(sim::NodeId self, sim::Network& network,
+            gossipsub::GossipSubParams params = {});
+
+  sim::NodeId id() const { return router_.id(); }
+
+  /// Registers network callbacks and starts heartbeats.
+  void start() { router_.start(); }
+
+  /// Subscribes and delivers raw payloads to `handler`.
+  void subscribe(const gossipsub::TopicId& topic, PayloadHandler handler);
+
+  void unsubscribe(const gossipsub::TopicId& topic);
+
+  /// Publishes an anonymous payload (no PII is attached at any layer).
+  /// `apply_validator = false` models a modified client skipping its own
+  /// topic validation (see GossipSubRouter::publish).
+  gossipsub::MessageId publish(const gossipsub::TopicId& topic, util::Bytes payload,
+                               bool apply_validator = true);
+
+  /// Underlying router, for validators and introspection.
+  gossipsub::GossipSubRouter& router() { return router_; }
+  const gossipsub::GossipSubRouter& router() const { return router_; }
+
+ private:
+  gossipsub::GossipSubRouter router_;
+  PayloadHandler handler_;
+};
+
+}  // namespace wakurln::waku

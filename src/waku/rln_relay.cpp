@@ -1,0 +1,245 @@
+#include "waku/rln_relay.h"
+
+#include <algorithm>
+
+#include "hash/poseidon.h"
+#include "util/serde.h"
+
+namespace wakurln::waku {
+
+using gossipsub::Validation;
+
+WakuRlnRelay::WakuRlnRelay(WakuRelay& relay, eth::Chain& chain,
+                           eth::MembershipContract& contract, zksnark::KeyPair crs,
+                           eth::Address account, WakuRlnConfig config, util::Rng rng)
+    : relay_(relay),
+      chain_(chain),
+      contract_(contract),
+      crs_(std::move(crs)),
+      account_(account),
+      config_(config),
+      rng_(rng),
+      identity_(rln::Identity::generate(rng_)),
+      prover_(crs_.pk, identity_, config.messages_per_epoch),
+      verifier_(crs_.vk, config.messages_per_epoch),
+      epochs_(config.epoch_period_seconds, config.max_delay_seconds),
+      group_(config.tree_depth) {
+  if (crs_.pk.tree_depth != config.tree_depth) {
+    throw std::invalid_argument("WakuRlnRelay: CRS depth != configured tree depth");
+  }
+  remember_root();
+  chain_.subscribe_events(
+      [this](const eth::ContractEvent& ev, const eth::Block&) { on_chain_event(ev); });
+  schedule_nullifier_gc();
+}
+
+std::uint64_t WakuRlnRelay::now_seconds() const {
+  return relay_.router().network().scheduler().now() / sim::kUsPerSecond;
+}
+
+std::uint64_t WakuRlnRelay::current_epoch() const {
+  return epochs_.epoch_at(now_seconds());
+}
+
+std::uint64_t WakuRlnRelay::request_registration() {
+  const field::Fr pk = identity_.pk;
+  return chain_.submit(
+      account_, contract_.config().stake_wei,
+      eth::MembershipContract::kRegisterCalldataBytes,
+      [this, pk](eth::TxContext& ctx) { contract_.register_member(ctx, pk); },
+      now_seconds());
+}
+
+void WakuRlnRelay::subscribe(const gossipsub::TopicId& topic, PayloadHandler handler) {
+  handler_ = std::move(handler);
+  relay_.router().set_validator(
+      topic, [this](sim::NodeId source, const gossipsub::GsMessage& msg) {
+        return validate(source, msg);
+      });
+  // Validation has already run by the time the relay delivers; unwrap the
+  // RLN envelope and hand the bare payload to the application.
+  relay_.subscribe(topic, [this](const gossipsub::TopicId& t, const util::Bytes& data) {
+    const auto decoded = decode_envelope(data);
+    if (decoded && handler_) handler_(t, decoded->second);
+  });
+}
+
+WakuRlnRelay::PublishOutcome WakuRlnRelay::publish(const gossipsub::TopicId& topic,
+                                                   const util::Bytes& payload) {
+  return do_publish(topic, payload, /*enforce_rate_limit=*/true);
+}
+
+WakuRlnRelay::PublishOutcome WakuRlnRelay::publish_unchecked(
+    const gossipsub::TopicId& topic, const util::Bytes& payload) {
+  return do_publish(topic, payload, /*enforce_rate_limit=*/false);
+}
+
+WakuRlnRelay::PublishOutcome WakuRlnRelay::do_publish(const gossipsub::TopicId& topic,
+                                                      const util::Bytes& payload,
+                                                      bool enforce_rate_limit) {
+  if (!own_index_.has_value()) return PublishOutcome::kNotRegistered;
+  const std::uint64_t epoch = current_epoch();
+  if (epoch != publish_epoch_) {
+    publish_epoch_ = epoch;
+    published_in_epoch_ = 0;
+  }
+  if (enforce_rate_limit && published_in_epoch_ >= config_.messages_per_epoch) {
+    return PublishOutcome::kRateLimited;
+  }
+  // An honest client walks the slot indices; a misbehaving one (unchecked)
+  // keeps reusing whatever slot its counter is stuck at, which is exactly
+  // the double-signal the network punishes.
+  const std::uint64_t slot =
+      std::min(published_in_epoch_, config_.messages_per_epoch - 1);
+  const auto signal =
+      prover_.create_signal(payload, epoch, group_, *own_index_, rng_, slot);
+  if (!signal) return PublishOutcome::kProofFailed;
+
+  published_in_epoch_ += enforce_rate_limit ? 1 : 0;
+  ++stats_.published;
+
+  // Honest clients run their own validator on publish (recording their
+  // share in the local nullifier map); the unchecked path models a
+  // modified client that bypasses its own checks.
+  relay_.publish(topic, encode_envelope(*signal, payload),
+                 /*apply_validator=*/enforce_rate_limit);
+  return PublishOutcome::kPublished;
+}
+
+gossipsub::Validation WakuRlnRelay::validate(sim::NodeId /*source*/,
+                                             const gossipsub::GsMessage& msg) {
+  // 1. Envelope shape.
+  const auto decoded = decode_envelope(msg.data);
+  if (!decoded) {
+    ++stats_.invalid_envelope;
+    return Validation::kReject;
+  }
+  const rln::RlnSignal& signal = decoded->first;
+  const util::Bytes& payload = decoded->second;
+
+  // 2. Epoch window: |msg.epoch - local| <= Thr (§III).
+  if (!epochs_.within_threshold(signal.epoch, current_epoch())) {
+    ++stats_.invalid_epoch;
+    return Validation::kReject;
+  }
+
+  // 2b. Slot index within the configured rate (always 0 in the paper's
+  // one-per-epoch scheme).
+  if (signal.message_index >= config_.messages_per_epoch) {
+    ++stats_.invalid_slot;
+    return Validation::kReject;
+  }
+
+  // 3. Acceptable-root window (group-sync tolerance).
+  if (!root_acceptable(signal.root)) {
+    ++stats_.unknown_root;
+    return Validation::kIgnore;  // possibly our own stale view: don't punish
+  }
+
+  // 4. zkSNARK verification.
+  if (!verifier_.verify(payload, signal)) {
+    ++stats_.invalid_proof;
+    return Validation::kReject;
+  }
+
+  // 5. Nullifier map: double-signal detection.
+  const auto check =
+      nullifier_map_.observe(signal.epoch, signal.nullifier,
+                             zksnark::RlnCircuit::message_to_x(payload), signal.y);
+  switch (check.outcome) {
+    case rln::NullifierMap::Outcome::kDuplicateMessage:
+      ++stats_.duplicates;
+      return Validation::kIgnore;
+    case rln::NullifierMap::Outcome::kDoubleSignal:
+      ++stats_.double_signals;
+      if (check.breached_sk && config_.auto_slash) {
+        submit_slash(*check.breached_sk);
+      }
+      return Validation::kReject;
+    case rln::NullifierMap::Outcome::kFresh:
+      break;
+  }
+
+  ++stats_.accepted;
+  return Validation::kAccept;
+}
+
+void WakuRlnRelay::on_chain_event(const eth::ContractEvent& event) {
+  if (const auto* reg = std::get_if<eth::MemberRegistered>(&event)) {
+    const std::uint64_t index = group_.add_member(reg->pk);
+    if (reg->pk == identity_.pk) own_index_ = index;
+    remember_root();
+  } else if (const auto* slashed = std::get_if<eth::MemberSlashed>(&event)) {
+    if (group_.is_active(slashed->index)) {
+      group_.remove_member(slashed->index);
+      remember_root();
+    }
+    if (slashed->pk == identity_.pk) own_index_.reset();
+  }
+}
+
+void WakuRlnRelay::submit_slash(const field::Fr& sk) {
+  const field::Fr pk = hash::poseidon_hash1(sk);
+  if (slash_submitted_[pk]) return;  // one slash tx per offender
+  slash_submitted_[pk] = true;
+  ++stats_.slashes_submitted;
+  chain_.submit(
+      account_, 0, eth::MembershipContract::kSlashCalldataBytes,
+      [this, sk](eth::TxContext& ctx) { contract_.slash(ctx, sk); },
+      now_seconds());
+}
+
+void WakuRlnRelay::remember_root() {
+  const field::Fr root = group_.root();
+  if (!recent_roots_.empty() && recent_roots_.back() == root) return;
+  recent_roots_.push_back(root);
+  while (recent_roots_.size() > config_.acceptable_root_window) {
+    recent_roots_.pop_front();
+  }
+}
+
+bool WakuRlnRelay::root_acceptable(const field::Fr& root) const {
+  return std::find(recent_roots_.begin(), recent_roots_.end(), root) !=
+         recent_roots_.end();
+}
+
+void WakuRlnRelay::schedule_nullifier_gc() {
+  // Prune once per epoch; keep a retention window of epochs so that any
+  // message still inside the Thr acceptance window has its records.
+  const std::uint64_t keep_epochs =
+      std::max<std::uint64_t>(epochs_.threshold(), 1) *
+      std::max<std::uint64_t>(config_.nullifier_retention_factor, 1);
+  relay_.router().network().scheduler().schedule_after(
+      config_.epoch_period_seconds * sim::kUsPerSecond, [this, keep_epochs] {
+        const std::uint64_t epoch = current_epoch();
+        if (epoch > keep_epochs) {
+          nullifier_map_.prune_before(epoch - keep_epochs);
+        }
+        schedule_nullifier_gc();
+      });
+}
+
+util::Bytes WakuRlnRelay::encode_envelope(const rln::RlnSignal& signal,
+                                          const util::Bytes& payload) {
+  util::ByteWriter w;
+  w.put_var(signal.serialize());
+  w.put_var(payload);
+  return w.take();
+}
+
+std::optional<std::pair<rln::RlnSignal, util::Bytes>> WakuRlnRelay::decode_envelope(
+    std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader r(data);
+    const auto signal_bytes = r.get_var();
+    const auto payload = r.get_var();
+    if (!r.empty()) return std::nullopt;
+    auto signal = rln::RlnSignal::deserialize(signal_bytes);
+    if (!signal) return std::nullopt;
+    return std::make_pair(*signal, util::Bytes(payload.begin(), payload.end()));
+  } catch (const util::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace wakurln::waku

@@ -1,0 +1,147 @@
+#pragma once
+// WAKU-RLN-RELAY — the paper's contribution (§III): WAKU-RELAY extended
+// with RLN so each group member may publish at most one message per epoch.
+//
+// Per peer this class wires together:
+//   * registration        — stake + pk to the membership contract
+//   * group sync          — local Merkle tree maintained from contract
+//                           events, with an acceptable-root window
+//   * rate-limited publish — RLN signal attached to every message
+//   * routing validation  — proof check, epoch window (Thr = D/T),
+//                           nullifier-map double-signal detection
+//   * slashing            — reconstructed sk submitted to the contract;
+//                           the slasher earns the reward share
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "eth/membership_contract.h"
+#include "rln/epoch.h"
+#include "rln/group.h"
+#include "rln/identity.h"
+#include "rln/nullifier_map.h"
+#include "rln/prover.h"
+#include "waku/relay.h"
+
+namespace wakurln::waku {
+
+struct WakuRlnConfig {
+  /// Membership tree depth (must match the proof-system setup).
+  std::size_t tree_depth = 20;
+  /// Epoch length T in seconds (paper §III).
+  std::uint64_t epoch_period_seconds = 10;
+  /// Maximum network delay D in seconds; Thr = ceil(D/T).
+  std::uint64_t max_delay_seconds = 20;
+  /// How many recent roots a router accepts (tolerates peers proving
+  /// against a slightly stale tree during group sync).
+  std::size_t acceptable_root_window = 5;
+  /// Automatically submit slashing transactions on double-signals.
+  bool auto_slash = true;
+  /// Keep nullifier records for max(Thr,1)*this epochs before pruning.
+  std::uint64_t nullifier_retention_factor = 2;
+  /// Messages each member may publish per epoch. 1 is the paper's scheme;
+  /// k > 1 is the RLN-v2-style rate extension: each (epoch, slot) pair is
+  /// an independent external nullifier, so slot reuse still leaks the key.
+  std::uint64_t messages_per_epoch = 1;
+};
+
+class WakuRlnRelay {
+ public:
+  enum class PublishOutcome {
+    kPublished,
+    kNotRegistered,   ///< no confirmed membership yet
+    kRateLimited,     ///< already published in this epoch (honest client stop)
+    kProofFailed,     ///< local state inconsistent with the group
+  };
+
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t accepted = 0;           ///< valid messages delivered/relayed
+    std::uint64_t invalid_envelope = 0;   ///< unparseable data
+    std::uint64_t invalid_epoch = 0;      ///< outside Thr window
+    std::uint64_t invalid_slot = 0;       ///< message index beyond the rate
+    std::uint64_t unknown_root = 0;       ///< not in the acceptable-root window
+    std::uint64_t invalid_proof = 0;
+    std::uint64_t duplicates = 0;         ///< same share seen again
+    std::uint64_t double_signals = 0;     ///< rate violations detected
+    std::uint64_t slashes_submitted = 0;  ///< slash txs sent to the contract
+  };
+
+  using PayloadHandler =
+      std::function<void(const gossipsub::TopicId&, const util::Bytes&)>;
+
+  WakuRlnRelay(WakuRelay& relay, eth::Chain& chain,
+               eth::MembershipContract& contract, zksnark::KeyPair crs,
+               eth::Address account, WakuRlnConfig config, util::Rng rng);
+
+  // -- membership -------------------------------------------------------
+  /// Submits the staking registration transaction; membership becomes
+  /// active once the event fires (next mined block).
+  std::uint64_t request_registration();
+  bool is_registered() const { return own_index_.has_value(); }
+  const rln::Identity& identity() const { return identity_; }
+  eth::Address account() const { return account_; }
+
+  // -- messaging ----------------------------------------------------------
+  /// Subscribes to `topic` with RLN validation installed on the route.
+  void subscribe(const gossipsub::TopicId& topic, PayloadHandler handler);
+
+  /// Rate-limited publish (honest client: refuses a second message in the
+  /// same epoch locally).
+  PublishOutcome publish(const gossipsub::TopicId& topic, const util::Bytes& payload);
+
+  /// Publishes *without* the local rate check — simulates a misbehaving
+  /// client; the network detects the double-signal and slashes.
+  PublishOutcome publish_unchecked(const gossipsub::TopicId& topic,
+                                   const util::Bytes& payload);
+
+  // -- introspection ------------------------------------------------------
+  const rln::RlnGroup& group() const { return group_; }
+  const Stats& stats() const { return stats_; }
+  std::uint64_t current_epoch() const;
+  const rln::EpochScheme& epoch_scheme() const { return epochs_; }
+  std::size_t nullifier_map_bytes() const { return nullifier_map_.memory_bytes(); }
+
+  /// The RLN wire envelope: var(signal) || var(payload).
+  static util::Bytes encode_envelope(const rln::RlnSignal& signal,
+                                     const util::Bytes& payload);
+  static std::optional<std::pair<rln::RlnSignal, util::Bytes>> decode_envelope(
+      std::span<const std::uint8_t> data);
+
+ private:
+  std::uint64_t now_seconds() const;
+  PublishOutcome do_publish(const gossipsub::TopicId& topic,
+                            const util::Bytes& payload, bool enforce_rate_limit);
+  gossipsub::Validation validate(sim::NodeId source, const gossipsub::GsMessage& msg);
+  void on_chain_event(const eth::ContractEvent& event);
+  void submit_slash(const field::Fr& sk);
+  void remember_root();
+  bool root_acceptable(const field::Fr& root) const;
+  void schedule_nullifier_gc();
+
+  WakuRelay& relay_;
+  eth::Chain& chain_;
+  eth::MembershipContract& contract_;
+  zksnark::KeyPair crs_;
+  eth::Address account_;
+  WakuRlnConfig config_;
+  util::Rng rng_;
+
+  rln::Identity identity_;
+  rln::RlnProver prover_;
+  rln::RlnVerifier verifier_;
+  rln::EpochScheme epochs_;
+  rln::RlnGroup group_;
+  rln::NullifierMap nullifier_map_;
+
+  std::optional<std::uint64_t> own_index_;
+  std::uint64_t publish_epoch_ = 0;       ///< epoch the counter refers to
+  std::uint64_t published_in_epoch_ = 0;  ///< honest messages sent this epoch
+  std::deque<field::Fr> recent_roots_;
+  std::unordered_map<field::Fr, bool, field::FrHash> slash_submitted_;
+  PayloadHandler handler_;
+  Stats stats_;
+};
+
+}  // namespace wakurln::waku

@@ -1,0 +1,94 @@
+#include "zksnark/proof_system.h"
+
+#include <algorithm>
+
+#include "hash/sha256.h"
+#include "util/serde.h"
+
+namespace wakurln::zksnark {
+
+namespace {
+
+// MAC transcript: circuit_id || depth || salt || public inputs.
+hash::Digest binding_tag(const std::array<std::uint8_t, 32>& secret,
+                         const std::string& circuit_id, std::size_t depth,
+                         std::span<const std::uint8_t> salt,
+                         const RlnPublicInputs& pub) {
+  util::ByteWriter w;
+  w.put_var(util::to_bytes(circuit_id));
+  w.put_u64(depth);
+  w.put_raw(salt);
+  w.put_raw(pub.serialize());
+  return hash::hmac_sha256(secret, w.data());
+}
+
+// Deterministically expands a 32-byte tag to fill the Groth16-sized proof.
+void expand_tag(const hash::Digest& tag, std::span<std::uint8_t> out) {
+  std::uint8_t counter = 0;
+  std::size_t written = 0;
+  while (written < out.size()) {
+    util::ByteWriter w;
+    w.put_raw(tag);
+    w.put_u8(counter++);
+    const hash::Digest block = hash::Sha256::digest(w.data());
+    const std::size_t take = std::min(block.size(), out.size() - written);
+    std::copy_n(block.begin(), take, out.begin() + written);
+    written += take;
+  }
+}
+
+}  // namespace
+
+KeyPair MockGroth16::setup(std::size_t tree_depth, util::Rng& rng) {
+  KeyPair keys;
+  keys.pk.circuit_id = RlnCircuit::kCircuitId;
+  keys.pk.tree_depth = tree_depth;
+  rng.fill(keys.pk.binding_secret);
+  keys.pk.simulated_size_bytes = modelled_proving_key_bytes(tree_depth);
+
+  keys.vk.circuit_id = keys.pk.circuit_id;
+  keys.vk.tree_depth = tree_depth;
+  keys.vk.binding_secret = keys.pk.binding_secret;
+  // Groth16 verifying keys are a handful of curve points plus one point per
+  // public input: 5 public inputs here.
+  keys.vk.simulated_size_bytes = 7 * 64 + 5 * 64;
+  return keys;
+}
+
+std::optional<Proof> MockGroth16::prove(const ProvingKey& pk, const RlnWitness& witness,
+                                        const RlnPublicInputs& pub, util::Rng& rng) {
+  if (witness.path.depth() != pk.tree_depth) return std::nullopt;
+  if (!RlnCircuit::satisfied(witness, pub)) return std::nullopt;
+
+  Proof proof;
+  auto salt = std::span<std::uint8_t>(proof.bytes).first(32);
+  rng.fill(salt);
+  const hash::Digest tag =
+      binding_tag(pk.binding_secret, pk.circuit_id, pk.tree_depth, salt, pub);
+  std::copy(tag.begin(), tag.end(), proof.bytes.begin() + 32);
+  expand_tag(tag, std::span<std::uint8_t>(proof.bytes).subspan(64));
+  return proof;
+}
+
+bool MockGroth16::verify(const VerifyingKey& vk, const Proof& proof,
+                         const RlnPublicInputs& pub) {
+  const auto salt = std::span<const std::uint8_t>(proof.bytes).first(32);
+  const hash::Digest tag =
+      binding_tag(vk.binding_secret, vk.circuit_id, vk.tree_depth, salt, pub);
+  if (!util::equal_ct(tag, std::span<const std::uint8_t>(proof.bytes).subspan(32, 32))) {
+    return false;
+  }
+  std::array<std::uint8_t, Proof::kSize - 64> expansion{};
+  expand_tag(tag, expansion);
+  return util::equal_ct(expansion, std::span<const std::uint8_t>(proof.bytes).subspan(64));
+}
+
+std::size_t MockGroth16::modelled_proving_key_bytes(std::size_t tree_depth) {
+  // Calibrated so that the depth-20 circuit matches the paper's 3.89 MB.
+  const double per_constraint =
+      3.89e6 / static_cast<double>(RlnCircuit::constraint_count(20));
+  return static_cast<std::size_t>(per_constraint *
+                                  static_cast<double>(RlnCircuit::constraint_count(tree_depth)));
+}
+
+}  // namespace wakurln::zksnark

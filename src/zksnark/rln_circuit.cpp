@@ -1,0 +1,43 @@
+#include "zksnark/rln_circuit.h"
+
+#include "hash/poseidon.h"
+#include "hash/sha256.h"
+#include "util/serde.h"
+
+namespace wakurln::zksnark {
+
+using field::Fr;
+
+util::Bytes RlnPublicInputs::serialize() const {
+  util::ByteWriter w;
+  for (const Fr* f : {&root, &epoch, &x, &y, &nullifier}) {
+    const auto b = f->to_bytes_be();
+    w.put_raw(b);
+  }
+  return w.take();
+}
+
+bool RlnCircuit::satisfied(const RlnWitness& witness, const RlnPublicInputs& pub) {
+  // 1. identity commitment + 2. membership
+  const Fr pk = hash::poseidon_hash1(witness.sk);
+  if (!merkle::MerkleTree::verify(pub.root, pk, witness.path)) return false;
+  // 3. per-epoch slope
+  const Fr a1 = hash::poseidon_hash2(witness.sk, pub.epoch);
+  // 4. share correctness
+  if (pub.y != witness.sk + a1 * pub.x) return false;
+  // 5. nullifier correctness
+  return pub.nullifier == hash::poseidon_hash1(a1);
+}
+
+std::size_t RlnCircuit::constraint_count(std::size_t tree_depth) {
+  constexpr std::size_t kPoseidonConstraints = 240;  // t=3 instance
+  constexpr std::size_t kFixedPart = 750;            // identity + share + nullifier
+  constexpr std::size_t kPerLevelSelector = 3;
+  return kFixedPart + tree_depth * (kPoseidonConstraints + kPerLevelSelector);
+}
+
+field::Fr RlnCircuit::message_to_x(std::span<const std::uint8_t> payload) {
+  return Fr::from_bytes_be(hash::Sha256::digest(payload));
+}
+
+}  // namespace wakurln::zksnark

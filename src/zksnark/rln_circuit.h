@@ -1,0 +1,64 @@
+#pragma once
+// The RLN relation (the "circuit", paper §II): a signal is valid iff the
+// prover knows a secret key sk and a Merkle path such that
+//
+//   pk        = H(sk)                  (identity commitment)
+//   root      = MerkleRoot(pk, path)   (membership)
+//   a1        = H(sk, epoch)           (per-epoch line slope)
+//   y         = sk + a1 * x            (Shamir share correctness)
+//   nullifier = H(a1)                  (internal nullifier correctness)
+//
+// where (root, epoch, x, y, nullifier) are public and (sk, path) private.
+// This relation is evaluated for real by both the mock prover (refusing to
+// prove unsatisfied witnesses) and by tests; only the zero-knowledge
+// wrapper around it is simulated (see DESIGN.md §2).
+
+#include <cstdint>
+
+#include "field/fr.h"
+#include "merkle/merkle_tree.h"
+#include "util/bytes.h"
+
+namespace wakurln::zksnark {
+
+/// Public inputs of the RLN relation.
+struct RlnPublicInputs {
+  field::Fr root;       ///< membership tree root
+  field::Fr epoch;      ///< external nullifier (epoch) as a field element
+  field::Fr x;          ///< H(message) — the share's evaluation point
+  field::Fr y;          ///< share value A(x)
+  field::Fr nullifier;  ///< internal nullifier φ = H(H(sk, epoch))
+
+  /// Canonical byte serialisation (proof binding and transcripts).
+  util::Bytes serialize() const;
+
+  bool operator==(const RlnPublicInputs&) const = default;
+};
+
+/// Private witness of the RLN relation.
+struct RlnWitness {
+  field::Fr sk;              ///< member secret key
+  merkle::MerkleProof path;  ///< membership path for pk = H(sk)
+};
+
+/// Evaluates the relation. Cheap enough to run per message in simulation.
+class RlnCircuit {
+ public:
+  /// Identifier baked into keys and proofs (a circuit-specific CRS).
+  static constexpr const char* kCircuitId = "wakurln.rln.v1";
+
+  /// True iff (witness, public) satisfy all five constraints above.
+  static bool satisfied(const RlnWitness& witness, const RlnPublicInputs& pub);
+
+  /// Modelled R1CS constraint count for a tree of the given depth. Anchored
+  /// to public RLN circuit sizes: each Merkle level costs one Poseidon
+  /// (~240 constraints) plus selector logic; the identity/nullifier/share
+  /// fixed part is ~750 constraints.
+  static std::size_t constraint_count(std::size_t tree_depth);
+
+  /// Derives the share's evaluation point x = H(m) from raw payload bytes
+  /// (byte-level hash lifted into the field, as in RLN implementations).
+  static field::Fr message_to_x(std::span<const std::uint8_t> payload);
+};
+
+}  // namespace wakurln::zksnark

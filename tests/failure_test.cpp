@@ -1,0 +1,244 @@
+// Failure injection: partitions, loss, races and resource exhaustion.
+// These scenarios probe the liveness/safety seams between the modules —
+// what a deployment actually hits in the field.
+
+#include <gtest/gtest.h>
+
+#include "sim/topology.h"
+#include "waku/harness.h"
+
+namespace wakurln {
+namespace {
+
+using util::Bytes;
+using util::Rng;
+
+TEST(FailureTest, GossipHealsNetworkPartition) {
+  // Split a 12-node network in half mid-run; messages published during the
+  // partition reach the other side after the links heal (IHAVE/IWANT
+  // recovery from the message cache).
+  waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+  cfg.node_count = 12;
+  cfg.extra_links_per_node = 4;
+  cfg.seed = 111;
+  // Deeper message cache / gossip window so recovery can span the outage
+  // (the knob a deployment would turn when partitions are expected).
+  cfg.gossip.mcache_len = 30;
+  cfg.gossip.mcache_gossip = 15;
+  cfg.gossip.d_lazy = 8;
+  waku::SimHarness world(cfg);
+  world.subscribe_all("fail/partition");
+  world.register_all();
+  world.run_seconds(5);
+
+  // Partition: cut every link between {0..5} and {6..11}.
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> cut;
+  for (sim::NodeId a = 0; a < 6; ++a) {
+    for (sim::NodeId b : world.network().neighbors(a)) {
+      if (b >= 6) cut.emplace_back(a, b);
+    }
+  }
+  for (const auto& [a, b] : cut) world.network().disconnect(a, b);
+
+  const Bytes payload = util::to_bytes("published during partition");
+  world.node(0).publish("fail/partition", payload);
+  world.run_seconds(5);
+  // Only the publisher's side has it.
+  std::size_t left = 0, right = 0;
+  for (const auto& d : world.deliveries()) {
+    if (d.payload != payload) continue;
+    (d.node_index < 6 ? left : right) += 1;
+  }
+  EXPECT_GT(left, 0u);
+  EXPECT_EQ(right, 0u);
+
+  // Heal and wait for mesh repair + gossip rounds. The message must stay
+  // within the epoch window, so keep the gap short (Thr=2, T=10s).
+  for (const auto& [a, b] : cut) world.network().connect(a, b);
+  world.run_seconds(15);
+  EXPECT_EQ(world.nodes_delivered(payload), world.size())
+      << "partitioned side never recovered the message";
+}
+
+TEST(FailureTest, RlnSurvivesLossyLinks) {
+  waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+  cfg.node_count = 12;
+  cfg.link.loss_rate = 0.15;
+  cfg.seed = 222;
+  cfg.gossip.mcache_len = 10;
+  cfg.gossip.mcache_gossip = 5;
+  cfg.gossip.d_lazy = 8;
+  waku::SimHarness world(cfg);
+  world.subscribe_all("fail/lossy");
+  world.register_all();
+  world.run_seconds(5);
+
+  int published = 0;
+  for (int e = 0; e < 4; ++e) {
+    if (world.node(e).publish("fail/lossy", util::to_bytes("m" + std::to_string(e))) ==
+        waku::WakuRlnRelay::PublishOutcome::kPublished) {
+      ++published;
+    }
+    world.run_seconds(world.config().rln.epoch_period_seconds);
+  }
+  world.run_seconds(30);  // gossip recovery rounds
+
+  std::size_t total = 0;
+  for (int e = 0; e < 4; ++e) {
+    total += world.nodes_delivered(util::to_bytes("m" + std::to_string(e)));
+  }
+  // >= 90% of (message, node) pairs despite 15% frame loss.
+  EXPECT_GE(total, static_cast<std::size_t>(0.9 * published * world.size()));
+}
+
+TEST(FailureTest, ConcurrentSlashersOnlyBurnOnce) {
+  // Every honest router detects the same double-signal and submits a slash
+  // tx. Exactly one succeeds; the stake is burnt exactly once and exactly
+  // one reward is paid.
+  waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+  cfg.node_count = 10;
+  cfg.seed = 333;
+  waku::SimHarness world(cfg);
+  world.subscribe_all("fail/race");
+  world.register_all();
+  world.run_seconds(3);
+
+  world.node(0).publish_unchecked("fail/race", util::to_bytes("a"));
+  world.node(0).publish_unchecked("fail/race", util::to_bytes("b"));
+  world.run_seconds(40);
+
+  const auto stats = world.aggregate_stats();
+  EXPECT_GE(stats.slashes_submitted, 2u);  // a real race happened
+  EXPECT_EQ(world.chain().ledger().burnt_total(),
+            world.contract().config().stake_wei / 2);  // but one burn only
+  std::size_t rewardees = 0;
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    const auto bal = world.chain().ledger().balance_of(world.account_of(i));
+    if (bal > world.config().initial_balance_wei - world.config().stake_wei) {
+      ++rewardees;
+    }
+  }
+  EXPECT_EQ(rewardees, 1u);
+  // The losing slash transactions reverted on-chain.
+  std::size_t reverted = 0;
+  for (const auto& block : world.chain().blocks()) {
+    for (const auto& r : block.receipts) {
+      if (!r.success && r.error == "not a member") ++reverted;
+    }
+  }
+  EXPECT_EQ(reverted, stats.slashes_submitted - 1);
+}
+
+TEST(FailureTest, RegistrationBeyondCapacityFailsCleanly) {
+  waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+  cfg.node_count = 5;
+  cfg.rln.tree_depth = 2;  // capacity 4 < 5 nodes
+  cfg.seed = 444;
+  waku::SimHarness world(cfg);
+  world.subscribe_all("fail/full");
+  world.register_all();
+
+  std::size_t registered = 0;
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    if (world.node(i).is_registered()) ++registered;
+  }
+  EXPECT_EQ(registered, 4u);
+  EXPECT_EQ(world.contract().member_count(), 4u);
+  // The unregistered node cannot publish but does not corrupt anything.
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    if (!world.node(i).is_registered()) {
+      EXPECT_EQ(world.node(i).publish("fail/full", util::to_bytes("nope")),
+                waku::WakuRlnRelay::PublishOutcome::kNotRegistered);
+    }
+  }
+  // Everyone else still works.
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    if (world.node(i).is_registered()) {
+      EXPECT_EQ(world.node(i).publish("fail/full", util::to_bytes("works")),
+                waku::WakuRlnRelay::PublishOutcome::kPublished);
+      break;
+    }
+  }
+}
+
+TEST(FailureTest, InsufficientStakeBalanceFailsRegistration) {
+  waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+  cfg.node_count = 4;
+  cfg.initial_balance_wei = 100;  // cannot afford the 1e6 stake
+  cfg.seed = 555;
+  waku::SimHarness world(cfg);
+  world.register_all();
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    EXPECT_FALSE(world.node(i).is_registered());
+  }
+  EXPECT_EQ(world.contract().member_count(), 0u);
+}
+
+TEST(FailureTest, LateSubscriberMissesOldButGetsNewMessages) {
+  // No store/history layer: a peer that subscribes late receives only
+  // traffic from then on (expected Waku-Relay semantics).
+  waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+  cfg.node_count = 8;
+  cfg.seed = 666;
+  waku::SimHarness world(cfg);
+  // All but node 7 subscribe.
+  std::vector<Bytes> late_inbox;
+  for (std::size_t i = 0; i < 7; ++i) {
+    world.node(i).subscribe("fail/late", [](const gossipsub::TopicId&, const Bytes&) {});
+  }
+  world.register_all();
+  world.run_seconds(3);
+  world.node(0).publish("fail/late", util::to_bytes("early message"));
+  world.run_seconds(world.config().rln.epoch_period_seconds + 5);
+
+  world.node(7).subscribe("fail/late",
+                          [&late_inbox](const gossipsub::TopicId&, const Bytes& p) {
+                            late_inbox.push_back(p);
+                          });
+  world.run_seconds(5);  // mesh formation for the late subscriber
+  world.node(0).publish("fail/late", util::to_bytes("current message"));
+  world.run_seconds(10);
+
+  ASSERT_EQ(late_inbox.size(), 1u);
+  EXPECT_EQ(late_inbox[0], util::to_bytes("current message"));
+}
+
+TEST(FailureTest, ChurnDuringPublishIsToleratedByRootWindow) {
+  // Registrations landing while a message is in flight advance the root;
+  // the acceptable-root window (default 5) keeps the message deliverable.
+  waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+  cfg.node_count = 8;
+  cfg.seed = 777;
+  waku::SimHarness world(cfg);
+  world.subscribe_all("fail/churn");
+  world.register_all();
+  world.run_seconds(3);
+
+  // Slow down one victim's inbound links so the message arrives after the
+  // root has moved.
+  for (sim::NodeId peer : world.network().neighbors(6)) {
+    sim::LinkParams slow = world.config().link;
+    slow.base_latency = 8 * sim::kUsPerSecond;  // 8 s propagation
+    world.network().set_link_params(6, peer, slow);
+  }
+  const Bytes payload = util::to_bytes("slow boat");
+  world.node(0).publish("fail/churn", payload);
+
+  // Meanwhile a newcomer registers (root advances before delivery at 6).
+  Rng nrng(888);
+  const auto newcomer = rln::Identity::generate(nrng);
+  world.chain().ledger().mint(70'000, 10'000'000);
+  world.chain().submit(
+      70'000, world.contract().config().stake_wei,
+      eth::MembershipContract::kRegisterCalldataBytes,
+      [&world, pk = newcomer.pk](eth::TxContext& ctx) {
+        world.contract().register_member(ctx, pk);
+      },
+      world.scheduler().now() / sim::kUsPerSecond);
+
+  world.run_seconds(20);
+  EXPECT_EQ(world.nodes_delivered(payload), world.size());
+}
+
+}  // namespace
+}  // namespace wakurln

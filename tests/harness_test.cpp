@@ -1,0 +1,99 @@
+// Tests for the SimHarness itself — the top-level entry point users build
+// experiments on. The key property is exact reproducibility: two harnesses
+// with the same config produce identical traces.
+
+#include <gtest/gtest.h>
+
+#include "waku/harness.h"
+
+namespace wakurln::waku {
+namespace {
+
+using util::Bytes;
+
+HarnessConfig small_config(std::uint64_t seed) {
+  HarnessConfig cfg = HarnessConfig::defaults();
+  cfg.node_count = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Runs a fixed scenario and returns a trace fingerprint.
+std::vector<std::tuple<std::size_t, Bytes, sim::TimeUs>> run_scenario(
+    std::uint64_t seed) {
+  SimHarness world(small_config(seed));
+  world.subscribe_all("h/topic");
+  world.register_all();
+  world.run_seconds(3);
+  world.node(0).publish("h/topic", util::to_bytes("alpha"));
+  world.run_seconds(world.config().rln.epoch_period_seconds);
+  world.node(3).publish("h/topic", util::to_bytes("beta"));
+  world.run_seconds(10);
+  std::vector<std::tuple<std::size_t, Bytes, sim::TimeUs>> trace;
+  for (const auto& d : world.deliveries()) {
+    trace.emplace_back(d.node_index, d.payload, d.at);
+  }
+  return trace;
+}
+
+TEST(HarnessTest, SameSeedReproducesExactTrace) {
+  const auto t1 = run_scenario(42);
+  const auto t2 = run_scenario(42);
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(HarnessTest, DifferentSeedsDiverge) {
+  const auto t1 = run_scenario(42);
+  const auto t2 = run_scenario(43);
+  // Delivery timing depends on jitter; identical traces across seeds would
+  // indicate the seed is not actually threaded through.
+  EXPECT_NE(t1, t2);
+}
+
+TEST(HarnessTest, RegisterAllConfirmsEveryNode) {
+  SimHarness world(small_config(7));
+  world.register_all();
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    EXPECT_TRUE(world.node(i).is_registered()) << "node " << i;
+  }
+  EXPECT_EQ(world.contract().member_count(), world.size());
+}
+
+TEST(HarnessTest, NodesDeliveredCountsDistinctNodes) {
+  SimHarness world(small_config(8));
+  world.subscribe_all("h/count");
+  world.register_all();
+  world.run_seconds(3);
+  const Bytes payload = util::to_bytes("counted once per node");
+  world.node(1).publish("h/count", payload);
+  world.run_seconds(10);
+  EXPECT_EQ(world.nodes_delivered(payload), world.size());
+  EXPECT_EQ(world.nodes_delivered(util::to_bytes("never sent")), 0u);
+  world.clear_deliveries();
+  EXPECT_EQ(world.nodes_delivered(payload), 0u);
+}
+
+TEST(HarnessTest, AggregateStatsSumAcrossNodes) {
+  SimHarness world(small_config(9));
+  world.subscribe_all("h/stats");
+  world.register_all();
+  world.run_seconds(3);
+  world.node(0).publish("h/stats", util::to_bytes("m"));
+  world.run_seconds(10);
+  const auto stats = world.aggregate_stats();
+  EXPECT_EQ(stats.published, 1u);
+  // Every node (including the publisher's own validator run) accepted it.
+  EXPECT_EQ(stats.accepted, world.size());
+  EXPECT_EQ(stats.double_signals, 0u);
+}
+
+TEST(HarnessTest, BlocksAreMinedOnSchedule) {
+  SimHarness world(small_config(10));
+  const std::uint64_t block_time = world.chain().config().block_time_seconds;
+  world.run_seconds(block_time * 4 + 2);
+  EXPECT_GE(world.chain().height(), 4u);
+}
+
+}  // namespace
+}  // namespace wakurln::waku

@@ -1,0 +1,246 @@
+// End-to-end integration scenarios crossing every module boundary:
+// contract + chain + group sync + gossip routing + RLN validation +
+// slashing economics (the full Figure 1 pipeline of the paper).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/pow.h"
+#include "sim/topology.h"
+#include "waku/relay.h"
+#include "waku/rln_relay.h"
+
+namespace wakurln {
+namespace {
+
+using util::Bytes;
+using util::Rng;
+
+struct World {
+  sim::Scheduler sched;
+  Rng rng{31337};
+  sim::Network net{sched, rng, link()};
+  eth::Chain chain{chain_cfg()};
+  std::unique_ptr<eth::RegistryListContract> contract;
+  zksnark::KeyPair crs;
+  std::vector<std::unique_ptr<waku::WakuRelay>> relays;
+  std::vector<std::unique_ptr<waku::WakuRlnRelay>> nodes;
+  std::unordered_map<sim::NodeId, std::vector<Bytes>> inbox;
+
+  static sim::LinkParams link() {
+    sim::LinkParams l;
+    l.base_latency = 30 * sim::kUsPerMs;
+    l.jitter = 20 * sim::kUsPerMs;
+    return l;
+  }
+  static eth::Chain::Config chain_cfg() { return {}; }
+  static waku::WakuRlnConfig rln_cfg() {
+    waku::WakuRlnConfig c;
+    c.tree_depth = 12;
+    c.epoch_period_seconds = 10;
+    c.max_delay_seconds = 20;
+    return c;
+  }
+
+  explicit World(std::size_t n) {
+    eth::MembershipConfig mcfg;
+    mcfg.tree_depth = rln_cfg().tree_depth;
+    mcfg.stake_wei = 1'000'000;
+    mcfg.burn_fraction = 0.5;
+    contract = std::make_unique<eth::RegistryListContract>(chain, mcfg);
+    crs = zksnark::MockGroth16::setup(rln_cfg().tree_depth, rng);
+    std::vector<sim::NodeId> ids;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = net.add_node({});
+      ids.push_back(id);
+      relays.push_back(std::make_unique<waku::WakuRelay>(id, net));
+      chain.ledger().mint(2000 + i, 50'000'000);
+      nodes.push_back(std::make_unique<waku::WakuRlnRelay>(
+          *relays.back(), chain, *contract, crs, 2000 + i, rln_cfg(),
+          Rng(rng.next_u64())));
+    }
+    sim::connect_ring_plus_random(net, ids, 3, rng);
+    for (auto& r : relays) r->start();
+    mine_loop();
+  }
+
+  void mine_loop() {
+    sched.schedule_after(chain.config().block_time_seconds * sim::kUsPerSecond,
+                         [this] {
+                           chain.mine_block(sched.now() / sim::kUsPerSecond);
+                           mine_loop();
+                         });
+  }
+
+  void run_seconds(std::uint64_t s) { sched.run_for(s * sim::kUsPerSecond); }
+
+  void subscribe_all(const std::string& topic) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      nodes[i]->subscribe(
+          topic, [this, id = relays[i]->id()](const gossipsub::TopicId&,
+                                              const Bytes& payload) {
+            inbox[id].push_back(payload);
+          });
+    }
+  }
+};
+
+TEST(IntegrationTest, FigureOnePipeline) {
+  // Register → sync → publish → route with verification → receive.
+  World w(12);
+  w.subscribe_all("waku/toy-chat");
+  for (auto& n : w.nodes) n->request_registration();
+  w.run_seconds(20);
+
+  for (auto& n : w.nodes) {
+    ASSERT_TRUE(n->is_registered());
+    EXPECT_EQ(n->group().member_count(), w.nodes.size());
+  }
+
+  // Three distinct honest publishers, distinct epochs not required.
+  w.nodes[0]->publish("waku/toy-chat", util::to_bytes("alpha"));
+  w.nodes[4]->publish("waku/toy-chat", util::to_bytes("beta"));
+  w.nodes[9]->publish("waku/toy-chat", util::to_bytes("gamma"));
+  w.run_seconds(15);
+
+  for (const auto& [id, msgs] : w.inbox) {
+    EXPECT_EQ(msgs.size(), 3u) << "node " << id;
+  }
+  // No false positives anywhere.
+  for (auto& n : w.nodes) {
+    EXPECT_EQ(n->stats().double_signals, 0u);
+    EXPECT_EQ(n->stats().invalid_proof, 0u);
+  }
+}
+
+TEST(IntegrationTest, SpammerIsGloballyRemovedAndSlasherPaid) {
+  World w(10);
+  w.subscribe_all("t");
+  for (auto& n : w.nodes) n->request_registration();
+  w.run_seconds(20);
+
+  auto& spammer = *w.nodes[3];
+  const field::Fr spammer_pk = spammer.identity().pk;
+  const auto stake = w.contract->config().stake_wei;
+
+  spammer.publish_unchecked("t", util::to_bytes("spam-a"));
+  spammer.publish_unchecked("t", util::to_bytes("spam-b"));
+  w.run_seconds(30);
+
+  // Globally removed: every peer's local group dropped the spammer.
+  EXPECT_FALSE(w.contract->is_active(spammer_pk));
+  for (auto& n : w.nodes) {
+    EXPECT_FALSE(n->group().index_of(spammer_pk).has_value());
+  }
+  // Economics: burn + reward account for the whole stake.
+  EXPECT_EQ(w.chain.ledger().burnt_total(), stake / 2);
+  std::uint64_t total_rewards = 0;
+  for (std::size_t i = 0; i < w.nodes.size(); ++i) {
+    const auto bal = w.chain.ledger().balance_of(2000 + i);
+    if (i == 3) {
+      EXPECT_EQ(bal, 50'000'000 - stake);  // spammer lost the stake
+    } else if (bal > 50'000'000 - stake) {
+      total_rewards += bal - (50'000'000 - stake);
+    }
+  }
+  EXPECT_EQ(total_rewards, stake / 2);
+
+  // Liveness is unaffected for honest peers afterwards.
+  w.inbox.clear();
+  w.run_seconds(10);
+  EXPECT_EQ(w.nodes[0]->publish("t", util::to_bytes("after the purge")),
+            waku::WakuRlnRelay::PublishOutcome::kPublished);
+  w.run_seconds(15);
+  std::size_t got = 0;
+  for (const auto& [id, msgs] : w.inbox) got += msgs.size();
+  EXPECT_EQ(got, w.nodes.size());
+}
+
+TEST(IntegrationTest, LateJoinerSyncsGroupAndParticipates) {
+  World w(8);
+  w.subscribe_all("t");
+  for (std::size_t i = 0; i + 1 < w.nodes.size(); ++i) {
+    w.nodes[i]->request_registration();
+  }
+  w.run_seconds(20);
+
+  // The last node registers late; everyone (including it) must converge.
+  w.nodes.back()->request_registration();
+  w.run_seconds(20);
+  for (auto& n : w.nodes) {
+    EXPECT_EQ(n->group().member_count(), w.nodes.size());
+  }
+  EXPECT_EQ(w.nodes.back()->publish("t", util::to_bytes("late but valid")),
+            waku::WakuRlnRelay::PublishOutcome::kPublished);
+  w.run_seconds(15);
+  std::size_t got = 0;
+  for (const auto& [id, msgs] : w.inbox) got += msgs.size();
+  EXPECT_EQ(got, w.nodes.size());
+}
+
+TEST(IntegrationTest, RootWindowToleratesRegistrationChurn) {
+  // A publisher proving against a root that is a few registrations old is
+  // still accepted while the root stays inside the acceptance window.
+  World w(8);
+  w.subscribe_all("t");
+  for (auto& n : w.nodes) n->request_registration();
+  w.run_seconds(20);
+
+  auto& sender = *w.nodes[0];
+  const Bytes payload = util::to_bytes("pre-churn proof");
+  rln::RlnProver prover(w.crs.pk, sender.identity());
+  const auto index = sender.group().index_of(sender.identity().pk);
+  ASSERT_TRUE(index.has_value());
+  Rng prng(11);
+  const auto signal = prover.create_signal(payload, sender.current_epoch(),
+                                           sender.group(), *index, prng);
+  ASSERT_TRUE(signal.has_value());
+
+  // Two more registrations advance the root twice (within window of 5).
+  Rng extra_rng(99);
+  for (int i = 0; i < 2; ++i) {
+    const auto id = rln::Identity::generate(extra_rng);
+    w.chain.ledger().mint(5000 + i, 10'000'000);
+    w.chain.submit(
+        5000 + i, w.contract->config().stake_wei,
+        eth::MembershipContract::kRegisterCalldataBytes,
+        [&w, pk = id.pk](eth::TxContext& ctx) { w.contract->register_member(ctx, pk); },
+        w.sched.now() / sim::kUsPerSecond);
+  }
+  w.run_seconds(15);  // mine the registrations
+
+  w.relays[0]->publish("t", waku::WakuRlnRelay::encode_envelope(*signal, payload));
+  w.run_seconds(10);
+  std::size_t got = 0;
+  for (const auto& [id, msgs] : w.inbox) got += msgs.size();
+  // Everyone delivers, including the sender (its own validator accepts the
+  // stale-but-in-window root at local publish time).
+  EXPECT_EQ(got, w.nodes.size());
+}
+
+TEST(IntegrationTest, PowAndRlnValidatorsCoexistOnDifferentTopics) {
+  // Sanity check that the baseline machinery runs on the same stack.
+  World w(6);
+  w.subscribe_all("rln-topic");
+  for (auto& n : w.nodes) n->request_registration();
+  w.run_seconds(20);
+
+  int pow_received = 0;
+  for (auto& r : w.relays) {
+    r->router().set_validator("pow-topic", baselines::make_pow_validator(8));
+    r->router().subscribe("pow-topic");
+  }
+  w.relays[0]->router().set_message_handler(
+      [&](const gossipsub::GsMessage& m) {
+        if (m.topic == "pow-topic") ++pow_received;
+      });
+  w.run_seconds(5);
+  const auto sealed = baselines::pow_seal(util::to_bytes("pow msg"), 8);
+  w.relays[1]->publish("pow-topic", sealed.serialize());
+  w.run_seconds(10);
+  EXPECT_GE(pow_received, 1);
+}
+
+}  // namespace
+}  // namespace wakurln

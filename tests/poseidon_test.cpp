@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "hash/poseidon.h"
+#include "util/rng.h"
+
+namespace wakurln::hash {
+namespace {
+
+using field::Fr;
+using field::FrHash;
+using util::Rng;
+
+TEST(PoseidonParamsTest, InstanceIsStable) {
+  const PoseidonParams& a = PoseidonParams::instance();
+  const PoseidonParams& b = PoseidonParams::instance();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.round_constants.size(),
+            static_cast<std::size_t>(PoseidonParams::kFullRounds +
+                                     PoseidonParams::kPartialRounds));
+}
+
+TEST(PoseidonParamsTest, RoundConstantsAreDistinct) {
+  const PoseidonParams& p = PoseidonParams::instance();
+  std::unordered_set<Fr, FrHash> seen;
+  for (const auto& rc : p.round_constants) {
+    for (const auto& c : rc) seen.insert(c);
+  }
+  EXPECT_EQ(seen.size(), p.round_constants.size() * PoseidonParams::kWidth);
+}
+
+TEST(PoseidonParamsTest, MdsMatrixEntriesNonZero) {
+  const PoseidonParams& p = PoseidonParams::instance();
+  for (const auto& row : p.mds) {
+    for (const auto& e : row) EXPECT_FALSE(e.is_zero());
+  }
+}
+
+TEST(PoseidonParamsTest, MdsMatrixIsInvertible) {
+  // det(M) != 0 for the 3x3 Cauchy matrix.
+  const auto& m = PoseidonParams::instance().mds;
+  const Fr det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+                 m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+                 m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  EXPECT_FALSE(det.is_zero());
+}
+
+TEST(PoseidonPermuteTest, ChangesState) {
+  std::array<Fr, 3> state = {Fr::zero(), Fr::zero(), Fr::zero()};
+  poseidon_permute(state);
+  EXPECT_FALSE(state[0].is_zero());
+  EXPECT_FALSE(state[1].is_zero());
+  EXPECT_FALSE(state[2].is_zero());
+}
+
+TEST(PoseidonPermuteTest, Deterministic) {
+  std::array<Fr, 3> s1 = {Fr::from_u64(1), Fr::from_u64(2), Fr::from_u64(3)};
+  std::array<Fr, 3> s2 = s1;
+  poseidon_permute(s1);
+  poseidon_permute(s2);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(PoseidonHashTest, DeterministicAcrossCalls) {
+  const Fr a = Fr::from_u64(123456);
+  EXPECT_EQ(poseidon_hash1(a), poseidon_hash1(a));
+  EXPECT_EQ(poseidon_hash2(a, a), poseidon_hash2(a, a));
+}
+
+TEST(PoseidonHashTest, InputSensitivity) {
+  Rng rng(201);
+  for (int i = 0; i < 20; ++i) {
+    const Fr a = Fr::random(rng);
+    const Fr b = Fr::random(rng);
+    ASSERT_NE(a, b);
+    EXPECT_NE(poseidon_hash1(a), poseidon_hash1(b));
+    EXPECT_NE(poseidon_hash2(a, b), poseidon_hash2(b, a));
+  }
+}
+
+TEST(PoseidonHashTest, DomainSeparationBetweenArities) {
+  // H1(x) must differ from H2(x, 0): the capacity tag separates them.
+  const Fr x = Fr::from_u64(77);
+  EXPECT_NE(poseidon_hash1(x), poseidon_hash2(x, Fr::zero()));
+}
+
+TEST(PoseidonHashTest, NoObviousCollisionsOnRandomInputs) {
+  Rng rng(202);
+  std::unordered_set<Fr, FrHash> outputs;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    outputs.insert(poseidon_hash1(Fr::random(rng)));
+  }
+  EXPECT_EQ(outputs.size(), static_cast<std::size_t>(n));
+}
+
+TEST(PoseidonHashTest, OutputNotEqualToInput) {
+  Rng rng(203);
+  for (int i = 0; i < 20; ++i) {
+    const Fr a = Fr::random(rng);
+    EXPECT_NE(poseidon_hash1(a), a);
+  }
+}
+
+TEST(PoseidonHashTest, AvalancheOnSingleBitOfInput) {
+  // Flipping the lowest bit of the input changes the output completely
+  // (compare leading bytes rather than full equality to make the check
+  // meaningful).
+  const Fr a = Fr::from_u64(0x1000);
+  const Fr b = Fr::from_u64(0x1001);
+  const auto ha = poseidon_hash1(a).to_bytes_be();
+  const auto hb = poseidon_hash1(b).to_bytes_be();
+  int differing = 0;
+  for (std::size_t i = 0; i < ha.size(); ++i) {
+    if (ha[i] != hb[i]) ++differing;
+  }
+  EXPECT_GT(differing, 20);
+}
+
+}  // namespace
+}  // namespace wakurln::hash

@@ -1,0 +1,84 @@
+// Tests for the P3 (mesh message delivery deficit) scoring component.
+
+#include <gtest/gtest.h>
+
+#include "gossipsub/score.h"
+
+namespace wakurln::gossipsub {
+namespace {
+
+PeerScoreParams p3_params() {
+  PeerScoreParams params;
+  params.topic.mesh_message_deliveries_weight = -1.0;
+  params.topic.mesh_message_deliveries_threshold = 5.0;
+  params.topic.mesh_message_deliveries_activation = 5 * sim::kUsPerSecond;
+  // Silence the other components for isolation.
+  params.topic.time_in_mesh_weight = 0.0;
+  params.topic.first_message_deliveries_weight = 0.0;
+  return params;
+}
+
+TEST(ScoreP3Test, DisabledByDefault) {
+  PeerScoreTracker tracker{PeerScoreParams{}};
+  tracker.on_join_mesh(1, "t", 0);
+  // Default P3 weight is 0: a silent mesh peer accrues only the positive
+  // P1 time-in-mesh credit, never a delivery-deficit penalty.
+  EXPECT_GE(tracker.score(1, 100 * sim::kUsPerSecond), 0.0);
+}
+
+TEST(ScoreP3Test, NoPenaltyBeforeActivation) {
+  PeerScoreTracker tracker{p3_params()};
+  tracker.on_join_mesh(1, "t", 0);
+  EXPECT_EQ(tracker.score(1, 4 * sim::kUsPerSecond), 0.0);
+}
+
+TEST(ScoreP3Test, SilentMeshPeerPenalisedAfterActivation) {
+  PeerScoreTracker tracker{p3_params()};
+  tracker.on_join_mesh(1, "t", 0);
+  // Deficit = 5, penalty = -1 * 25.
+  EXPECT_NEAR(tracker.score(1, 10 * sim::kUsPerSecond), -25.0, 1e-9);
+}
+
+TEST(ScoreP3Test, DeliveriesReduceTheDeficit) {
+  PeerScoreTracker tracker{p3_params()};
+  tracker.on_join_mesh(1, "t", 0);
+  for (int i = 0; i < 3; ++i) tracker.on_mesh_delivery(1, "t");
+  // Deficit = 2, penalty = -4.
+  EXPECT_NEAR(tracker.score(1, 10 * sim::kUsPerSecond), -4.0, 1e-9);
+  for (int i = 0; i < 2; ++i) tracker.on_mesh_delivery(1, "t");
+  EXPECT_EQ(tracker.score(1, 10 * sim::kUsPerSecond), 0.0);
+}
+
+TEST(ScoreP3Test, OverDeliveryIsNotRewarded) {
+  PeerScoreTracker tracker{p3_params()};
+  tracker.on_join_mesh(1, "t", 0);
+  for (int i = 0; i < 50; ++i) tracker.on_mesh_delivery(1, "t");
+  EXPECT_EQ(tracker.score(1, 10 * sim::kUsPerSecond), 0.0);
+}
+
+TEST(ScoreP3Test, NonMeshPeerNotPenalised) {
+  PeerScoreTracker tracker{p3_params()};
+  tracker.on_first_delivery(1, "t");  // known peer, never in mesh
+  EXPECT_EQ(tracker.score(1, 100 * sim::kUsPerSecond), 0.0);
+}
+
+TEST(ScoreP3Test, LeavingMeshStopsThePenalty) {
+  PeerScoreTracker tracker{p3_params()};
+  tracker.on_join_mesh(1, "t", 0);
+  EXPECT_LT(tracker.score(1, 10 * sim::kUsPerSecond), 0.0);
+  tracker.on_leave_mesh(1, "t");
+  EXPECT_EQ(tracker.score(1, 10 * sim::kUsPerSecond), 0.0);
+}
+
+TEST(ScoreP3Test, DecayErodesDeliveryCredit) {
+  PeerScoreTracker tracker{p3_params()};
+  tracker.on_join_mesh(1, "t", 0);
+  for (int i = 0; i < 5; ++i) tracker.on_mesh_delivery(1, "t");
+  EXPECT_EQ(tracker.score(1, 10 * sim::kUsPerSecond), 0.0);
+  // After enough decay rounds with no traffic the deficit reopens.
+  for (int i = 0; i < 20; ++i) tracker.decay();
+  EXPECT_LT(tracker.score(1, 10 * sim::kUsPerSecond), -15.0);
+}
+
+}  // namespace
+}  // namespace wakurln::gossipsub

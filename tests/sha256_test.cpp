@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "hash/sha256.h"
+#include "util/bytes.h"
+
+namespace wakurln::hash {
+namespace {
+
+using util::Bytes;
+using util::from_hex;
+using util::to_hex;
+
+TEST(Sha256Test, NistVectorEmpty) {
+  EXPECT_EQ(to_hex(Sha256::digest("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, NistVectorAbc) {
+  EXPECT_EQ(to_hex(Sha256::digest("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, NistVectorTwoBlocks) {
+  EXPECT_EQ(to_hex(Sha256::digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, NistVectorMillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.finalize(), Sha256::digest(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaries) {
+  // 55, 56, 63, 64, 65 bytes cross the padding edge cases.
+  for (std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string msg(n, 'x');
+    Sha256 a;
+    a.update(msg);
+    const Digest d1 = a.finalize();
+    const Digest d2 = Sha256::digest(msg);
+    EXPECT_EQ(d1, d2) << "length " << n;
+  }
+}
+
+TEST(Sha256Test, DifferentInputsDiffer) {
+  EXPECT_NE(Sha256::digest("a"), Sha256::digest("b"));
+  EXPECT_NE(Sha256::digest(""), Sha256::digest(std::string(1, '\0')));
+}
+
+TEST(HmacSha256Test, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = util::to_bytes("Hi There");
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  const Bytes key = util::to_bytes("Jefe");
+  const Bytes data = util::to_bytes("what do ya want for nothing?");
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256Test, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  const Bytes data = util::to_bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256Test, KeySensitivity) {
+  const Bytes k1 = {1, 2, 3};
+  const Bytes k2 = {1, 2, 4};
+  const Bytes data = {9, 9, 9};
+  EXPECT_NE(hmac_sha256(k1, data), hmac_sha256(k2, data));
+}
+
+}  // namespace
+}  // namespace wakurln::hash

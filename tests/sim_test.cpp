@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "sim/topology.h"
+
+namespace wakurln::sim {
+namespace {
+
+using util::Rng;
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(300, [&] { order.push_back(3); });
+  sched.schedule_at(100, [&] { order.push_back(1); });
+  sched.schedule_at(200, [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 300u);
+}
+
+TEST(SchedulerTest, TiesBreakBySubmissionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(50, [&, i] { order.push_back(i); });
+  }
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, EventsMayScheduleMoreEvents) {
+  Scheduler sched;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sched.schedule_after(10, chain);
+  };
+  sched.schedule_at(0, chain);
+  sched.run_all();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sched.now(), 40u);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(100, [&] { ++fired; });
+  sched.schedule_at(200, [&] { ++fired; });
+  sched.run_until(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), 150u);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(SchedulerTest, PastSchedulingThrows) {
+  Scheduler sched;
+  sched.schedule_at(100, [] {});
+  sched.run_all();
+  EXPECT_THROW(sched.schedule_at(50, [] {}), std::invalid_argument);
+}
+
+TEST(SchedulerTest, RunNextOnEmptyReturnsFalse) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.run_next());
+}
+
+struct TestNode {
+  std::vector<std::pair<NodeId, std::string>> received;
+  std::vector<NodeId> connected;
+
+  NodeCallbacks callbacks() {
+    NodeCallbacks cb;
+    cb.on_frame = [this](NodeId from, const std::any& frame, std::size_t) {
+      received.emplace_back(from, std::any_cast<std::string>(frame));
+    };
+    cb.on_peer_connected = [this](NodeId peer) { connected.push_back(peer); };
+    return cb;
+  }
+};
+
+TEST(NetworkTest, DeliversWithLatency) {
+  Scheduler sched;
+  Rng rng(1);
+  LinkParams link;
+  link.base_latency = 10 * kUsPerMs;
+  link.jitter = 0;
+  link.loss_rate = 0;
+  link.bandwidth_bytes_per_sec = 0;
+  Network net(sched, rng, link);
+
+  TestNode a, b;
+  const NodeId ida = net.add_node(a.callbacks());
+  const NodeId idb = net.add_node(b.callbacks());
+  net.connect(ida, idb);
+
+  net.send(ida, idb, std::string("hello"), 5);
+  EXPECT_TRUE(b.received.empty());
+  sched.run_until(9 * kUsPerMs);
+  EXPECT_TRUE(b.received.empty());
+  sched.run_until(10 * kUsPerMs);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, ida);
+  EXPECT_EQ(b.received[0].second, "hello");
+}
+
+TEST(NetworkTest, ConnectNotifiesBothSides) {
+  Scheduler sched;
+  Rng rng(2);
+  Network net(sched, rng);
+  TestNode a, b;
+  const NodeId ida = net.add_node(a.callbacks());
+  const NodeId idb = net.add_node(b.callbacks());
+  net.connect(ida, idb);
+  EXPECT_EQ(a.connected, std::vector<NodeId>{idb});
+  EXPECT_EQ(b.connected, std::vector<NodeId>{ida});
+  EXPECT_TRUE(net.are_connected(ida, idb));
+  // Reconnecting is a no-op.
+  net.connect(ida, idb);
+  EXPECT_EQ(a.connected.size(), 1u);
+}
+
+TEST(NetworkTest, SelfLinkRejected) {
+  Scheduler sched;
+  Rng rng(3);
+  Network net(sched, rng);
+  TestNode a;
+  const NodeId ida = net.add_node(a.callbacks());
+  EXPECT_THROW(net.connect(ida, ida), std::invalid_argument);
+}
+
+TEST(NetworkTest, SendWithoutLinkThrows) {
+  Scheduler sched;
+  Rng rng(4);
+  Network net(sched, rng);
+  TestNode a, b;
+  const NodeId ida = net.add_node(a.callbacks());
+  const NodeId idb = net.add_node(b.callbacks());
+  EXPECT_THROW(net.send(ida, idb, std::string("x"), 1), std::logic_error);
+}
+
+TEST(NetworkTest, LossDropsFrames) {
+  Scheduler sched;
+  Rng rng(5);
+  LinkParams link;
+  link.loss_rate = 1.0;
+  Network net(sched, rng, link);
+  TestNode a, b;
+  const NodeId ida = net.add_node(a.callbacks());
+  const NodeId idb = net.add_node(b.callbacks());
+  net.connect(ida, idb);
+  for (int i = 0; i < 10; ++i) net.send(ida, idb, std::string("x"), 1);
+  sched.run_all();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().frames_lost, 10u);
+}
+
+TEST(NetworkTest, InFlightFramesDropOnDisconnect) {
+  Scheduler sched;
+  Rng rng(6);
+  Network net(sched, rng);
+  TestNode a, b;
+  const NodeId ida = net.add_node(a.callbacks());
+  const NodeId idb = net.add_node(b.callbacks());
+  net.connect(ida, idb);
+  net.send(ida, idb, std::string("x"), 1);
+  net.disconnect(ida, idb);
+  sched.run_all();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().frames_lost, 1u);
+}
+
+TEST(NetworkTest, BandwidthAddsSizeDependentDelay) {
+  Scheduler sched;
+  Rng rng(7);
+  LinkParams link;
+  link.base_latency = 0;
+  link.jitter = 0;
+  link.bandwidth_bytes_per_sec = 1000.0;  // 1 byte per ms
+  Network net(sched, rng, link);
+  TestNode a, b;
+  const NodeId ida = net.add_node(a.callbacks());
+  const NodeId idb = net.add_node(b.callbacks());
+  net.connect(ida, idb);
+  net.send(ida, idb, std::string("x"), 500);  // 0.5 s serialisation
+  sched.run_until(499 * kUsPerMs);
+  EXPECT_TRUE(b.received.empty());
+  sched.run_until(500 * kUsPerMs);
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(NetworkTest, TrafficAccounting) {
+  Scheduler sched;
+  Rng rng(8);
+  Network net(sched, rng);
+  TestNode a, b;
+  const NodeId ida = net.add_node(a.callbacks());
+  const NodeId idb = net.add_node(b.callbacks());
+  net.connect(ida, idb);
+  net.send(ida, idb, std::string("x"), 100);
+  net.send(ida, idb, std::string("y"), 50);
+  sched.run_all();
+  EXPECT_EQ(net.bytes_sent_by(ida), 150u);
+  EXPECT_EQ(net.bytes_received_by(idb), 150u);
+  EXPECT_EQ(net.stats().bytes_sent, 150u);
+  EXPECT_EQ(net.stats().frames_delivered, 2u);
+}
+
+TEST(TopologyTest, RingPlusRandomIsConnected) {
+  Scheduler sched;
+  Rng rng(9);
+  Network net(sched, rng);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 30; ++i) nodes.push_back(net.add_node({}));
+  connect_ring_plus_random(net, nodes, 2, rng);
+
+  // BFS connectivity check.
+  std::vector<bool> visited(nodes.size(), false);
+  std::vector<NodeId> frontier = {nodes[0]};
+  visited[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.back();
+    frontier.pop_back();
+    for (NodeId next : net.neighbors(cur)) {
+      if (!visited[next]) {
+        visited[next] = true;
+        ++reached;
+        frontier.push_back(next);
+      }
+    }
+  }
+  EXPECT_EQ(reached, nodes.size());
+}
+
+TEST(TopologyTest, ConnectToRandomPeersRespectsDegree) {
+  Scheduler sched;
+  Rng rng(10);
+  Network net(sched, rng);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 10; ++i) nodes.push_back(net.add_node({}));
+  const NodeId newcomer = net.add_node({});
+  connect_to_random_peers(net, newcomer, nodes, 4, rng);
+  EXPECT_EQ(net.neighbors(newcomer).size(), 4u);
+  // Never connects to itself even if listed.
+  std::vector<NodeId> incl = nodes;
+  incl.push_back(newcomer);
+  const NodeId other = net.add_node({});
+  connect_to_random_peers(net, other, incl, 20, rng);
+  for (NodeId n : net.neighbors(other)) EXPECT_NE(n, other);
+}
+
+TEST(DeterminismTest, SameSeedSameSchedule) {
+  auto run = [](std::uint64_t seed) {
+    Scheduler sched;
+    Rng rng(seed);
+    Network net(sched, rng);
+    TestNode a, b;
+    const NodeId ida = net.add_node(a.callbacks());
+    const NodeId idb = net.add_node(b.callbacks());
+    net.connect(ida, idb);
+    for (int i = 0; i < 20; ++i) {
+      net.send(ida, idb, std::string("m") + std::to_string(i), 10 + i);
+    }
+    sched.run_all();
+    return sched.now();
+  };
+  EXPECT_EQ(run(1234), run(1234));
+  EXPECT_NE(run(1234), run(5678));
+}
+
+}  // namespace
+}  // namespace wakurln::sim
