@@ -8,68 +8,84 @@
 // network-wide spam exposure ceiling.
 
 #include <cstdio>
+#include <string>
 
+#include "harness.h"
 #include "waku/harness.h"
 
 using namespace wakurln;
 
 int main() {
+  bench::Runner runner("ablation_rate");
   std::printf("ablation: messages-per-epoch rate k (paper scheme is k = 1)\n\n");
   std::printf("%6s %18s %20s %20s %14s\n", "k", "honest msgs/min", "spam delivered/bot",
               "bots slashed", "nmap bytes");
 
   for (const std::uint64_t k : {1ull, 2ull, 4ull, 8ull}) {
-    waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
-    cfg.node_count = 12;
-    cfg.rln.messages_per_epoch = k;
-    cfg.rln.epoch_period_seconds = 10;
-    cfg.seed = 7000 + k;
-    waku::SimHarness world(cfg);
-    world.subscribe_all("abl/rate");
-    world.register_all();
-    world.run_seconds(3);
-
-    // Honest throughput: node 0 publishes as fast as allowed for 60 s.
     int honest_sent = 0;
-    for (int second = 0; second < 60; ++second) {
-      while (world.node(0).publish("abl/rate", util::to_bytes(
-                 "h" + std::to_string(second) + "-" + std::to_string(honest_sent))) ==
-             waku::WakuRlnRelay::PublishOutcome::kPublished) {
-        ++honest_sent;
-      }
-      world.run_seconds(1);
-    }
+    std::size_t spam_delivered = 0, slashed = 0, nmap_bytes = 0;
+    const std::string tag = bench::cat("k", k);
+    runner.run_once(
+        "scenario_" + tag,
+        [&] {
+          waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+          cfg.node_count = 12;
+          cfg.rln.messages_per_epoch = k;
+          cfg.rln.epoch_period_seconds = 10;
+          cfg.seed = 7000 + k;
+          waku::SimHarness world(cfg);
+          world.subscribe_all("abl/rate");
+          world.register_all();
+          world.run_seconds(3);
 
-    // Attack phase: two bots flood 20 messages each inside one epoch. A
-    // smart bot first fills its k legitimate slots, then keeps going with
-    // a modified client (slot reuse → double-signals).
-    const std::size_t bots[] = {10, 11};
-    for (int i = 0; i < 20; ++i) {
-      for (const std::size_t b : bots) {
-        const auto payload =
-            util::to_bytes("SPAM-" + std::to_string(b) + "-" + std::to_string(i));
-        if (world.node(b).publish("abl/rate", payload) !=
-            waku::WakuRlnRelay::PublishOutcome::kPublished) {
-          world.node(b).publish_unchecked("abl/rate", payload);
-        }
-      }
-    }
-    world.run_seconds(30);
+          // Honest throughput: node 0 publishes as fast as allowed for 60 s.
+          honest_sent = 0;
+          for (int second = 0; second < 60; ++second) {
+            while (world.node(0).publish(
+                       "abl/rate",
+                       util::to_bytes(bench::cat("h", second, "-", honest_sent))) ==
+                   waku::WakuRlnRelay::PublishOutcome::kPublished) {
+              ++honest_sent;
+            }
+            world.run_seconds(1);
+          }
 
-    std::size_t spam_delivered = 0;
-    for (const auto& d : world.deliveries()) {
-      if (d.node_index < 10 && d.payload.size() > 4 && d.payload[0] == 'S') {
-        ++spam_delivered;
-      }
-    }
-    std::size_t slashed = 0;
-    for (const std::size_t b : bots) {
-      if (!world.contract().is_active(world.node(b).identity().pk)) ++slashed;
-    }
+          // Attack phase: two bots flood 20 messages each inside one epoch. A
+          // smart bot first fills its k legitimate slots, then keeps going with
+          // a modified client (slot reuse → double-signals).
+          const std::size_t bots[] = {10, 11};
+          for (int i = 0; i < 20; ++i) {
+            for (const std::size_t b : bots) {
+              const auto payload = util::to_bytes(bench::cat("SPAM-", b, "-", i));
+              if (world.node(b).publish("abl/rate", payload) !=
+                  waku::WakuRlnRelay::PublishOutcome::kPublished) {
+                world.node(b).publish_unchecked("abl/rate", payload);
+              }
+            }
+          }
+          world.run_seconds(30);
+
+          spam_delivered = 0;
+          for (const auto& d : world.deliveries()) {
+            if (d.node_index < 10 && d.payload.size() > 4 && d.payload[0] == 'S') {
+              ++spam_delivered;
+            }
+          }
+          slashed = 0;
+          for (const std::size_t b : bots) {
+            if (!world.contract().is_active(world.node(b).identity().pk)) ++slashed;
+          }
+          nmap_bytes = world.node(0).nullifier_map_bytes();
+        });
+    runner.metric("honest_msgs_per_min_" + tag, honest_sent, "msgs");
+    runner.metric("spam_per_bot_" + tag,
+                  static_cast<double>(spam_delivered) / 10.0 / 2.0, "msgs");
+    runner.metric("bots_slashed_" + tag, static_cast<double>(slashed), "count");
+    runner.metric("nullifier_map_bytes_" + tag, static_cast<double>(nmap_bytes),
+                  "bytes");
     std::printf("%6llu %18.1f %20.1f %17zu / 2 %14zu\n",
                 static_cast<unsigned long long>(k), honest_sent / 1.0,
-                static_cast<double>(spam_delivered) / 10.0 / 2.0, slashed,
-                world.node(0).nullifier_map_bytes());
+                static_cast<double>(spam_delivered) / 10.0 / 2.0, slashed, nmap_bytes);
   }
 
   std::printf("\nshape check: honest throughput and per-stake spam exposure both\n"

@@ -6,7 +6,9 @@
 // actually had) for robustness to sync lag.
 
 #include <cstdio>
+#include <string>
 
+#include "harness.h"
 #include "rln/prover.h"
 #include "waku/harness.h"
 
@@ -40,7 +42,7 @@ double delivery_after_churn(std::size_t window, int churn) {
   constexpr int kMessages = 1;
   std::vector<std::pair<util::Bytes, rln::RlnSignal>> prepared;
   for (int i = 0; i < kMessages; ++i) {
-    const util::Bytes payload = util::to_bytes("inflight-" + std::to_string(i));
+    const util::Bytes payload = util::to_bytes(bench::cat("inflight-", i));
     const auto signal = prover.create_signal(payload, sender.current_epoch(),
                                              sender.group(), *index, prng, 0);
     prepared.emplace_back(payload, *signal);
@@ -86,16 +88,24 @@ double delivery_after_churn(std::size_t window, int churn) {
 }  // namespace
 
 int main() {
+  bench::Runner runner("ablation_root_window");
   std::printf("ablation: acceptable-root window vs registration churn (paper §III)\n\n");
   std::printf("%14s", "churn (blocks)");
   const std::size_t windows[] = {1, 2, 5, 8};
   for (const auto w : windows) std::printf("   window=%zu", w);
   std::printf("\n");
   for (const int churn : {0, 1, 3, 6}) {
-    std::printf("%14d", churn);
-    for (const auto w : windows) {
-      std::printf("   %7.0f%% ", delivery_after_churn(w, churn) * 100);
+    // Run the whole row first: Runner::run_once logs a progress line per
+    // scenario, which would otherwise interleave with the table cells.
+    double delivery[std::size(windows)] = {};
+    for (std::size_t i = 0; i < std::size(windows); ++i) {
+      const std::string tag = bench::cat("w", windows[i], "_churn", churn);
+      runner.run_once("scenario_" + tag,
+                      [&] { delivery[i] = delivery_after_churn(windows[i], churn); });
+      runner.metric("delivery_pct_" + tag, delivery[i] * 100, "%");
     }
+    std::printf("%14d", churn);
+    for (const double d : delivery) std::printf("   %7.0f%% ", d * 100);
     std::printf("\n");
   }
   std::printf("\nshape check: a window of 1 censors any message proved before the\n"

@@ -1,9 +1,12 @@
 // E0 (supporting) — microbenchmarks of the cryptographic substrates the
 // §IV numbers decompose into: field multiplication, Poseidon, SHA-256,
 // Merkle insertion/proof, Shamir reconstruction.
+//
+// Emits BENCH_crypto_primitives.json via the shared runner.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
 
+#include "harness.h"
 #include "hash/poseidon.h"
 #include "hash/sha256.h"
 #include "merkle/merkle_tree.h"
@@ -12,94 +15,109 @@
 
 using namespace wakurln;
 
-namespace {
+int main() {
+  bench::Runner runner("crypto_primitives");
+  std::printf("E0: cryptographic substrate microbenchmarks\n\n");
 
-void BM_FieldMul(benchmark::State& state) {
-  util::Rng rng(1);
-  field::Fr a = field::Fr::random(rng);
-  const field::Fr b = field::Fr::random(rng);
-  for (auto _ : state) {
-    a = a * b;
-    benchmark::DoNotOptimize(a);
+  {
+    util::Rng rng(1);
+    field::Fr a = field::Fr::random(rng);
+    const field::Fr b = field::Fr::random(rng);
+    runner.run(
+        "field_mul",
+        [&] {
+          for (int i = 0; i < 10000; ++i) a = a * b;
+          bench::do_not_optimize(a);
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/10000);
   }
-}
-BENCHMARK(BM_FieldMul);
 
-void BM_FieldInverse(benchmark::State& state) {
-  util::Rng rng(2);
-  field::Fr a = field::Fr::random(rng);
-  for (auto _ : state) {
-    a = a.inverse();
-    benchmark::DoNotOptimize(a);
+  {
+    util::Rng rng(2);
+    field::Fr a = field::Fr::random(rng);
+    runner.run(
+        "field_inverse",
+        [&] {
+          for (int i = 0; i < 100; ++i) a = a.inverse();
+          bench::do_not_optimize(a);
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/100);
   }
-}
-BENCHMARK(BM_FieldInverse);
 
-void BM_Poseidon2(benchmark::State& state) {
-  util::Rng rng(3);
-  field::Fr a = field::Fr::random(rng);
-  const field::Fr b = field::Fr::random(rng);
-  for (auto _ : state) {
-    a = hash::poseidon_hash2(a, b);
-    benchmark::DoNotOptimize(a);
+  {
+    util::Rng rng(3);
+    field::Fr a = field::Fr::random(rng);
+    const field::Fr b = field::Fr::random(rng);
+    runner.run(
+        "poseidon2",
+        [&] {
+          for (int i = 0; i < 100; ++i) a = hash::poseidon_hash2(a, b);
+          bench::do_not_optimize(a);
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/100);
   }
-}
-BENCHMARK(BM_Poseidon2);
 
-void BM_Sha256_1KiB(benchmark::State& state) {
-  util::Rng rng(4);
-  util::Bytes data(1024);
-  rng.fill(data);
-  for (auto _ : state) {
-    auto d = hash::Sha256::digest(data);
-    benchmark::DoNotOptimize(d);
+  {
+    util::Rng rng(4);
+    util::Bytes data(1024);
+    rng.fill(data);
+    const auto& s = runner.run(
+        "sha256_1kib",
+        [&] {
+          for (int i = 0; i < 100; ++i) {
+            auto d = hash::Sha256::digest(data);
+            bench::do_not_optimize(d);
+          }
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/100);
+    runner.metric("sha256_throughput_mb_s", 1024.0 / s.median_ns * 1000.0, "MB/s");
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
-}
-BENCHMARK(BM_Sha256_1KiB);
 
-void BM_MerkleInsert(benchmark::State& state) {
-  const auto depth = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(5);
-  merkle::MerkleTree tree(depth);
-  for (auto _ : state) {
-    if (tree.size() == tree.capacity()) {
-      state.PauseTiming();
-      tree = merkle::MerkleTree(depth);
-      state.ResumeTiming();
-    }
-    tree.append(field::Fr::random(rng));
+  for (const std::size_t depth : {10u, 20u, 32u}) {
+    util::Rng rng(5);
+    merkle::MerkleTree tree(depth);
+    runner.run(
+        bench::cat("merkle_insert_d", depth),
+        [&] {
+          if (tree.size() + 16 > tree.capacity()) tree = merkle::MerkleTree(depth);
+          for (int i = 0; i < 16; ++i) tree.append(field::Fr::random(rng));
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/16);
   }
-}
-BENCHMARK(BM_MerkleInsert)->Arg(10)->Arg(20)->Arg(32);
 
-void BM_MerkleProveAndVerify(benchmark::State& state) {
-  const auto depth = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(6);
-  merkle::MerkleTree tree(depth);
-  const field::Fr leaf = field::Fr::random(rng);
-  tree.append(leaf);
-  for (int i = 0; i < 31; ++i) tree.append(field::Fr::random(rng));
-  for (auto _ : state) {
-    const auto proof = tree.prove(0);
-    bool ok = merkle::MerkleTree::verify(tree.root(), leaf, proof);
-    benchmark::DoNotOptimize(ok);
+  for (const std::size_t depth : {10u, 20u, 32u}) {
+    util::Rng rng(6);
+    merkle::MerkleTree tree(depth);
+    const field::Fr leaf = field::Fr::random(rng);
+    tree.append(leaf);
+    for (int i = 0; i < 31; ++i) tree.append(field::Fr::random(rng));
+    runner.run(
+        bench::cat("merkle_prove_verify_d", depth),
+        [&] {
+          for (int i = 0; i < 10; ++i) {
+            const auto proof = tree.prove(0);
+            bool ok = merkle::MerkleTree::verify(tree.root(), leaf, proof);
+            bench::do_not_optimize(ok);
+          }
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/10);
   }
-}
-BENCHMARK(BM_MerkleProveAndVerify)->Arg(10)->Arg(20)->Arg(32);
 
-void BM_ShamirReconstruct(benchmark::State& state) {
-  util::Rng rng(7);
-  const field::Fr sk = field::Fr::random(rng), a1 = field::Fr::random(rng);
-  const auto s1 = shamir::make_share(sk, a1, field::Fr::random(rng));
-  const auto s2 = shamir::make_share(sk, a1, field::Fr::random(rng));
-  for (auto _ : state) {
-    auto r = shamir::reconstruct(s1, s2);
-    benchmark::DoNotOptimize(r);
+  {
+    util::Rng rng(7);
+    const field::Fr sk = field::Fr::random(rng), a1 = field::Fr::random(rng);
+    const auto s1 = shamir::make_share(sk, a1, field::Fr::random(rng));
+    const auto s2 = shamir::make_share(sk, a1, field::Fr::random(rng));
+    runner.run(
+        "shamir_reconstruct",
+        [&] {
+          for (int i = 0; i < 100; ++i) {
+            auto r = shamir::reconstruct(s1, s2);
+            bench::do_not_optimize(r);
+          }
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/100);
   }
+
+  return 0;
 }
-BENCHMARK(BM_ShamirReconstruct);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -6,10 +6,10 @@
 // increasing difficulty vs the (modelled) RLN proving cost and the
 // verification cost a routing peer pays.
 
-#include <chrono>
 #include <cstdio>
 
 #include "baselines/pow.h"
+#include "harness.h"
 #include "rln/group.h"
 #include "rln/identity.h"
 #include "rln/prover.h"
@@ -18,6 +18,7 @@
 using namespace wakurln;
 
 int main() {
+  bench::Runner runner("device_overhead");
   std::printf("E9: per-message sender cost by device class (paper §I/§IV)\n\n");
 
   std::printf("-- PoW sealing time (expected), seconds per message --\n");
@@ -59,24 +60,38 @@ int main() {
   const rln::RlnVerifier verifier(keys.vk);
   const util::Bytes payload = util::to_bytes("device overhead probe");
 
-  const int kIters = 200;
-  auto t0 = std::chrono::steady_clock::now();
   std::optional<rln::RlnSignal> signal;
-  for (int i = 0; i < kIters; ++i) {
-    signal = prover.create_signal(payload, i, group, index, rng);
-  }
-  auto t1 = std::chrono::steady_clock::now();
-  for (int i = 0; i < kIters; ++i) {
-    (void)verifier.verify(payload, *signal);
-  }
-  auto t2 = std::chrono::steady_clock::now();
-  const double prove_us =
-      std::chrono::duration<double, std::micro>(t1 - t0).count() / kIters;
-  const double verify_us =
-      std::chrono::duration<double, std::micro>(t2 - t1).count() / kIters;
+  std::uint64_t epoch = 0;
+  const auto& prove_stats = runner.run(
+      "create_signal",
+      [&] {
+        for (int i = 0; i < 10; ++i) {
+          signal = prover.create_signal(payload, epoch++, group, index, rng);
+          bench::do_not_optimize(signal);
+        }
+      },
+      /*reps=*/20, /*warmup=*/3, /*batch=*/10);
+  const auto& verify_stats = runner.run(
+      "verify_signal",
+      [&] {
+        for (int i = 0; i < 50; ++i) {
+          bool ok = verifier.verify(payload, *signal);
+          bench::do_not_optimize(ok);
+        }
+      },
+      /*reps=*/20, /*warmup=*/3, /*batch=*/50);
+  const double prove_us = prove_stats.median_ns / 1000.0;
+  const double verify_us = verify_stats.median_ns / 1000.0;
   std::printf("\n\n-- measured on this host (mock backend, depth 20) --\n");
   std::printf("signal creation: %.1f us/msg, verification: %.1f us/msg\n", prove_us,
               verify_us);
+
+  for (const auto& dev : zksnark::DeviceProfile::all()) {
+    runner.metric("modeled_prove_s_" + dev.name,
+                  zksnark::CostModel::prove_ms(32, dev) / 1000.0, "s");
+    runner.metric("modeled_verify_s_" + dev.name,
+                  zksnark::CostModel::verify_ms(dev) / 1000.0, "s");
+  }
 
   std::printf("\nshape check: RLN's sender cost is CONSTANT in difficulty-space and\n"
               "~0.5 s even on a phone (paper anchor), while PoW at an\n"

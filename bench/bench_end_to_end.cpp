@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "harness.h"
 #include "waku/harness.h"
 
 using namespace wakurln;
@@ -15,6 +16,7 @@ double sim_s(sim::TimeUs t) { return static_cast<double>(t) / sim::kUsPerSecond;
 }  // namespace
 
 int main() {
+  bench::Runner runner("end_to_end");
   std::printf("E1: end-to-end pipeline timeline (paper Fig. 1)\n\n");
   waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
   cfg.node_count = 20;
@@ -32,7 +34,9 @@ int main() {
               sim_s(world.scheduler().now()), world.size(),
               static_cast<unsigned long long>(world.config().stake_wei));
 
-  world.run_seconds(world.chain().config().block_time_seconds + 2);
+  runner.run_once(
+      "registration_to_sync",
+      [&] { world.run_seconds(world.chain().config().block_time_seconds + 2); });
   std::printf("%9.1fs  block %llu sealed: %llu members, every peer's tree synced\n",
               sim_s(world.scheduler().now()),
               static_cast<unsigned long long>(world.chain().height()),
@@ -41,7 +45,7 @@ int main() {
   const auto payload = util::to_bytes("figure-1 message");
   const sim::TimeUs pub_at = world.scheduler().now();
   world.node(3).publish("e2e/topic", payload);
-  world.run_seconds(5);
+  runner.run_once("publish_propagation", [&] { world.run_seconds(5); });
   std::printf("%9.1fs  anonymous publish delivered to %zu/%zu peers (%.0f ms spread)\n",
               sim_s(world.scheduler().now()), world.nodes_delivered(payload),
               world.size(),
@@ -56,7 +60,9 @@ int main() {
   std::printf("%9.1fs  node 7 double-signals within one epoch\n", sim_s(spam_at));
 
   // Advance until detection.
-  while (world.aggregate_stats().double_signals == 0) world.run_ms(50);
+  runner.run_once("double_signal_detection", [&] {
+    while (world.aggregate_stats().double_signals == 0) world.run_ms(50);
+  });
   std::printf("%9.1fs  routers reconstruct node 7's sk from the two shares (+%.2f s)\n",
               sim_s(world.scheduler().now()),
               sim_s(world.scheduler().now() - spam_at));
@@ -68,6 +74,13 @@ int main() {
 
   world.run_seconds(3);
   const auto stats = world.aggregate_stats();
+  runner.metric("published", static_cast<double>(stats.published), "msgs");
+  runner.metric("accepted", static_cast<double>(stats.accepted), "msgs");
+  runner.metric("double_signals", static_cast<double>(stats.double_signals), "count");
+  runner.metric("slashes_submitted", static_cast<double>(stats.slashes_submitted),
+                "count");
+  runner.metric("stake_burnt", static_cast<double>(world.chain().ledger().burnt_total()),
+                "wei");
   std::printf("\npipeline totals: published=%llu accepted=%llu double_signals=%llu "
               "slashes=%llu\n",
               static_cast<unsigned long long>(stats.published),

@@ -7,13 +7,16 @@
 // Thr scales.
 
 #include <cstdio>
+#include <string>
 
+#include "harness.h"
 #include "rln/prover.h"
 #include "waku/harness.h"
 
 using namespace wakurln;
 
 int main() {
+  bench::Runner runner("epoch_validation");
   std::printf("E11: epoch-window validation, Thr = ceil(D/T) (paper §III)\n\n");
 
   waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
@@ -39,23 +42,31 @@ int main() {
     world.clear_deliveries();
     const std::uint64_t epoch =
         static_cast<std::uint64_t>(static_cast<std::int64_t>(sender.current_epoch()) + skew);
-    const util::Bytes payload = util::to_bytes("skew " + std::to_string(skew));
+    const util::Bytes payload = util::to_bytes(bench::cat("skew ", skew));
     const auto signal =
         prover.create_signal(payload, epoch, sender.group(), *index, prng);
-    world.relay(0).publish("bench/epoch",
-                           waku::WakuRlnRelay::encode_envelope(*signal, payload),
-                           /*apply_validator=*/false);
-    world.run_seconds(5);
-    // Count receivers other than the sender (whose modified client skips
-    // its own validation and always self-delivers).
-    std::vector<bool> seen(world.size(), false);
     std::size_t delivered = 0;
-    for (const auto& d : world.deliveries()) {
-      if (d.node_index != 0 && d.payload == payload && !seen[d.node_index]) {
-        seen[d.node_index] = true;
-        ++delivered;
-      }
-    }
+    const std::string tag =
+        skew < 0 ? bench::cat("m", -skew) : bench::cat("p", skew);
+    runner.run_once(
+        "skew_" + tag,
+        [&] {
+          world.relay(0).publish("bench/epoch",
+                                 waku::WakuRlnRelay::encode_envelope(*signal, payload),
+                                 /*apply_validator=*/false);
+          world.run_seconds(5);
+          // Count receivers other than the sender (whose modified client skips
+          // its own validation and always self-delivers).
+          std::vector<bool> seen(world.size(), false);
+          delivered = 0;
+          for (const auto& d : world.deliveries()) {
+            if (d.node_index != 0 && d.payload == payload && !seen[d.node_index]) {
+              seen[d.node_index] = true;
+              ++delivered;
+            }
+          }
+        });
+    runner.metric("delivered_skew_" + tag, static_cast<double>(delivered), "nodes");
     const bool expected = std::abs(skew) <= 2;
     std::printf("%+12d %8zu / %zu %12s\n", skew, delivered, world.size() - 1,
                 expected ? "accept" : "drop");

@@ -6,9 +6,10 @@
 // variants at the paper's deployment depth (20).
 
 #include <cstdio>
-#include <memory>
+#include <string>
 
 #include "eth/membership_contract.h"
+#include "harness.h"
 #include "rln/identity.h"
 #include "util/rng.h"
 
@@ -37,6 +38,7 @@ eth::Receipt run_slash(eth::Chain& chain, eth::MembershipContract& c,
 }  // namespace
 
 int main() {
+  bench::Runner runner("gas");
   constexpr std::size_t kDepth = 20;
   eth::Chain chain({});
   chain.ledger().mint(1, 1'000'000'000'000ULL);
@@ -56,14 +58,25 @@ int main() {
   std::uint64_t last_registry_gas = 0, last_onchain_gas = 0;
   rln::Identity last_id = rln::Identity::generate(rng);
   for (const std::size_t target : checkpoints) {
-    while (registered < target) {
-      last_id = rln::Identity::generate(rng);
-      const auto r1 = run_register(chain, registry, last_id.pk, now);
-      const auto r2 = run_register(chain, onchain, last_id.pk, now);
-      last_registry_gas = r1.gas_used;
-      last_onchain_gas = r2.gas_used;
-      ++registered;
-    }
+    const std::size_t batch = target - registered;
+    const std::string tag = bench::cat("n", target);
+    runner.run(
+        "register_pair_to_" + tag,
+        [&] {
+          while (registered < target) {
+            last_id = rln::Identity::generate(rng);
+            const auto r1 = run_register(chain, registry, last_id.pk, now);
+            const auto r2 = run_register(chain, onchain, last_id.pk, now);
+            last_registry_gas = r1.gas_used;
+            last_onchain_gas = r2.gas_used;
+            ++registered;
+          }
+        },
+        /*reps=*/1, /*warmup=*/0, /*batch=*/batch == 0 ? 1 : batch);
+    runner.metric("registry_gas_" + tag, static_cast<double>(last_registry_gas),
+                  "gas");
+    runner.metric("onchain_tree_gas_" + tag, static_cast<double>(last_onchain_gas),
+                  "gas");
     std::printf("%12zu %18llu %18llu %7.1fx\n", target,
                 static_cast<unsigned long long>(last_registry_gas),
                 static_cast<unsigned long long>(last_onchain_gas),
@@ -73,6 +86,8 @@ int main() {
 
   const auto s1 = run_slash(chain, registry, last_id.sk, now);
   const auto s2 = run_slash(chain, onchain, last_id.sk, now);
+  runner.metric("registry_slash_gas", static_cast<double>(s1.gas_used), "gas");
+  runner.metric("onchain_tree_slash_gas", static_cast<double>(s2.gas_used), "gas");
   std::printf("\nslashing gas: registry %llu, on-chain tree %llu (%.1fx)\n",
               static_cast<unsigned long long>(s1.gas_used),
               static_cast<unsigned long long>(s2.gas_used),

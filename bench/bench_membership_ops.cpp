@@ -6,10 +6,11 @@
 // Peer-side: measured local tree-update time per registration event as the
 // group grows (the O(log n) work every peer does off-chain instead).
 
-#include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "eth/membership_contract.h"
+#include "harness.h"
 #include "rln/group.h"
 #include "rln/identity.h"
 #include "util/rng.h"
@@ -17,6 +18,7 @@
 using namespace wakurln;
 
 int main() {
+  bench::Runner runner("membership_ops");
   std::printf("E14: membership operation complexity (paper §III)\n\n");
 
   // Contract storage-write counts (gas-visible complexity).
@@ -35,17 +37,17 @@ int main() {
   const std::size_t checkpoints[] = {100, 1000, 5000, 20000};
   std::size_t added = 0;
   for (const std::size_t target : checkpoints) {
-    const auto t0 = std::chrono::steady_clock::now();
-    std::size_t batch = 0;
-    while (added < target) {
-      group.add_member(field::Fr::random(rng));
-      ++added;
-      ++batch;
-    }
-    const auto t1 = std::chrono::steady_clock::now();
-    std::printf("%14zu %16.1f\n", target,
-                std::chrono::duration<double, std::micro>(t1 - t0).count() /
-                    static_cast<double>(batch));
+    const std::size_t batch = target - added;
+    const auto& s = runner.run(
+        bench::cat("tree_insert_at_n", target),
+        [&] {
+          while (added < target) {
+            group.add_member(field::Fr::random(rng));
+            ++added;
+          }
+        },
+        /*reps=*/1, /*warmup=*/0, /*batch=*/batch);
+    std::printf("%14zu %16.1f\n", target, s.median_ns / 1000.0);
   }
 
   std::printf("\nshape check: contract-side cost is flat for the registry design and\n"

@@ -7,7 +7,9 @@
 // root (so the saving is free of semantic cost for root tracking).
 
 #include <cstdio>
+#include <string>
 
+#include "harness.h"
 #include "merkle/frontier.h"
 #include "merkle/merkle_tree.h"
 #include "util/rng.h"
@@ -15,15 +17,24 @@
 using namespace wakurln;
 
 int main() {
+  bench::Runner runner("merkle_storage");
   std::printf("E5: membership tree storage, full vs frontier (paper §IV)\n");
   std::printf("%6s %18s %18s %14s\n", "depth", "full tree (calc)", "frontier (meas)",
               "reduction");
   util::Rng rng(5);
   for (std::size_t depth : {10u, 16u, 20u, 24u, 32u}) {
+    const std::string tag = bench::cat("d", depth);
     const std::uint64_t full = merkle::MerkleTree::full_storage_bytes(depth);
     merkle::MerkleFrontier frontier(depth);
-    for (int i = 0; i < 64; ++i) frontier.append(field::Fr::random(rng));
+    runner.run(
+        "frontier_append_" + tag,
+        [&] {
+          for (int i = 0; i < 64; ++i) frontier.append(field::Fr::random(rng));
+        },
+        /*reps=*/1, /*warmup=*/0, /*batch=*/64);
     const std::size_t small = frontier.storage_bytes();
+    runner.metric("full_tree_bytes_" + tag, static_cast<double>(full), "bytes");
+    runner.metric("frontier_bytes_" + tag, static_cast<double>(small), "bytes");
     std::printf("%6zu %15.2f MB %15zu B %13.0fx\n", depth,
                 static_cast<double>(full) / 1e6, small,
                 static_cast<double>(full) / static_cast<double>(small));
@@ -38,6 +49,8 @@ int main() {
     tree.append(leaf);
     frontier.append(leaf);
   }
+  runner.metric("root_identical_after_500", tree.root() == frontier.root() ? 1 : 0,
+                "bool");
   std::printf("\nroot equivalence after 500 appends at depth 20: %s\n",
               tree.root() == frontier.root() ? "IDENTICAL" : "MISMATCH");
   std::printf("measured full-tree allocation for those 500 members: %.2f MB\n",

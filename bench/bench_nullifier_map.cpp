@@ -7,14 +7,36 @@
 // demonstrating that GC keeps the footprint flat over time.
 
 #include <cstdio>
+#include <string>
 
+#include "harness.h"
 #include "rln/nullifier_map.h"
 #include "util/rng.h"
 
 using namespace wakurln;
 
 int main() {
+  bench::Runner runner("nullifier_map");
   std::printf("E13: nullifier-map memory vs rate and retention (paper §III)\n\n");
+
+  // Raw observe throughput on a warm map (the router hot path). Pruning
+  // stays outside the timed lambda so the stat measures observe alone.
+  {
+    rln::NullifierMap hot;
+    util::Rng rng(7);
+    const std::uint64_t epoch = 0;
+    runner.run(
+        "observe",
+        [&] {
+          for (std::size_t m = 0; m < 1000; ++m) {
+            auto r = hot.observe(epoch, field::Fr::random(rng),
+                                 field::Fr::random(rng), field::Fr::random(rng));
+            bench::do_not_optimize(r);
+          }
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/1000);
+  }
+
   std::printf("%16s %12s %16s %16s\n", "msgs/epoch", "kept epochs", "records",
               "memory");
 
@@ -22,14 +44,24 @@ int main() {
     for (const std::uint64_t keep : {2ull, 4ull, 8ull}) {
       rln::NullifierMap map;
       util::Rng rng(rate * 31 + keep);
+      const std::string tag = bench::cat("r", rate, "_k", keep);
       // Simulate 100 epochs of traffic with pruning to `keep` epochs.
-      for (std::uint64_t epoch = 0; epoch < 100; ++epoch) {
-        for (std::size_t m = 0; m < rate; ++m) {
-          map.observe(epoch, field::Fr::random(rng), field::Fr::random(rng),
-                      field::Fr::random(rng));
-        }
-        if (epoch >= keep) map.prune_before(epoch - keep + 1);
-      }
+      runner.run(
+          "trace_100_epochs_" + tag,
+          [&] {
+            for (std::uint64_t epoch = 0; epoch < 100; ++epoch) {
+              for (std::size_t m = 0; m < rate; ++m) {
+                map.observe(epoch, field::Fr::random(rng), field::Fr::random(rng),
+                            field::Fr::random(rng));
+              }
+              if (epoch >= keep) map.prune_before(epoch - keep + 1);
+            }
+          },
+          /*reps=*/1, /*warmup=*/0, /*batch=*/100 * rate);
+      runner.metric("records_" + tag, static_cast<double>(map.record_count()),
+                    "count");
+      runner.metric("memory_bytes_" + tag, static_cast<double>(map.memory_bytes()),
+                    "bytes");
       std::printf("%16zu %12llu %16zu %13.1f KB\n", rate,
                   static_cast<unsigned long long>(keep), map.record_count(),
                   static_cast<double>(map.memory_bytes()) / 1024.0);
@@ -45,6 +77,8 @@ int main() {
                         field::Fr::random(rng));
     }
   }
+  runner.metric("unbounded_memory_bytes",
+                static_cast<double>(unbounded.memory_bytes()), "bytes");
   std::printf("\nwithout pruning, the same 100-epoch trace costs %.1f KB\n",
               static_cast<double>(unbounded.memory_bytes()) / 1024.0);
   std::printf("\nshape check: memory = O(rate x kept epochs), constant over time;\n"

@@ -9,9 +9,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "eth/signal_board.h"
+#include "harness.h"
 #include "waku/harness.h"
 
 using namespace wakurln;
@@ -35,31 +37,42 @@ LatencyStats summarize(std::vector<double> ms) {
 }  // namespace
 
 int main() {
+  bench::Runner runner("propagation");
   std::printf("E7: message visibility latency, gossip vs on-chain (paper §III)\n\n");
   std::printf("-- gossip path (WAKU-RLN-RELAY) --\n");
   std::printf("%8s %12s %12s %12s\n", "peers", "median", "p95", "max");
 
   for (const std::size_t n : {25u, 50u, 100u}) {
-    waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
-    cfg.node_count = n;
-    cfg.seed = 1000 + n;
-    waku::SimHarness world(cfg);
-    world.subscribe_all("bench/prop");
-    world.register_all();
-    world.run_seconds(5);
+    const std::string tag = bench::cat("n", n);
+    LatencyStats s;
+    runner.run_once(
+        "gossip_scenario_" + tag,
+        [&] {
+          waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+          cfg.node_count = n;
+          cfg.seed = 1000 + n;
+          waku::SimHarness world(cfg);
+          world.subscribe_all("bench/prop");
+          world.register_all();
+          world.run_seconds(5);
 
-    std::vector<double> latencies_ms;
-    for (int msg = 0; msg < 5; ++msg) {
-      world.clear_deliveries();
-      const auto payload = util::to_bytes("prop-" + std::to_string(msg));
-      const sim::TimeUs sent_at = world.scheduler().now();
-      world.node(msg % n).publish("bench/prop", payload);
-      world.run_seconds(world.config().rln.epoch_period_seconds);
-      for (const auto& d : world.deliveries()) {
-        latencies_ms.push_back(static_cast<double>(d.at - sent_at) / sim::kUsPerMs);
-      }
-    }
-    const LatencyStats s = summarize(std::move(latencies_ms));
+          std::vector<double> latencies_ms;
+          for (int msg = 0; msg < 5; ++msg) {
+            world.clear_deliveries();
+            const auto payload = util::to_bytes(bench::cat("prop-", msg));
+            const sim::TimeUs sent_at = world.scheduler().now();
+            world.node(msg % n).publish("bench/prop", payload);
+            world.run_seconds(world.config().rln.epoch_period_seconds);
+            for (const auto& d : world.deliveries()) {
+              latencies_ms.push_back(static_cast<double>(d.at - sent_at) /
+                                     sim::kUsPerMs);
+            }
+          }
+          s = summarize(std::move(latencies_ms));
+        });
+    runner.metric("sim_median_latency_ms_" + tag, s.median_ms, "ms");
+    runner.metric("sim_p95_latency_ms_" + tag, s.p95_ms, "ms");
+    runner.metric("sim_max_latency_ms_" + tag, s.max_ms, "ms");
     std::printf("%8zu %9.1f ms %9.1f ms %9.1f ms\n", n, s.median_ms, s.p95_ms, s.max_ms);
   }
 
@@ -89,6 +102,10 @@ int main() {
       total_latency += static_cast<double>(r->block_timestamp - r->submitted_at);
       total_gas += r->gas_used;
     }
+    runner.metric(bench::cat("onchain_inclusion_s_bt", block_time),
+                  total_latency / kMessages, "s");
+    runner.metric(bench::cat("onchain_gas_per_msg_bt", block_time),
+                  static_cast<double>(total_gas / kMessages), "gas");
     std::printf("%12llu s %13.1f s %14llu\n",
                 static_cast<unsigned long long>(block_time),
                 total_latency / kMessages,

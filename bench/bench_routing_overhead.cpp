@@ -3,9 +3,9 @@
 // overhead relative to plain WAKU-RELAY, plus end-to-end delivery latency
 // of both protocols in the same simulated network.
 
-#include <chrono>
 #include <cstdio>
 
+#include "harness.h"
 #include "waku/harness.h"
 
 using namespace wakurln;
@@ -22,16 +22,18 @@ double median_latency_ms(const std::vector<double>& v) {
 }  // namespace
 
 int main() {
+  bench::Runner runner("routing_overhead");
   std::printf("E12: routing overhead, relay vs rln-relay (paper §III)\n\n");
 
   // -- wire overhead ----------------------------------------------------
   std::printf("-- wire overhead per message --\n");
   std::printf("%14s %14s %14s %10s\n", "payload", "relay bytes", "rln bytes", "extra");
+  const std::size_t rln_extra = 4 + rln::RlnSignal::kWireSize + 4;  // var framing
   for (const std::size_t payload : {32u, 256u, 1024u, 4096u}) {
-    const std::size_t rln_extra = 4 + rln::RlnSignal::kWireSize + 4;  // var framing
     std::printf("%12zu B %12zu B %12zu B %8zu B\n", payload, payload,
                 payload + rln_extra, rln_extra);
   }
+  runner.metric("wire_overhead_bytes", static_cast<double>(rln_extra), "bytes");
 
   // -- validation CPU cost ----------------------------------------------
   util::Rng rng(21);
@@ -45,20 +47,28 @@ int main() {
   const util::Bytes payload = util::to_bytes("routing overhead probe");
   const auto signal = prover.create_signal(payload, 3, group, index, rng);
 
-  const int kIters = 2000;
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int i = 0; i < kIters; ++i) {
-    (void)verifier.verify(payload, *signal);
-  }
-  const auto t1 = std::chrono::steady_clock::now();
-  for (int i = 0; i < kIters; ++i) {
-    (void)nmap.observe(3, signal->nullifier, field::Fr::from_u64(i), signal->y);
-  }
-  const auto t2 = std::chrono::steady_clock::now();
-  const double verify_us =
-      std::chrono::duration<double, std::micro>(t1 - t0).count() / kIters;
-  const double nmap_us =
-      std::chrono::duration<double, std::micro>(t2 - t1).count() / kIters;
+  const auto& verify_stats = runner.run(
+      "proof_verification",
+      [&] {
+        for (int i = 0; i < 200; ++i) {
+          bool ok = verifier.verify(payload, *signal);
+          bench::do_not_optimize(ok);
+        }
+      },
+      /*reps=*/20, /*warmup=*/3, /*batch=*/200);
+  std::uint64_t nmap_key = 0;
+  const auto& nmap_stats = runner.run(
+      "nullifier_map_check",
+      [&] {
+        for (int i = 0; i < 200; ++i) {
+          auto r = nmap.observe(3, signal->nullifier,
+                                field::Fr::from_u64(nmap_key++), signal->y);
+          bench::do_not_optimize(r);
+        }
+      },
+      /*reps=*/20, /*warmup=*/3, /*batch=*/200);
+  const double verify_us = verify_stats.median_ns / 1000.0;
+  const double nmap_us = nmap_stats.median_ns / 1000.0;
   std::printf("\n-- per-hop validation cost (measured, depth-20 group) --\n");
   std::printf("proof verification: %8.2f us   (real Groth16 anchor: ~30 ms)\n",
               verify_us);
@@ -79,7 +89,7 @@ int main() {
       world.run_seconds(5);
       for (int m = 0; m < 5; ++m) {
         world.clear_deliveries();
-        const auto p = util::to_bytes("m" + std::to_string(m));
+        const auto p = util::to_bytes(bench::cat("m", m));
         const sim::TimeUs sent = world.scheduler().now();
         world.node(m).publish("bench/route", p);
         world.run_seconds(10);
@@ -105,11 +115,13 @@ int main() {
       world.run_seconds(5);
       for (int m = 0; m < 5; ++m) {
         sent = world.scheduler().now();
-        world.relay(m).publish("bench/raw", util::to_bytes("m" + std::to_string(m)));
+        world.relay(m).publish("bench/raw", util::to_bytes(bench::cat("m", m)));
         world.run_seconds(10);
       }
       (void)unused;
     }
+    runner.metric(with_rln ? "rln_sim_median_latency_ms" : "relay_sim_median_latency_ms",
+                  median_latency_ms(lat_ms), "ms");
     std::printf("%-12s median delivery latency: %7.1f ms (%zu deliveries)\n",
                 with_rln ? "rln-relay" : "relay", median_latency_ms(lat_ms),
                 lat_ms.size());

@@ -4,7 +4,9 @@
 // Prints the artefact-size table next to the paper's numbers.
 
 #include <cstdio>
+#include <string>
 
+#include "harness.h"
 #include "rln/identity.h"
 #include "rln/signal.h"
 #include "util/rng.h"
@@ -13,8 +15,16 @@
 using namespace wakurln;
 
 int main() {
+  bench::Runner runner("sizes");
   util::Rng rng(42);
   const rln::Identity id = rln::Identity::generate(rng);
+  runner.metric("secret_key_bytes", static_cast<double>(id.sk.to_bytes_be().size()),
+                "bytes");
+  runner.metric("public_key_bytes", static_cast<double>(id.pk.to_bytes_be().size()),
+                "bytes");
+  runner.metric("proof_bytes", static_cast<double>(zksnark::Proof::kSize), "bytes");
+  runner.metric("signal_wire_bytes", static_cast<double>(rln::RlnSignal::kWireSize),
+                "bytes");
 
   std::printf("E4: persistent artefact sizes (paper §IV)\n");
   std::printf("%-34s %14s %14s\n", "artefact", "measured", "paper");
@@ -30,7 +40,15 @@ int main() {
   std::printf("\nprover/verifier key sizes by tree depth (modelled Groth16):\n");
   std::printf("%8s %18s %18s\n", "depth", "prover key", "verifier key");
   for (std::size_t depth : {10u, 16u, 20u, 24u, 32u}) {
-    const auto keys = zksnark::MockGroth16::setup(depth, rng);
+    const std::string tag = bench::cat("d", depth);
+    zksnark::KeyPair keys;
+    runner.run(
+        "setup_" + tag, [&] { keys = zksnark::MockGroth16::setup(depth, rng); },
+        /*reps=*/5, /*warmup=*/1);
+    runner.metric("prover_key_bytes_" + tag,
+                  static_cast<double>(keys.pk.simulated_size_bytes), "bytes");
+    runner.metric("verifier_key_bytes_" + tag,
+                  static_cast<double>(keys.vk.simulated_size_bytes), "bytes");
     std::printf("%8zu %15.3f MB %15zu B\n", depth,
                 static_cast<double>(keys.pk.simulated_size_bytes) / 1e6,
                 keys.vk.simulated_size_bytes);

@@ -6,64 +6,83 @@
 // money flow plus detection latency.
 
 #include <cstdio>
+#include <string>
 
+#include "harness.h"
 #include "waku/harness.h"
 
 using namespace wakurln;
 
 int main() {
+  bench::Runner runner("slashing_economics");
   std::printf("E10: slashing economics under concurrent spammers (paper §II)\n\n");
   std::printf("%10s %10s %14s %14s %14s %16s\n", "spammers", "slashed", "burnt (wei)",
               "rewards (wei)", "per-slasher", "detect latency");
 
   for (const std::size_t spammers : {1u, 2u, 4u, 8u}) {
-    waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
-    cfg.node_count = 16;
-    cfg.seed = 500 + spammers;
-    waku::SimHarness world(cfg);
-    world.subscribe_all("bench/econ");
-    world.register_all();
-    world.run_seconds(3);
+    std::size_t slashed = 0, rewardees = 0;
+    std::uint64_t rewards = 0, burnt = 0;
+    double detect_latency_s = 0;
+    const std::string tag = bench::cat("s", spammers);
+    runner.run_once(
+        "scenario_" + tag,
+        [&] {
+          waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+          cfg.node_count = 16;
+          cfg.seed = 500 + spammers;
+          waku::SimHarness world(cfg);
+          world.subscribe_all("bench/econ");
+          world.register_all();
+          world.run_seconds(3);
 
-    const sim::TimeUs attack_at = world.scheduler().now();
-    for (std::size_t s = 0; s < spammers; ++s) {
-      world.node(s).publish_unchecked("bench/econ",
-                                      util::to_bytes("a" + std::to_string(s)));
-      world.node(s).publish_unchecked("bench/econ",
-                                      util::to_bytes("b" + std::to_string(s)));
-    }
-    // Find when the first double-signal was observed (poll in 100 ms steps).
-    sim::TimeUs detected_at = 0;
-    for (int step = 0; step < 600 && detected_at == 0; ++step) {
-      world.run_ms(100);
-      if (world.aggregate_stats().double_signals > 0) {
-        detected_at = world.scheduler().now();
-      }
-    }
-    world.run_seconds(30);  // mine all slash txs
+          const sim::TimeUs attack_at = world.scheduler().now();
+          for (std::size_t s = 0; s < spammers; ++s) {
+            world.node(s).publish_unchecked("bench/econ",
+                                            util::to_bytes(bench::cat("a", s)));
+            world.node(s).publish_unchecked("bench/econ",
+                                            util::to_bytes(bench::cat("b", s)));
+          }
+          // Find when the first double-signal was observed (poll in 100 ms
+          // steps).
+          sim::TimeUs detected_at = 0;
+          for (int step = 0; step < 600 && detected_at == 0; ++step) {
+            world.run_ms(100);
+            if (world.aggregate_stats().double_signals > 0) {
+              detected_at = world.scheduler().now();
+            }
+          }
+          world.run_seconds(30);  // mine all slash txs
 
-    std::size_t slashed = 0;
-    for (std::size_t s = 0; s < spammers; ++s) {
-      if (!world.contract().is_active(world.node(s).identity().pk)) ++slashed;
-    }
-    std::uint64_t rewards = 0;
-    std::size_t rewardees = 0;
-    for (std::size_t i = 0; i < world.size(); ++i) {
-      const auto bal = world.chain().ledger().balance_of(world.account_of(i));
-      const std::uint64_t baseline =
-          world.config().initial_balance_wei - world.config().stake_wei;
-      if (bal > baseline) {
-        rewards += bal - baseline;
-        ++rewardees;
-      }
-    }
+          slashed = 0;
+          for (std::size_t s = 0; s < spammers; ++s) {
+            if (!world.contract().is_active(world.node(s).identity().pk)) ++slashed;
+          }
+          rewards = 0;
+          rewardees = 0;
+          for (std::size_t i = 0; i < world.size(); ++i) {
+            const auto bal = world.chain().ledger().balance_of(world.account_of(i));
+            const std::uint64_t baseline =
+                world.config().initial_balance_wei - world.config().stake_wei;
+            if (bal > baseline) {
+              rewards += bal - baseline;
+              ++rewardees;
+            }
+          }
+          burnt = world.chain().ledger().burnt_total();
+          detect_latency_s =
+              detected_at > attack_at
+                  ? static_cast<double>(detected_at - attack_at) / sim::kUsPerSecond
+                  : 0.0;
+        });
+    runner.metric("slashed_" + tag, static_cast<double>(slashed), "count");
+    runner.metric("burnt_wei_" + tag, static_cast<double>(burnt), "wei");
+    runner.metric("rewards_wei_" + tag, static_cast<double>(rewards), "wei");
+    runner.metric("detect_latency_s_" + tag, detect_latency_s, "s");
     std::printf("%10zu %10zu %14llu %14llu %14llu %13.1f s\n", spammers, slashed,
-                static_cast<unsigned long long>(world.chain().ledger().burnt_total()),
+                static_cast<unsigned long long>(burnt),
                 static_cast<unsigned long long>(rewards),
                 static_cast<unsigned long long>(rewardees ? rewards / rewardees : 0),
-                detected_at > attack_at
-                    ? static_cast<double>(detected_at - attack_at) / sim::kUsPerSecond
-                    : 0.0);
+                detect_latency_s);
   }
 
   std::printf("\nshape check: every spammer loses the full stake; half is burnt and\n"

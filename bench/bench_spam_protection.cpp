@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "baselines/pow.h"
+#include "harness.h"
 #include "sim/topology.h"
 #include "waku/harness.h"
 
@@ -95,7 +96,7 @@ Result run_relay_scheme(const std::string& name, bool use_pow, bool use_scoring,
   int honest_sent = 0;
   for (int second = 0; second < 30; ++second) {
     if (second % 10 == 0) {
-      util::Bytes payload = util::to_bytes("HONEST-" + std::to_string(second));
+      util::Bytes payload = util::to_bytes(bench::cat("HONEST-", second));
       if (use_pow) payload = baselines::pow_seal(payload, kPowBitsInSim).serialize();
       relays[0]->publish(kTopic, std::move(payload));
       ++honest_sent;
@@ -104,7 +105,7 @@ Result run_relay_scheme(const std::string& name, bool use_pow, bool use_scoring,
     if (second < kSpamPerBot) {
       for (std::size_t b = 0; b < kBots; ++b) {
         util::Bytes payload =
-            util::to_bytes("SPAM-" + std::to_string(b) + "-" + std::to_string(second));
+            util::to_bytes(bench::cat("SPAM-", b, "-", second));
         if (use_pow) {
           payload = baselines::pow_seal(payload, kPowBitsInSim).serialize();
         }
@@ -159,14 +160,14 @@ Result run_rln_scheme() {
   int honest_sent = 0;
   for (int second = 0; second < 30; ++second) {
     if (second % 10 == 0) {
-      world.node(0).publish(kTopic, util::to_bytes("HONEST-" + std::to_string(second)));
+      world.node(0).publish(kTopic, util::to_bytes(bench::cat("HONEST-", second)));
       ++honest_sent;
     }
     if (second < kSpamPerBot) {
       for (std::size_t b = 0; b < kBots; ++b) {
         world.node(kHonest + b).publish_unchecked(
             kTopic,
-            util::to_bytes("SPAM-" + std::to_string(b) + "-" + std::to_string(second)));
+            util::to_bytes(bench::cat("SPAM-", b, "-", second)));
       }
     }
     world.run_seconds(1);
@@ -210,16 +211,29 @@ void print(const Result& r, int spam_sent_per_bot) {
 }  // namespace
 
 int main() {
+  bench::Runner runner("spam_protection");
   std::printf("E8: bot swarm (%zu bots x %d msgs) vs %zu honest subscribers (paper §I)\n\n",
               kBots, kSpamPerBot, kHonest);
   std::printf("%-22s %16s %15s %13s  %s\n", "defence", "spam/honest node",
               "honest deliv.", "traffic", "attacker cost");
 
-  Result none = run_relay_scheme("none", false, false, false);
+  const auto record = [&runner](const std::string& tag, const Result& r) {
+    runner.metric("spam_per_honest_node_" + tag, r.spam_per_honest_node, "msgs");
+    runner.metric("honest_delivery_pct_" + tag, r.honest_delivery_ratio * 100, "%");
+    runner.metric("traffic_mb_" + tag, r.mbytes_total, "MB");
+  };
+
+  Result none;
+  runner.run_once(
+      "scenario_none", [&] { none = run_relay_scheme("none", false, false, false); });
   none.attacker_cost = "none";
+  record("none", none);
   print(none, kSpamPerBot);
 
-  Result pow = run_relay_scheme("pow (EIP-627)", true, false, false);
+  Result pow;
+  runner.run_once(
+      "scenario_pow",
+      [&] { pow = run_relay_scheme("pow (EIP-627)", true, false, false); });
   {
     const double rig_s = baselines::expected_seal_seconds(
         24, zksnark::DeviceProfile::gpu_rig());
@@ -231,17 +245,30 @@ int main() {
                   rig_s * kSpamPerBot * kBots / (kSpamPerBot * kBots), phone_s);
     pow.attacker_cost = buf;
   }
+  record("pow", pow);
   print(pow, kSpamPerBot);
 
-  Result scoring = run_relay_scheme("scoring (distinct IPs)", false, true, false);
+  Result scoring;
+  runner.run_once(
+      "scenario_scoring_distinct_ips",
+      [&] { scoring = run_relay_scheme("scoring (distinct IPs)", false, true, false); });
   scoring.attacker_cost = "bot identities are free";
+  record("scoring_distinct_ips", scoring);
   print(scoring, kSpamPerBot);
 
-  Result scoring_ip = run_relay_scheme("scoring (shared IP)", false, true, true);
+  Result scoring_ip;
+  runner.run_once(
+      "scenario_scoring_shared_ip",
+      [&] { scoring_ip = run_relay_scheme("scoring (shared IP)", false, true, true); });
   scoring_ip.attacker_cost = "needs 1 IP per bot to evade";
+  record("scoring_shared_ip", scoring_ip);
   print(scoring_ip, kSpamPerBot);
 
-  print(run_rln_scheme(), kSpamPerBot);
+  Result rln;
+  runner.run_once(
+      "scenario_rln", [&] { rln = run_rln_scheme(); });
+  record("rln", rln);
+  print(rln, kSpamPerBot);
 
   std::printf("\nshape check (paper §I): 'none', 'pow' (attacker owns hardware) and\n"
               "'scoring' (distinct IPs) leak the full flood to every subscriber;\n"

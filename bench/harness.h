@@ -1,0 +1,253 @@
+// Shared micro-benchmark runner for the bench/ binaries.
+//
+// Usage:
+//   bench::Runner runner("nullifier_map");
+//   runner.run("observe", [&] { ... }, /*reps=*/20, /*warmup=*/3,
+//              /*batch=*/1000);                 // per-op stats, ns
+//   runner.metric("records", map.record_count(), "count");
+//   // On destruction (or an explicit write_json()) the runner writes
+//   // BENCH_nullifier_map.json with min/mean/median/p90/max timings.
+//
+// Timing model: `fn` is invoked `warmup` times untimed, then `reps`
+// times under std::chrono::steady_clock. If `fn` internally loops
+// `batch` operations, pass that batch size and all reported numbers
+// become per-operation. Statistics are computed over the rep samples;
+// median and p90 use linear interpolation between order statistics.
+
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace wakurln::bench {
+
+// Builds a string from text and integer parts via operator+=. Prefer this
+// over chained operator+ in bench code: GCC 12 emits bogus -Wrestrict
+// warnings (PR105651) when `const char* + std::string&&` gets inlined
+// under -O2, and appending never takes that code path.
+namespace detail {
+inline void cat_append(std::string& out, std::string_view part) { out += part; }
+template <typename T>
+  requires std::is_arithmetic_v<T>
+inline void cat_append(std::string& out, T part) {
+  out += std::to_string(part);
+}
+}  // namespace detail
+
+template <typename... Parts>
+inline std::string cat(Parts&&... parts) {
+  std::string out;
+  (detail::cat_append(out, std::forward<Parts>(parts)), ...);
+  return out;
+}
+
+// Keeps the optimiser from discarding a computed value.
+template <typename T>
+inline void do_not_optimize(T const& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  volatile const T* sink = &value;
+  (void)sink;
+#endif
+}
+
+struct TimingStats {
+  std::string name;
+  std::size_t reps = 0;
+  std::size_t warmup = 0;
+  std::size_t batch = 1;
+  double min_ns = 0;
+  double mean_ns = 0;
+  double median_ns = 0;
+  double p90_ns = 0;
+  double max_ns = 0;
+};
+
+struct Metric {
+  std::string name;
+  double value = 0;
+  std::string unit;
+};
+
+class Runner {
+ public:
+  // `name` becomes the BENCH_<name>.json file stem; `out_dir` (optional)
+  // is the directory the file is written to, defaulting to the CWD.
+  explicit Runner(std::string name, std::string out_dir = "")
+      : name_(std::move(name)), out_dir_(std::move(out_dir)) {}
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  ~Runner() { write_json(); }
+
+  // Times `fn` and records the sample statistics under `label`. Returns
+  // the recorded stats (per operation when batch > 1) by value — a
+  // reference into timings_ would dangle once a later run() grows the
+  // vector.
+  template <typename F>
+  TimingStats run(const std::string& label, F&& fn, std::size_t reps = 20,
+                  std::size_t warmup = 3, std::size_t batch = 1) {
+    if (reps == 0) reps = 1;
+    if (batch == 0) batch = 1;
+    for (std::size_t i = 0; i < warmup; ++i) fn();
+    std::vector<double> samples_ns;
+    samples_ns.reserve(reps);
+    for (std::size_t i = 0; i < reps; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      samples_ns.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count() /
+          static_cast<double>(batch));
+    }
+    timings_.push_back(summarize(label, warmup, batch, std::move(samples_ns)));
+    const TimingStats& s = timings_.back();
+    const std::string batch_note = s.batch > 1 ? cat(", batch=", s.batch) : "";
+    std::printf("[bench:%s] %-32s median %12.1f ns  p90 %12.1f ns  (reps=%zu%s)\n",
+                name_.c_str(), s.name.c_str(), s.median_ns, s.p90_ns, s.reps,
+                batch_note.c_str());
+    return s;
+  }
+
+  // Times a whole-scenario bench exactly once (no warmup): the common
+  // shape for simulated attacks/sweeps that must not repeat.
+  template <typename F>
+  TimingStats run_once(const std::string& label, F&& fn) {
+    return run(label, std::forward<F>(fn), /*reps=*/1, /*warmup=*/0);
+  }
+
+  // Records a scalar result (count, bytes, ratio, simulated latency, ...)
+  // that is not derived from wall-clock timing.
+  void metric(const std::string& name, double value, const std::string& unit = "") {
+    metrics_.push_back({name, value, unit});
+  }
+
+  std::string json_path() const {
+    const std::string file = "BENCH_" + name_ + ".json";
+    return out_dir_.empty() ? file : out_dir_ + "/" + file;
+  }
+
+  // Idempotent; also invoked by the destructor.
+  void write_json() {
+    if (written_) return;
+    std::FILE* f = std::fopen(json_path().c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[bench:%s] cannot open %s for writing\n", name_.c_str(),
+                   json_path().c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema_version\": 1,\n",
+                 escape(name_).c_str());
+    std::fprintf(f, "  \"timings\": [");
+    for (std::size_t i = 0; i < timings_.size(); ++i) {
+      const TimingStats& t = timings_[i];
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"reps\": %zu, \"warmup\": %zu, "
+                   "\"batch\": %zu, \"min_ns\": %.3f, \"mean_ns\": %.3f, "
+                   "\"median_ns\": %.3f, \"p90_ns\": %.3f, \"max_ns\": %.3f}",
+                   i == 0 ? "" : ",", escape(t.name).c_str(), t.reps, t.warmup,
+                   t.batch, t.min_ns, t.mean_ns, t.median_ns, t.p90_ns, t.max_ns);
+    }
+    std::fprintf(f, "\n  ],\n  \"metrics\": [");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"value\": %s, \"unit\": \"%s\"}",
+                   i == 0 ? "" : ",", escape(m.name).c_str(),
+                   format_value(m.value).c_str(), escape(m.unit).c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("[bench:%s] wrote %s\n", name_.c_str(), json_path().c_str());
+    written_ = true;
+  }
+
+  // Linear-interpolation percentile over an unsorted sample set; exposed
+  // for the statistics unit tests. `q` is in [0, 1].
+  static double percentile(std::vector<double> samples, double q) {
+    if (samples.empty()) return 0;
+    std::sort(samples.begin(), samples.end());
+    if (q <= 0) return samples.front();
+    if (q >= 1) return samples.back();
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= samples.size()) return samples.back();
+    return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+  }
+
+  static TimingStats summarize(const std::string& name, std::size_t warmup,
+                               std::size_t batch, std::vector<double> samples_ns) {
+    TimingStats s;
+    s.name = name;
+    s.reps = samples_ns.size();
+    s.warmup = warmup;
+    s.batch = batch;
+    if (samples_ns.empty()) return s;
+    s.min_ns = *std::min_element(samples_ns.begin(), samples_ns.end());
+    s.max_ns = *std::max_element(samples_ns.begin(), samples_ns.end());
+    s.mean_ns = std::accumulate(samples_ns.begin(), samples_ns.end(), 0.0) /
+                static_cast<double>(samples_ns.size());
+    s.median_ns = percentile(samples_ns, 0.5);
+    s.p90_ns = percentile(std::move(samples_ns), 0.9);
+    return s;
+  }
+
+  // Counters (gas, wei, bytes) must round-trip exactly: print integral
+  // values without exponent notation and everything else with enough
+  // digits to reconstruct the double bit-for-bit.
+  static std::string format_value(double v) {
+    char buf[40];
+    constexpr double kExactIntLimit = 9007199254740992.0;  // 2^53
+    if (v == std::floor(v) && std::fabs(v) < kExactIntLimit) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+  }
+
+  static std::string escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  const std::vector<TimingStats>& timings() const { return timings_; }
+  const std::vector<Metric>& metrics() const { return metrics_; }
+
+ private:
+  std::string name_;
+  std::string out_dir_;
+  std::vector<TimingStats> timings_;
+  std::vector<Metric> metrics_;
+  bool written_ = false;
+};
+
+}  // namespace wakurln::bench

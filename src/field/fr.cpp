@@ -10,7 +10,9 @@ namespace wakurln::field {
 namespace {
 
 using u64 = std::uint64_t;
-using u128 = unsigned __int128;
+// __int128 is a GCC/Clang extension; __extension__ keeps -Wpedantic quiet
+// without disabling the diagnostic for anything else.
+__extension__ typedef unsigned __int128 u128;
 using Limbs = std::array<u64, 4>;
 
 // BN254 scalar field modulus, little-endian limbs.

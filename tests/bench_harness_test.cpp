@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+namespace wakurln::bench {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(BenchHarnessTest, PercentileOfKnownSamples) {
+  const std::vector<double> v = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Runner::percentile(v, 0.0), 10);
+  EXPECT_DOUBLE_EQ(Runner::percentile(v, 0.5), 30);
+  EXPECT_DOUBLE_EQ(Runner::percentile(v, 1.0), 50);
+  // p90 of five points interpolates between the 4th and 5th order stats.
+  EXPECT_DOUBLE_EQ(Runner::percentile(v, 0.9), 46);
+}
+
+TEST(BenchHarnessTest, PercentileSortsItsInput) {
+  EXPECT_DOUBLE_EQ(Runner::percentile({50, 10, 40, 20, 30}, 0.5), 30);
+}
+
+TEST(BenchHarnessTest, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(Runner::percentile({}, 0.5), 0);
+  EXPECT_DOUBLE_EQ(Runner::percentile({7}, 0.5), 7);
+  EXPECT_DOUBLE_EQ(Runner::percentile({7}, 0.9), 7);
+}
+
+TEST(BenchHarnessTest, SummarizeComputesOrderedStats) {
+  const auto s = Runner::summarize("label", 3, 2, {40, 10, 20, 30, 50});
+  EXPECT_EQ(s.name, "label");
+  EXPECT_EQ(s.reps, 5u);
+  EXPECT_EQ(s.warmup, 3u);
+  EXPECT_EQ(s.batch, 2u);
+  EXPECT_DOUBLE_EQ(s.min_ns, 10);
+  EXPECT_DOUBLE_EQ(s.max_ns, 50);
+  EXPECT_DOUBLE_EQ(s.mean_ns, 30);
+  EXPECT_DOUBLE_EQ(s.median_ns, 30);
+  EXPECT_LE(s.min_ns, s.median_ns);
+  EXPECT_LE(s.median_ns, s.p90_ns);
+  EXPECT_LE(s.p90_ns, s.max_ns);
+}
+
+TEST(BenchHarnessTest, RunExecutesWarmupAndReps) {
+  Runner runner("harness_selftest_counts");
+  int calls = 0;
+  const auto& s = runner.run("count", [&] { ++calls; }, /*reps=*/5, /*warmup=*/2);
+  EXPECT_EQ(calls, 7);
+  EXPECT_EQ(s.reps, 5u);
+  EXPECT_GE(s.median_ns, 0.0);
+  runner.write_json();
+  std::remove(runner.json_path().c_str());
+}
+
+TEST(BenchHarnessTest, RunOnceIsSingleRepNoWarmup) {
+  Runner runner("harness_selftest_once");
+  int calls = 0;
+  const auto s = runner.run_once("scenario", [&] { ++calls; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(s.reps, 1u);
+  EXPECT_EQ(s.warmup, 0u);
+  EXPECT_DOUBLE_EQ(s.median_ns, s.p90_ns);
+  runner.write_json();
+  std::remove(runner.json_path().c_str());
+}
+
+TEST(BenchHarnessTest, MetricsSerializeIntegersExactly) {
+  const std::string dir = ::testing::TempDir();
+  std::string path;
+  {
+    Runner runner("harness_selftest_ints", dir);
+    runner.metric("big_counter", 123456789012345.0, "wei");
+    runner.metric("fractional", 0.5, "ratio");
+    path = runner.json_path();
+  }
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"value\": 123456789012345,"), std::string::npos);
+  EXPECT_NE(body.find("\"value\": 0.5,"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchHarnessTest, BatchDividesPerOpTiming) {
+  Runner runner("harness_selftest_batch");
+  volatile int sink = 0;
+  const auto& batched = runner.run(
+      "batched", [&] { for (int i = 0; i < 1000; ++i) sink = sink + i; },
+      /*reps=*/5, /*warmup=*/1, /*batch=*/1000);
+  EXPECT_EQ(batched.batch, 1000u);
+  // 1000 adds amortised per-op must be far below one microsecond.
+  EXPECT_LT(batched.median_ns, 1000.0);
+  runner.write_json();
+  std::remove(runner.json_path().c_str());
+}
+
+TEST(BenchHarnessTest, WriteJsonEmitsTimingsAndMetrics) {
+  const std::string dir = ::testing::TempDir();
+  std::string path;
+  {
+    Runner runner("harness_selftest_json", dir);
+    runner.run("work", [] {}, /*reps=*/3, /*warmup=*/1);
+    runner.metric("records", 1234, "count");
+    path = runner.json_path();
+    EXPECT_EQ(path, dir + "/BENCH_harness_selftest_json.json");
+  }  // destructor writes the file
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"bench\": \"harness_selftest_json\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\": \"work\""), std::string::npos);
+  EXPECT_NE(body.find("\"median_ns\""), std::string::npos);
+  EXPECT_NE(body.find("\"p90_ns\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\": \"records\""), std::string::npos);
+  EXPECT_NE(body.find("\"value\": 1234"), std::string::npos);
+  EXPECT_NE(body.find("\"unit\": \"count\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchHarnessTest, WriteJsonIsIdempotent) {
+  const std::string dir = ::testing::TempDir();
+  Runner runner("harness_selftest_idem", dir);
+  runner.run("once", [] {}, 2, 0);
+  runner.write_json();
+  const std::string first = slurp(runner.json_path());
+  runner.metric("added_after_write", 1);
+  runner.write_json();  // must not rewrite
+  EXPECT_EQ(slurp(runner.json_path()), first);
+  std::remove(runner.json_path().c_str());
+}
+
+TEST(BenchHarnessTest, EscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(Runner::escape("plain_name-42"), "plain_name-42");
+  EXPECT_EQ(Runner::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Runner::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(Runner::escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(Runner::escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace wakurln::bench

@@ -39,8 +39,13 @@ TEST_P(InvariantSweep, AllInvariantsHold) {
   // offender additionally double-signals in epoch 1.
   for (int epoch_round = 0; epoch_round < 3; ++epoch_round) {
     for (std::size_t i = 0; i < world.size(); ++i) {
-      const Bytes payload = util::to_bytes("n" + std::to_string(i) + "-e" +
-                                           std::to_string(epoch_round));
+      // Built via += rather than chained operator+: GCC 12 emits a bogus
+      // -Wrestrict on inlined const char* + std::string&& (PR105651).
+      std::string tag = "n";
+      tag += std::to_string(i);
+      tag += "-e";
+      tag += std::to_string(epoch_round);
+      const Bytes payload = util::to_bytes(tag);
       const auto outcome = world.node(i).publish("sweep/topic", payload);
       if (outcome == waku::WakuRlnRelay::PublishOutcome::kPublished &&
           i != offender) {
