@@ -18,7 +18,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <numeric>
@@ -27,6 +26,9 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/json.h"
+#include "util/stats.h"
 
 namespace wakurln::bench {
 
@@ -173,17 +175,10 @@ class Runner {
   }
 
   // Linear-interpolation percentile over an unsorted sample set; exposed
-  // for the statistics unit tests. `q` is in [0, 1].
+  // for the statistics unit tests. `q` is in [0, 1]. Shared with the
+  // scenario metrics pipeline (util/stats.h).
   static double percentile(std::vector<double> samples, double q) {
-    if (samples.empty()) return 0;
-    std::sort(samples.begin(), samples.end());
-    if (q <= 0) return samples.front();
-    if (q >= 1) return samples.back();
-    const double pos = q * static_cast<double>(samples.size() - 1);
-    const auto lo = static_cast<std::size_t>(pos);
-    const double frac = pos - static_cast<double>(lo);
-    if (lo + 1 >= samples.size()) return samples.back();
-    return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+    return util::percentile(std::move(samples), q);
   }
 
   static TimingStats summarize(const std::string& name, std::size_t warmup,
@@ -205,39 +200,11 @@ class Runner {
 
   // Counters (gas, wei, bytes) must round-trip exactly: print integral
   // values without exponent notation and everything else with enough
-  // digits to reconstruct the double bit-for-bit.
-  static std::string format_value(double v) {
-    char buf[40];
-    constexpr double kExactIntLimit = 9007199254740992.0;  // 2^53
-    if (v == std::floor(v) && std::fabs(v) < kExactIntLimit) {
-      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-    } else {
-      std::snprintf(buf, sizeof(buf), "%.17g", v);
-    }
-    return buf;
-  }
+  // digits to reconstruct the double bit-for-bit. Shared with the
+  // scenario campaign reports (util/json.h).
+  static std::string format_value(double v) { return util::json_number(v); }
 
-  static std::string escape(const std::string& in) {
-    std::string out;
-    out.reserve(in.size());
-    for (const char c : in) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    return out;
-  }
+  static std::string escape(const std::string& in) { return util::json_escape(in); }
 
   const std::vector<TimingStats>& timings() const { return timings_; }
   const std::vector<Metric>& metrics() const { return metrics_; }

@@ -3,19 +3,25 @@
 // (b) per-epoch nullifiers are unlinkable across epochs, and (c) the rate
 // limit shapes traffic to one message per member per epoch.
 //
-//   build/examples/group_chat
+//   build/examples/group_chat [--nodes N] [--seed S]
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <unordered_set>
 
+#include "util/cli.h"
 #include "waku/harness.h"
 
 using namespace wakurln;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
   waku::HarnessConfig config = waku::HarnessConfig::defaults();
-  config.node_count = 8;
+  // 4 speakers plus at least one silent bystander.
+  config.node_count =
+      std::max<std::size_t>(5, static_cast<std::size_t>(args.get_u64("nodes", 8)));
+  config.seed = args.get_u64("seed", config.seed);
   config.rln.epoch_period_seconds = 5;
   waku::SimHarness world(config);
   world.subscribe_all("waku/chat-room");
@@ -46,13 +52,16 @@ int main() {
   }
   world.run_seconds(10);
 
-  // Tally deliveries at a bystander node (node 7 never speaks).
+  // Tally deliveries at a bystander node (the last node never speaks).
+  const std::size_t bystander = world.size() - 1;
   std::unordered_set<std::string> seen;
   for (const auto& d : world.deliveries()) {
-    if (d.node_index == 7) seen.insert(std::string(d.payload.begin(), d.payload.end()));
+    if (d.node_index == bystander) {
+      seen.insert(std::string(d.payload.begin(), d.payload.end()));
+    }
   }
-  std::printf("bystander (node 7) received %zu distinct messages (expected 12)\n",
-              seen.size());
+  std::printf("bystander (node %zu) received %zu distinct messages (expected 12)\n",
+              bystander, seen.size());
   std::printf("note: no delivery carries a sender id — the envelope holds only\n"
               "      {epoch, share y, nullifier, root, proof} plus the payload.\n");
 

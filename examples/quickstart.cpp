@@ -2,18 +2,23 @@
 // on the membership contract, publish a rate-limited anonymous message and
 // watch it arrive everywhere.
 //
-//   build/examples/quickstart
+//   build/examples/quickstart [--nodes N] [--seed S]
 
+#include <algorithm>
 #include <cstdio>
 
+#include "util/cli.h"
 #include "waku/harness.h"
 
 using namespace wakurln;
 
-int main() {
-  // 1. A simulated world: 12 peers, one chain, one membership contract.
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  // 1. A simulated world: 12 peers (default), one chain, one contract.
   waku::HarnessConfig config = waku::HarnessConfig::defaults();
-  config.node_count = 12;
+  config.node_count =
+      std::max<std::size_t>(2, static_cast<std::size_t>(args.get_u64("nodes", 12)));
+  config.seed = args.get_u64("seed", config.seed);
   waku::SimHarness world(config);
 
   std::printf("== WAKU-RLN-RELAY quickstart ==\n");

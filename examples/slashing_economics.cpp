@@ -2,19 +2,25 @@
 // cryptography of one double-signal — from the two Shamir shares, through
 // off-chain key reconstruction, to the on-chain burn/reward split.
 //
-//   build/examples/slashing_economics
+//   build/examples/slashing_economics [--nodes N] [--seed S]
 
+#include <algorithm>
 #include <cstdio>
 
 #include "hash/poseidon.h"
 #include "shamir/shamir.h"
+#include "util/cli.h"
 #include "waku/harness.h"
 
 using namespace wakurln;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
   waku::HarnessConfig config = waku::HarnessConfig::defaults();
-  config.node_count = 6;
+  // The offender is node 2; keep at least one slasher and one bystander.
+  config.node_count =
+      std::max<std::size_t>(4, static_cast<std::size_t>(args.get_u64("nodes", 6)));
+  config.seed = args.get_u64("seed", config.seed);
   config.stake_wei = 2'000'000;
   config.burn_fraction = 0.5;
   waku::SimHarness world(config);

@@ -5,17 +5,23 @@
 // member globally — no IP blocking, no reputation warm-up, no PoW tax on
 // honest phones.
 //
-//   build/examples/spam_attack
+//   build/examples/spam_attack [--nodes N] [--seed S]
 
+#include <algorithm>
 #include <cstdio>
 
+#include "util/cli.h"
 #include "waku/harness.h"
 
 using namespace wakurln;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
   waku::HarnessConfig config = waku::HarnessConfig::defaults();
-  config.node_count = 16;
+  // The attacker is node 5; keep at least a handful of honest victims.
+  config.node_count =
+      std::max<std::size_t>(8, static_cast<std::size_t>(args.get_u64("nodes", 16)));
+  config.seed = args.get_u64("seed", config.seed);
   waku::SimHarness world(config);
   world.subscribe_all("waku/town-square");
   world.register_all();
@@ -43,9 +49,10 @@ int main() {
     if (d.payload.size() >= 3 && d.payload[0] == 'B') ++spam_deliveries;
   }
   const auto stats = world.aggregate_stats();
+  const std::size_t honest_nodes = world.size() - 1;
   std::printf("\nresults after 30 s:\n");
-  std::printf("  spam deliveries across 15 honest nodes: %zu (out of a possible %d)\n",
-              spam_deliveries, 10 * 15);
+  std::printf("  spam deliveries across %zu honest nodes: %zu (out of a possible %zu)\n",
+              honest_nodes, spam_deliveries, 10 * honest_nodes);
   std::printf("  double-signals detected by routers:     %llu\n",
               static_cast<unsigned long long>(stats.double_signals));
   std::printf("  slash transactions submitted:           %llu\n",

@@ -1,0 +1,202 @@
+#include "scenario/campaign.h"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "scenario/runner.h"
+#include "util/json.h"
+
+namespace wakurln::scenario {
+namespace {
+
+using util::json_escape;
+using util::json_number;
+
+void append_kv(std::string& out, const char* key, double value, bool first = false) {
+  if (!first) out += ", ";
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += json_number(value);
+}
+
+void append_kv(std::string& out, const char* key, const std::string& value,
+               bool first = false) {
+  if (!first) out += ", ";
+  out += '"';
+  out += key;
+  out += "\": \"";
+  out += json_escape(value);
+  out += '"';
+}
+
+std::string spec_json(const ScenarioSpec& s) {
+  std::string out = "{";
+  append_kv(out, "protocol", std::string(s.protocol == Protocol::kPow ? "pow" : "rln"),
+            /*first=*/true);
+  append_kv(out, "nodes", static_cast<double>(s.nodes));
+  append_kv(out, "topology", std::string(sim::topology_name(s.topology)));
+  append_kv(out, "extra_links_per_node", static_cast<double>(s.extra_links_per_node));
+  append_kv(out, "erdos_renyi_p", s.erdos_renyi_p);
+  append_kv(out, "epoch_seconds", static_cast<double>(s.epoch_seconds));
+  append_kv(out, "messages_per_epoch", static_cast<double>(s.messages_per_epoch));
+  append_kv(out, "traffic_epochs", static_cast<double>(s.traffic_epochs));
+  append_kv(out, "honest_publish_prob", s.honest_publish_prob);
+  append_kv(out, "observers", static_cast<double>(s.observers));
+  append_kv(out, "spammers", static_cast<double>(s.adversaries.spammers));
+  append_kv(out, "spam_per_epoch", static_cast<double>(s.adversaries.spam_per_epoch));
+  append_kv(out, "burst_flooders", static_cast<double>(s.adversaries.burst_flooders));
+  append_kv(out, "burst_size", static_cast<double>(s.adversaries.burst_size));
+  append_kv(out, "burst_at_epoch", static_cast<double>(s.adversaries.burst_at_epoch));
+  append_kv(out, "churn_leave_prob", s.churn.leave_prob_per_epoch);
+  append_kv(out, "churn_offline_epochs",
+            static_cast<double>(s.churn.offline_epochs));
+  append_kv(out, "churn_rejoin_degree", static_cast<double>(s.churn.rejoin_degree));
+  append_kv(out, "partition", static_cast<double>(s.partition.enabled ? 1 : 0));
+  append_kv(out, "partition_cut_at_epoch",
+            static_cast<double>(s.partition.cut_at_epoch));
+  append_kv(out, "partition_heal_at_epoch",
+            static_cast<double>(s.partition.heal_at_epoch));
+  append_kv(out, "partition_fraction", s.partition.fraction);
+  append_kv(out, "link_base_latency_us", static_cast<double>(s.link.base_latency));
+  append_kv(out, "link_jitter_us", static_cast<double>(s.link.jitter));
+  append_kv(out, "link_loss_rate", s.link.loss_rate);
+  append_kv(out, "link_bandwidth_bytes_per_sec", s.link.bandwidth_bytes_per_sec);
+  append_kv(out, "pow_difficulty_bits", static_cast<double>(s.pow_difficulty_bits));
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& config) {
+  if (config.seeds == 0) {
+    throw std::invalid_argument("CampaignConfig: seeds must be >= 1");
+  }
+  // Validate the spec once, up front, on the calling thread.
+  { ScenarioRunner probe(spec, config.seed0); }
+
+  CampaignResult result;
+  result.spec = spec;
+  result.seeds.reserve(config.seeds);
+  for (std::size_t i = 0; i < config.seeds; ++i) {
+    result.seeds.push_back(config.seed0 + i);
+  }
+  result.runs.resize(config.seeds);
+
+  std::size_t threads = config.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::min<std::size_t>(config.seeds, hw == 0 ? 1 : hw);
+  }
+  threads = std::min(threads, config.seeds);
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(config.seeds);
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t idx = next.fetch_add(1);
+      if (idx >= result.seeds.size()) return;
+      try {
+        ScenarioRunner runner(spec, result.seeds[idx]);
+        result.runs[idx] = runner.run();
+      } catch (...) {
+        errors[idx] = std::current_exception();
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  result.aggregate = aggregate_runs(result.runs);
+  return result;
+}
+
+// Built with operator+= only: GCC 12's -Wrestrict misfires on inlined
+// `const char* + std::string&&` chains (PR105651; see bench/harness.h).
+std::string report_json(const CampaignResult& result) {
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"scenario\": \"";
+  out += json_escape(result.spec.name);
+  out += "\",\n";
+  out += "  \"description\": \"";
+  out += json_escape(result.spec.description);
+  out += "\",\n";
+  out += "  \"spec\": ";
+  out += spec_json(result.spec);
+  out += ",\n";
+
+  // Seeds are printed as integers, not through json_number: a double
+  // cannot represent a uint64 seed above 2^53 exactly, and the report
+  // must identify the exact seeds that reproduce the runs.
+  out += "  \"seeds\": [";
+  for (std::size_t i = 0; i < result.seeds.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(result.seeds[i]);
+  }
+  out += "],\n";
+
+  out += "  \"runs\": [";
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"seed\": ";
+    out += std::to_string(result.seeds[i]);
+    out += ", \"metrics\": {";
+    const auto& entries = result.runs[i].entries();
+    for (std::size_t j = 0; j < entries.size(); ++j) {
+      if (j != 0) out += ", ";
+      out += '"';
+      out += json_escape(entries[j].name);
+      out += "\": ";
+      out += json_number(entries[j].value);
+    }
+    out += "}}";
+  }
+  out += "\n  ],\n";
+
+  out += "  \"aggregate\": {";
+  for (std::size_t i = 0; i < result.aggregate.size(); ++i) {
+    const AggregateMetric& a = result.aggregate[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    out += json_escape(a.name);
+    out += "\": {\"mean\": ";
+    out += json_number(a.mean);
+    out += ", \"min\": ";
+    out += json_number(a.min);
+    out += ", \"max\": ";
+    out += json_number(a.max);
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string write_report(const CampaignResult& result, const std::string& out_dir) {
+  const std::string file = "SCENARIO_" + result.spec.name + ".json";
+  const std::string path = out_dir.empty() ? file : out_dir + "/" + file;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  const std::string json = report_json(result);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+}  // namespace wakurln::scenario

@@ -1,0 +1,46 @@
+#pragma once
+// Campaign = one scenario swept across seeds. Runs land on a small thread
+// pool (each run is an independent, fully deterministic simulated world,
+// so parallelism cannot change any result), are aggregated per metric,
+// and serialize to a stable JSON report following the PR-1 bench-harness
+// conventions (SCENARIO_<name>.json next to the BENCH_<name>.json files).
+//
+// Determinism contract: report_json(run_campaign(spec, cfg)) is a pure
+// function of (spec, cfg.seeds, cfg.seed0) — the thread count and
+// completion order never leak into the bytes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/metrics.h"
+#include "scenario/spec.h"
+
+namespace wakurln::scenario {
+
+struct CampaignConfig {
+  /// How many seeds to sweep: seed0, seed0+1, ...
+  std::size_t seeds = 3;
+  std::uint64_t seed0 = 1;
+  /// Worker threads; 0 picks min(seeds, hardware_concurrency).
+  std::size_t threads = 0;
+};
+
+struct CampaignResult {
+  ScenarioSpec spec;
+  std::vector<std::uint64_t> seeds;
+  std::vector<MetricSet> runs;  ///< ordered by seed, not by completion
+  std::vector<AggregateMetric> aggregate;
+};
+
+/// Runs the sweep; rethrows the first per-run exception (by seed order).
+CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& config);
+
+/// Deterministic JSON serialization (schema documented in the README).
+std::string report_json(const CampaignResult& result);
+
+/// Writes report_json to "<out_dir>/SCENARIO_<name>.json" ("" = CWD);
+/// returns the path written.
+std::string write_report(const CampaignResult& result, const std::string& out_dir = "");
+
+}  // namespace wakurln::scenario

@@ -1,0 +1,65 @@
+#include "scenario/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/stats.h"
+
+namespace wakurln::scenario {
+
+void MetricSet::set(const std::string& name, double value) {
+  for (Metric& m : metrics_) {
+    if (m.name == name) {
+      m.value = value;
+      return;
+    }
+  }
+  metrics_.push_back({name, value});
+}
+
+std::optional<double> MetricSet::get(const std::string& name) const {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) return m.value;
+  }
+  return std::nullopt;
+}
+
+double MetricSet::at(const std::string& name) const {
+  const auto v = get(name);
+  if (!v) throw std::out_of_range("MetricSet: no metric named " + name);
+  return *v;
+}
+
+std::vector<AggregateMetric> aggregate_runs(const std::vector<MetricSet>& runs) {
+  std::vector<AggregateMetric> out;
+  if (runs.empty()) return out;
+  const std::vector<Metric>& first = runs.front().entries();
+  out.reserve(first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    AggregateMetric agg;
+    agg.name = first[i].name;
+    agg.min = agg.max = first[i].value;
+    double sum = 0;
+    for (const MetricSet& run : runs) {
+      const std::vector<Metric>& entries = run.entries();
+      if (entries.size() != first.size() || entries[i].name != agg.name) {
+        throw std::invalid_argument(
+            "aggregate_runs: runs disagree on metric layout at '" + agg.name + "'");
+      }
+      const double v = entries[i].value;
+      sum += v;
+      agg.min = std::min(agg.min, v);
+      agg.max = std::max(agg.max, v);
+    }
+    agg.mean = sum / static_cast<double>(runs.size());
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  return util::percentile(std::move(samples), q);
+}
+
+}  // namespace wakurln::scenario

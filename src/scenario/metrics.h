@@ -1,0 +1,58 @@
+#pragma once
+// Unified metrics pipeline for scenario runs. A MetricSet is an *ordered*
+// list of named scalar measurements — order matters because campaign
+// reports are byte-compared for determinism, and because aggregation
+// across seeds pairs metrics positionally (every run of one spec emits
+// the same names in the same order).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wakurln::scenario {
+
+struct Metric {
+  std::string name;
+  double value = 0;
+};
+
+class MetricSet {
+ public:
+  /// Appends (or overwrites, preserving position) a measurement.
+  void set(const std::string& name, double value);
+
+  /// Value lookup by name.
+  std::optional<double> get(const std::string& name) const;
+
+  /// Value lookup that throws std::out_of_range with the metric name —
+  /// test/report code paths want loud failures, not silent zeros.
+  double at(const std::string& name) const;
+
+  std::size_t size() const { return metrics_.size(); }
+  bool empty() const { return metrics_.empty(); }
+  const std::vector<Metric>& entries() const { return metrics_; }
+
+ private:
+  std::vector<Metric> metrics_;
+};
+
+/// Per-metric summary across the seeds of a campaign.
+struct AggregateMetric {
+  std::string name;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Positional aggregation: every run must carry the same metric names in
+/// the same order (guaranteed for runs of one spec); throws
+/// std::invalid_argument otherwise.
+std::vector<AggregateMetric> aggregate_runs(const std::vector<MetricSet>& runs);
+
+/// Linear-interpolation percentile (q in [0,1]) over an unsorted sample
+/// set; delegates to util::percentile — the same definition the bench
+/// harness uses for its timing statistics.
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace wakurln::scenario

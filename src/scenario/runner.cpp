@@ -1,0 +1,564 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <any>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "baselines/pow.h"
+#include "gossipsub/message.h"
+#include "sim/topology.h"
+#include "util/bytes.h"
+#include "waku/harness.h"
+
+namespace wakurln::scenario {
+namespace {
+
+// Node index layout: [honest publishers][spammers][burst flooders][observers].
+enum class Role { kHonest, kSpammer, kFlooder, kObserver };
+
+Role role_of(const ScenarioSpec& spec, std::size_t i) {
+  const std::size_t honest = spec.honest_publishers();
+  if (i < honest) return Role::kHonest;
+  if (i < honest + spec.adversaries.spammers) return Role::kSpammer;
+  if (i < honest + spec.adversaries.total()) return Role::kFlooder;
+  return Role::kObserver;
+}
+
+std::string payload_key(char tag, std::size_t node, std::uint64_t epoch,
+                        std::uint64_t j) {
+  std::string out(1, tag);
+  out += '|';
+  out += std::to_string(node);
+  out += '|';
+  out += std::to_string(epoch);
+  out += '|';
+  out += std::to_string(j);
+  return out;
+}
+
+struct Publication {
+  std::size_t origin = 0;
+  sim::TimeUs at = 0;
+};
+
+/// One application-level delivery, keyed by the bare payload.
+struct Delivered {
+  std::size_t node;
+  std::string payload;
+  sim::TimeUs at;
+};
+
+/// What the workload phase recorded. Ordered containers throughout: metric
+/// assembly iterates them and campaign reports are byte-compared.
+struct TrafficLog {
+  std::uint64_t honest_attempted = 0;
+  std::uint64_t honest_published = 0;
+  std::uint64_t spam_attempted = 0;
+  std::uint64_t spam_published = 0;
+  std::map<std::string, Publication> honest;
+  std::map<std::string, Publication> spam;
+  /// adversary index -> traffic epoch -> messages actually published.
+  std::map<std::size_t, std::map<std::uint64_t, std::uint64_t>> adversary_published;
+};
+
+using PublishFn = std::function<bool(std::size_t node, const std::string& payload)>;
+
+void take_offline(sim::Network& net, sim::NodeId id) {
+  for (const sim::NodeId peer : net.neighbors(id)) net.disconnect(id, peer);
+  net.drop_in_flight(id);
+}
+
+void bring_online(sim::Network& net, sim::NodeId id, const std::vector<char>& online,
+                  std::size_t degree, util::Rng& rng) {
+  std::vector<sim::NodeId> targets;
+  targets.reserve(online.size());
+  for (std::size_t j = 0; j < online.size(); ++j) {
+    if (online[j] && j != id) targets.push_back(static_cast<sim::NodeId>(j));
+  }
+  sim::connect_to_random_peers(net, id, targets, degree, rng);
+}
+
+/// Schedules the honest workload, the adversaries, churn and the partition
+/// onto the world clock, runs the traffic phase plus `drain_seconds`, and
+/// returns what happened. All workload randomness is pre-drawn from a
+/// dedicated stream in a fixed (epoch-major, node-minor) order, so the
+/// decision sequence is a function of the seed alone.
+TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
+                         sim::Scheduler& sched, sim::Network& net,
+                         const PublishFn& publish_honest, const PublishFn& publish_spam,
+                         std::uint64_t drain_seconds) {
+  TrafficLog log;
+  const sim::TimeUs t_us = spec.epoch_seconds * sim::kUsPerSecond;
+  util::Rng traffic_rng(seed ^ 0x7472616666696331ULL);
+  util::Rng rewire_rng(seed ^ 0x72656a6f696e3031ULL);
+
+  // Align the first traffic epoch with a protocol epoch boundary so one
+  // workload epoch never straddles two RLN epochs; publish offsets stay in
+  // the first half of the epoch for the same reason.
+  const std::uint64_t now_s = sched.now() / sim::kUsPerSecond;
+  const std::uint64_t start_s = (now_s / spec.epoch_seconds + 1) * spec.epoch_seconds;
+  const sim::TimeUs start_us = start_s * sim::kUsPerSecond;
+
+  std::vector<char> online(spec.nodes, 1);
+
+  // Partition: cut the overlay into [0, split) / [split, n) at one epoch
+  // boundary, restore the exact severed links at a later one.
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> severed;
+  if (spec.partition.enabled) {
+    const std::uint64_t cut_e =
+        std::min(spec.partition.cut_at_epoch, spec.traffic_epochs - 1);
+    const std::uint64_t heal_e = std::max(spec.partition.heal_at_epoch, cut_e + 1);
+    const auto split = static_cast<std::size_t>(
+        static_cast<double>(spec.nodes) * (1.0 - spec.partition.fraction));
+    sched.schedule_at(start_us + cut_e * t_us, [&net, &severed, split, n = spec.nodes] {
+      for (std::size_t a = 0; a < split; ++a) {
+        for (std::size_t b = split; b < n; ++b) {
+          const auto ida = static_cast<sim::NodeId>(a);
+          const auto idb = static_cast<sim::NodeId>(b);
+          if (net.are_connected(ida, idb)) {
+            net.disconnect(ida, idb);
+            severed.emplace_back(ida, idb);
+          }
+        }
+      }
+    });
+    sched.schedule_at(start_us + heal_e * t_us, [&net, &severed, &online] {
+      for (const auto& [a, b] : severed) {
+        // A severed endpoint may have churned offline while the cut was
+        // open; its links come back through its own rejoin, not the heal.
+        if (online[a] && online[b]) net.connect(a, b);
+      }
+      severed.clear();
+    });
+  }
+
+  for (std::uint64_t e = 0; e < spec.traffic_epochs; ++e) {
+    const sim::TimeUs epoch_us = start_us + e * t_us;
+    for (std::size_t i = 0; i < spec.nodes; ++i) {
+      const Role role = role_of(spec, i);
+
+      if (role == Role::kHonest && spec.churn.leave_prob_per_epoch > 0) {
+        // Draw both values unconditionally to keep the stream layout fixed.
+        const bool leaves = traffic_rng.chance(spec.churn.leave_prob_per_epoch);
+        const sim::TimeUs leave_off = traffic_rng.uniform(1, t_us / 4);
+        if (leaves) {
+          sched.schedule_at(epoch_us + leave_off, [&net, &online, i] {
+            if (!online[i]) return;
+            online[i] = 0;
+            take_offline(net, static_cast<sim::NodeId>(i));
+          });
+          sched.schedule_at(
+              epoch_us + spec.churn.offline_epochs * t_us + leave_off,
+              [&net, &online, &rewire_rng, i, degree = spec.churn.rejoin_degree] {
+                if (online[i]) return;
+                online[i] = 1;
+                bring_online(net, static_cast<sim::NodeId>(i), online, degree,
+                             rewire_rng);
+              });
+        }
+      }
+
+      switch (role) {
+        case Role::kHonest: {
+          const bool publishes = traffic_rng.chance(spec.honest_publish_prob);
+          const sim::TimeUs off = t_us / 4 + traffic_rng.uniform(0, t_us / 4);
+          if (!publishes) break;
+          sched.schedule_at(epoch_us + off, [&log, &online, &publish_honest, &sched, i,
+                                             e] {
+            if (!online[i]) return;
+            ++log.honest_attempted;
+            const std::string key = payload_key('h', i, e, 0);
+            if (publish_honest(i, key)) {
+              ++log.honest_published;
+              log.honest.emplace(key, Publication{i, sched.now()});
+            }
+          });
+          break;
+        }
+        case Role::kSpammer: {
+          const sim::TimeUs off = t_us / 4 + traffic_rng.uniform(0, t_us / 4);
+          for (std::uint64_t j = 0; j < spec.adversaries.spam_per_epoch; ++j) {
+            sched.schedule_at(
+                epoch_us + off + j * sim::kUsPerMs,
+                [&log, &publish_spam, &sched, i, e, j] {
+                  ++log.spam_attempted;
+                  const std::string key = payload_key('s', i, e, j);
+                  if (publish_spam(i, key)) {
+                    ++log.spam_published;
+                    log.spam.emplace(key, Publication{i, sched.now()});
+                    ++log.adversary_published[i][e];
+                  }
+                });
+          }
+          break;
+        }
+        case Role::kFlooder: {
+          const std::uint64_t burst_e =
+              std::min(spec.adversaries.burst_at_epoch, spec.traffic_epochs - 1);
+          if (e != burst_e) break;
+          const sim::TimeUs off = t_us / 4 + traffic_rng.uniform(0, t_us / 4);
+          for (std::uint64_t j = 0; j < spec.adversaries.burst_size; ++j) {
+            sched.schedule_at(
+                epoch_us + off + j * sim::kUsPerMs,
+                [&log, &publish_spam, &sched, i, e, j] {
+                  ++log.spam_attempted;
+                  const std::string key = payload_key('f', i, e, j);
+                  if (publish_spam(i, key)) {
+                    ++log.spam_published;
+                    log.spam.emplace(key, Publication{i, sched.now()});
+                    ++log.adversary_published[i][e];
+                  }
+                });
+          }
+          break;
+        }
+        case Role::kObserver:
+          break;
+      }
+    }
+  }
+
+  sched.run_until(start_us + spec.traffic_epochs * t_us +
+                  drain_seconds * sim::kUsPerSecond);
+  return log;
+}
+
+/// The first-spy adversary: colluding silent observer nodes record, per
+/// message, which neighbour first handed it to any of them; the guessed
+/// originator is that neighbour ("Who started this rumor?", arXiv:1902.07138).
+class FirstSpyObserver {
+ public:
+  using Decoder = std::function<std::optional<std::string>(const util::Bytes&)>;
+
+  FirstSpyObserver(const ScenarioSpec& spec, sim::Network& net, Decoder decoder)
+      : decoder_(std::move(decoder)) {
+    if (spec.observers == 0) return;
+    is_observer_.assign(spec.nodes, 0);
+    for (std::size_t i = spec.nodes - spec.observers; i < spec.nodes; ++i) {
+      is_observer_[i] = 1;
+    }
+    net.set_frame_tap([this](sim::NodeId from, sim::NodeId to, const std::any& frame,
+                             std::size_t) {
+      if (!is_observer_[to]) return;
+      const auto* rpc = std::any_cast<std::shared_ptr<const gossipsub::Rpc>>(&frame);
+      if (rpc == nullptr || *rpc == nullptr) return;
+      for (const gossipsub::GsMessage& msg : (*rpc)->publish) {
+        const auto key = decoder_(msg.data);
+        if (key) first_seen_.try_emplace(*key, from);
+      }
+    });
+  }
+
+  const std::unordered_map<std::string, sim::NodeId>& first_seen() const {
+    return first_seen_;
+  }
+
+ private:
+  Decoder decoder_;
+  std::vector<char> is_observer_;
+  std::unordered_map<std::string, sim::NodeId> first_seen_;
+};
+
+void fill_delivery_metrics(MetricSet& m, const ScenarioSpec& spec,
+                           const TrafficLog& log,
+                           const std::vector<Delivered>& deliveries) {
+  const auto n = static_cast<double>(spec.nodes);
+  std::map<std::string, std::set<std::size_t>> receivers;
+  std::vector<double> latencies_ms;
+  std::uint64_t honest_deliveries = 0;
+  std::uint64_t spam_deliveries = 0;
+
+  for (const Delivered& d : deliveries) {
+    if (const auto it = log.honest.find(d.payload); it != log.honest.end()) {
+      if (d.node == it->second.origin) continue;  // local self-delivery
+      ++honest_deliveries;
+      receivers[d.payload].insert(d.node);
+      latencies_ms.push_back(static_cast<double>(d.at - it->second.at) /
+                             static_cast<double>(sim::kUsPerMs));
+    } else if (const auto is = log.spam.find(d.payload); is != log.spam.end()) {
+      if (d.node == is->second.origin) continue;
+      ++spam_deliveries;
+    }
+  }
+
+  double ratio_sum = 0;
+  for (const auto& [key, pub] : log.honest) {
+    const auto it = receivers.find(key);
+    const double got = it == receivers.end() ? 0 : static_cast<double>(it->second.size());
+    ratio_sum += got / (n - 1);
+  }
+
+  m.set("honest_attempted", static_cast<double>(log.honest_attempted));
+  m.set("honest_published", static_cast<double>(log.honest_published));
+  m.set("honest_deliveries", static_cast<double>(honest_deliveries));
+  m.set("delivery_ratio",
+        log.honest.empty() ? 0 : ratio_sum / static_cast<double>(log.honest.size()));
+  m.set("latency_p50_ms", percentile(latencies_ms, 0.5));
+  m.set("latency_p90_ms", percentile(latencies_ms, 0.9));
+  m.set("latency_p99_ms", percentile(latencies_ms, 0.99));
+  m.set("spam_attempted", static_cast<double>(log.spam_attempted));
+  m.set("spam_published", static_cast<double>(log.spam_published));
+  m.set("spam_deliveries", static_cast<double>(spam_deliveries));
+  m.set("spam_delivery_ratio",
+        log.spam_published == 0
+            ? 0
+            : static_cast<double>(spam_deliveries) /
+                  (static_cast<double>(log.spam_published) * (n - 1)));
+}
+
+struct OverRate {
+  std::uint64_t total = 0;       ///< signals beyond the per-epoch allowance
+  std::uint64_t by_slashed = 0;  ///< of those, sent by a member later slashed
+  std::uint64_t adversaries_slashed = 0;
+};
+
+OverRate over_rate(const ScenarioSpec& spec, const TrafficLog& log,
+                   const std::function<bool(std::size_t)>& is_slashed) {
+  OverRate o;
+  const std::uint64_t k = spec.messages_per_epoch;
+  for (const auto& [i, per_epoch] : log.adversary_published) {
+    const bool slashed = is_slashed(i);
+    if (slashed) ++o.adversaries_slashed;
+    for (const auto& [e, count] : per_epoch) {
+      const std::uint64_t over = count > k ? count - k : 0;
+      o.total += over;
+      if (slashed) o.by_slashed += over;
+    }
+  }
+  return o;
+}
+
+void fill_over_rate_metrics(MetricSet& m, const ScenarioSpec& spec,
+                            const TrafficLog& log,
+                            const std::function<bool(std::size_t)>& is_slashed) {
+  const OverRate o = over_rate(spec, log, is_slashed);
+  m.set("adversaries", static_cast<double>(spec.adversaries.total()));
+  m.set("adversaries_slashed", static_cast<double>(o.adversaries_slashed));
+  m.set("over_rate_signals", static_cast<double>(o.total));
+  // Vacuously 1 when no over-rate signal was ever published.
+  m.set("over_rate_slashed_ratio",
+        o.total == 0 ? 1.0
+                     : static_cast<double>(o.by_slashed) / static_cast<double>(o.total));
+}
+
+void fill_anonymity_metrics(MetricSet& m, const TrafficLog& log,
+                            const FirstSpyObserver& spy) {
+  std::uint64_t observed = 0;
+  std::uint64_t correct = 0;
+  std::map<sim::NodeId, std::set<std::size_t>> confusion;
+  for (const auto& [key, pub] : log.honest) {
+    const auto it = spy.first_seen().find(key);
+    if (it == spy.first_seen().end()) continue;
+    ++observed;
+    if (it->second == pub.origin) ++correct;
+    confusion[it->second].insert(pub.origin);
+  }
+  double set_sum = 0;
+  for (const auto& [key, pub] : log.honest) {
+    const auto it = spy.first_seen().find(key);
+    if (it == spy.first_seen().end()) continue;
+    set_sum += static_cast<double>(confusion[it->second].size());
+  }
+  const double denom = static_cast<double>(observed);
+  m.set("observed_messages", denom);
+  m.set("first_spy_accuracy", observed == 0 ? 0 : static_cast<double>(correct) / denom);
+  m.set("anonymity_set_mean", observed == 0 ? 0 : set_sum / denom);
+}
+
+void fill_network_metrics(MetricSet& m, const ScenarioSpec& spec,
+                          const sim::Network::Stats& stats) {
+  m.set("bytes_total", static_cast<double>(stats.bytes_sent));
+  m.set("bytes_per_node",
+        static_cast<double>(stats.bytes_sent) / static_cast<double>(spec.nodes));
+  m.set("frames_sent", static_cast<double>(stats.frames_sent));
+  m.set("frames_lost", static_cast<double>(stats.frames_lost));
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+  if (spec_.nodes < 2) {
+    throw std::invalid_argument("ScenarioSpec: need at least 2 nodes");
+  }
+  if (spec_.honest_publishers() == 0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: adversaries + observers leave no honest publisher");
+  }
+  if (spec_.epoch_seconds < 2) {
+    throw std::invalid_argument("ScenarioSpec: epoch_seconds must be >= 2");
+  }
+  if (spec_.traffic_epochs == 0) {
+    throw std::invalid_argument("ScenarioSpec: traffic_epochs must be >= 1");
+  }
+  if (spec_.messages_per_epoch == 0) {
+    throw std::invalid_argument("ScenarioSpec: messages_per_epoch must be >= 1");
+  }
+  if (spec_.partition.enabled &&
+      !(spec_.partition.fraction > 0.0 && spec_.partition.fraction < 1.0)) {
+    throw std::invalid_argument(
+        "ScenarioSpec: partition.fraction must be in (0, 1)");
+  }
+}
+
+MetricSet ScenarioRunner::run() {
+  return spec_.protocol == Protocol::kPow ? run_pow() : run_rln();
+}
+
+MetricSet ScenarioRunner::run_rln() {
+  waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+  cfg.node_count = spec_.nodes;
+  cfg.seed = seed_;
+  cfg.topology = spec_.topology;
+  cfg.extra_links_per_node = spec_.extra_links_per_node;
+  cfg.erdos_renyi_p = spec_.erdos_renyi_p;
+  cfg.link = spec_.link;
+  cfg.rln.epoch_period_seconds = spec_.epoch_seconds;
+  cfg.rln.messages_per_epoch = spec_.messages_per_epoch;
+  waku::SimHarness world(cfg);
+
+  const std::string topic = "scenario/" + spec_.name;
+  world.subscribe_all(topic);
+  world.register_all();
+  world.run_seconds(5);  // mesh warm-up heartbeats
+
+  FirstSpyObserver spy(spec_, world.network(),
+                       [](const util::Bytes& data) -> std::optional<std::string> {
+                         const auto decoded = waku::WakuRlnRelay::decode_envelope(data);
+                         if (!decoded) return std::nullopt;
+                         return std::string(decoded->second.begin(),
+                                            decoded->second.end());
+                       });
+
+  const PublishFn honest = [&](std::size_t node, const std::string& key) {
+    return world.node(node).publish(topic, util::to_bytes(key)) ==
+           waku::WakuRlnRelay::PublishOutcome::kPublished;
+  };
+  const PublishFn spam = [&](std::size_t node, const std::string& key) {
+    return world.node(node).publish_unchecked(topic, util::to_bytes(key)) ==
+           waku::WakuRlnRelay::PublishOutcome::kPublished;
+  };
+
+  // Let late frames land and slash transactions get mined before measuring.
+  const std::uint64_t drain_seconds = cfg.rln.max_delay_seconds +
+                                      2 * world.chain().config().block_time_seconds + 5;
+
+  // Sample the nullifier-map footprint once per epoch across the whole
+  // run: the per-epoch GC would have pruned the records by the time the
+  // drain ends, so an end-of-run reading misses the peak.
+  std::size_t nullifier_max = 0;
+  {
+    const std::uint64_t now_s = world.scheduler().now() / sim::kUsPerSecond;
+    const std::uint64_t horizon_s =
+        now_s + (spec_.traffic_epochs + 2) * spec_.epoch_seconds + drain_seconds;
+    for (std::uint64_t t = now_s + 1; t <= horizon_s; t += spec_.epoch_seconds) {
+      world.scheduler().schedule_at(t * sim::kUsPerSecond, [&world, &nullifier_max] {
+        for (std::size_t i = 0; i < world.size(); ++i) {
+          nullifier_max = std::max(nullifier_max, world.node(i).nullifier_map_bytes());
+        }
+      });
+    }
+  }
+
+  const TrafficLog log = drive_traffic(spec_, seed_, world.scheduler(),
+                                       world.network(), honest, spam, drain_seconds);
+
+  std::vector<Delivered> deliveries;
+  deliveries.reserve(world.deliveries().size());
+  for (const auto& d : world.deliveries()) {
+    deliveries.push_back(
+        {d.node_index, std::string(d.payload.begin(), d.payload.end()), d.at});
+  }
+
+  MetricSet m;
+  m.set("nodes", static_cast<double>(spec_.nodes));
+  fill_delivery_metrics(m, spec_, log, deliveries);
+  fill_over_rate_metrics(m, spec_, log, [&](std::size_t i) {
+    return !world.contract().is_active(world.node(i).identity().pk);
+  });
+
+  const auto stats = world.aggregate_stats();
+  m.set("rln_accepted", static_cast<double>(stats.accepted));
+  m.set("rln_duplicates", static_cast<double>(stats.duplicates));
+  m.set("rln_double_signals", static_cast<double>(stats.double_signals));
+  m.set("rln_slashes_submitted", static_cast<double>(stats.slashes_submitted));
+  m.set("nullifier_map_max_bytes", static_cast<double>(nullifier_max));
+  m.set("stake_burnt_wei", static_cast<double>(world.chain().ledger().burnt_total()));
+
+  fill_network_metrics(m, spec_, world.network().stats());
+  fill_anonymity_metrics(m, log, spy);
+  return m;
+}
+
+MetricSet ScenarioRunner::run_pow() {
+  util::Rng rng(seed_);
+  sim::Scheduler sched;
+  sim::Network net(sched, rng, spec_.link);
+
+  std::vector<sim::NodeId> ids;
+  std::vector<std::unique_ptr<waku::WakuRelay>> relays;
+  ids.reserve(spec_.nodes);
+  relays.reserve(spec_.nodes);
+  for (std::size_t i = 0; i < spec_.nodes; ++i) {
+    ids.push_back(net.add_node({}));
+    relays.push_back(std::make_unique<waku::WakuRelay>(ids.back(), net));
+  }
+  sim::build_topology(net, ids, spec_.topology, spec_.extra_links_per_node,
+                      spec_.erdos_renyi_p, rng);
+  for (auto& r : relays) r->start();
+
+  const std::string topic = "scenario/" + spec_.name;
+  const auto decode = [](const util::Bytes& data) -> std::optional<std::string> {
+    const auto env = baselines::PowEnvelope::deserialize(data);
+    if (!env) return std::nullopt;
+    return std::string(env->payload.begin(), env->payload.end());
+  };
+
+  std::vector<Delivered> deliveries;
+  for (std::size_t i = 0; i < spec_.nodes; ++i) {
+    relays[i]->router().set_validator(
+        topic, baselines::make_pow_validator(spec_.pow_difficulty_bits));
+    relays[i]->subscribe(topic, [&deliveries, &sched, &decode, i](
+                                    const gossipsub::TopicId&, const util::Bytes& data) {
+      const auto key = decode(data);
+      if (key) deliveries.push_back({i, *key, sched.now()});
+    });
+  }
+  sched.run_for(5 * sim::kUsPerSecond);  // mesh warm-up
+
+  FirstSpyObserver spy(spec_, net, decode);
+
+  // Under PoW everyone — honest phone or spam rig — pays the same hash
+  // price and there is no rate to enforce: the spam path is just publish.
+  const PublishFn publish = [&](std::size_t node, const std::string& key) {
+    const auto env =
+        baselines::pow_seal(util::to_bytes(key), spec_.pow_difficulty_bits);
+    relays[node]->publish(topic, env.serialize());
+    return true;
+  };
+
+  const TrafficLog log =
+      drive_traffic(spec_, seed_, sched, net, publish, publish, /*drain_seconds=*/10);
+
+  MetricSet m;
+  m.set("nodes", static_cast<double>(spec_.nodes));
+  fill_delivery_metrics(m, spec_, log, deliveries);
+  fill_over_rate_metrics(m, spec_, log, [](std::size_t) { return false; });
+  m.set("pow_difficulty_bits", static_cast<double>(spec_.pow_difficulty_bits));
+  m.set("pow_expected_hashes_per_msg",
+        baselines::expected_hashes(spec_.pow_difficulty_bits));
+  fill_network_metrics(m, spec_, net.stats());
+  fill_anonymity_metrics(m, log, spy);
+  return m;
+}
+
+}  // namespace wakurln::scenario

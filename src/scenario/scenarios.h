@@ -1,0 +1,19 @@
+#pragma once
+// The named scenario catalogue: every experiment the campaign engine can
+// run out of the box. Each entry is a fully-specified ScenarioSpec; CLI
+// overrides (nodes, epochs, ...) are applied on top by the callers.
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+
+namespace wakurln::scenario {
+
+/// All registered scenarios, in display order.
+const std::vector<ScenarioSpec>& registered_scenarios();
+
+/// Lookup by name; throws std::invalid_argument naming the valid choices.
+ScenarioSpec find_scenario(const std::string& name);
+
+}  // namespace wakurln::scenario

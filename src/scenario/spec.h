@@ -1,0 +1,106 @@
+#pragma once
+// Declarative description of one large-scale experiment: which protocol
+// stack to deploy (WAKU-RLN-RELAY or the PoW baseline), how many peers on
+// which overlay, what the honest workload looks like, and which
+// adversaries / disruptions act on the network. A spec plus a seed fully
+// determines a run — the scenario runner derives every random decision
+// from the seed, so identical (spec, seed) pairs reproduce byte-identical
+// metrics.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace wakurln::scenario {
+
+/// Adversary population mixed into the node set (node indices are
+/// assigned after the honest publishers, before the observers).
+struct AdversaryMix {
+  /// Members that publish over-rate every epoch via a modified client
+  /// (no local rate check): the paper's steady spammer.
+  std::size_t spammers = 0;
+  /// Unchecked messages each spammer emits per epoch.
+  std::uint64_t spam_per_epoch = 4;
+
+  /// Members that stay quiet, then dump one large burst in a single
+  /// epoch: the flash-flood attack.
+  std::size_t burst_flooders = 0;
+  std::uint64_t burst_size = 16;
+  /// Which traffic epoch the burst lands in.
+  std::uint64_t burst_at_epoch = 1;
+
+  std::size_t total() const { return spammers + burst_flooders; }
+};
+
+/// Membership churn: nodes go offline (links dropped, in-flight frames
+/// invalidated) and rejoin later.
+struct ChurnSpec {
+  /// Per eligible node, per traffic epoch probability of departing.
+  double leave_prob_per_epoch = 0.0;
+  /// How many epochs a departed node stays offline before rejoining.
+  std::uint64_t offline_epochs = 1;
+  /// Degree used when the node rewires into the overlay on rejoin.
+  std::size_t rejoin_degree = 4;
+};
+
+/// One clean cut of the overlay into two halves, healed later.
+struct PartitionSpec {
+  bool enabled = false;
+  /// Traffic epoch at whose boundary the cut happens.
+  std::uint64_t cut_at_epoch = 1;
+  /// Traffic epoch at whose boundary the severed links are restored.
+  std::uint64_t heal_at_epoch = 3;
+  /// Fraction of nodes on the minority side.
+  double fraction = 0.5;
+};
+
+/// Which protocol stack the scenario deploys.
+enum class Protocol {
+  kRln,  ///< WAKU-RLN-RELAY (membership, proofs, slashing)
+  kPow,  ///< plain relay + EIP-627-style proof-of-work pricing
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+
+  Protocol protocol = Protocol::kRln;
+
+  // -- world ------------------------------------------------------------
+  std::size_t nodes = 16;
+  sim::TopologyKind topology = sim::TopologyKind::kRingPlusRandom;
+  std::size_t extra_links_per_node = 3;
+  double erdos_renyi_p = 0.3;
+  sim::LinkParams link;
+
+  // -- protocol ----------------------------------------------------------
+  /// RLN epoch length T (also the cadence of the honest workload).
+  std::uint64_t epoch_seconds = 10;
+  /// RLN rate k (messages per member per epoch); the paper's scheme is 1.
+  std::uint64_t messages_per_epoch = 1;
+  /// PoW difficulty for Protocol::kPow.
+  int pow_difficulty_bits = 8;
+
+  // -- workload ----------------------------------------------------------
+  /// Number of traffic epochs driven after registration + mesh warm-up.
+  std::uint64_t traffic_epochs = 5;
+  /// Per honest publisher, per epoch probability of publishing a message.
+  double honest_publish_prob = 0.6;
+  /// Silent colluding first-spy observers (taken from the tail of the
+  /// node range; they subscribe and relay but never publish).
+  std::size_t observers = 1;
+
+  AdversaryMix adversaries;
+  ChurnSpec churn;
+  PartitionSpec partition;
+
+  /// Honest publisher count (everything that is not adversary/observer).
+  std::size_t honest_publishers() const {
+    const std::size_t reserved = adversaries.total() + observers;
+    return nodes > reserved ? nodes - reserved : 0;
+  }
+};
+
+}  // namespace wakurln::scenario

@@ -9,7 +9,7 @@ Network::Network(Scheduler& scheduler, util::Rng& rng, LinkParams default_link)
     : scheduler_(scheduler), rng_(rng), default_link_(default_link) {}
 
 NodeId Network::add_node(NodeCallbacks callbacks) {
-  nodes_.push_back(NodeState{std::move(callbacks), {}, 0, 0});
+  nodes_.push_back(NodeState{std::move(callbacks), {}, 0, 0, 0});
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -83,19 +83,26 @@ void Network::send(NodeId from, NodeId to, std::any frame, std::size_t bytes) {
                                  link.bandwidth_bytes_per_sec * kUsPerSecond);
   }
 
+  const std::uint64_t generation = nodes_[to].generation;
   scheduler_.schedule_after(
-      delay, [this, from, to, frame = std::move(frame), bytes]() {
-        // Link may have been torn down in flight.
-        if (!are_connected(from, to)) {
+      delay, [this, from, to, generation, frame = std::move(frame), bytes]() {
+        // Link may have been torn down — or the destination may have
+        // departed (drop_in_flight) — while the frame was in flight.
+        if (!are_connected(from, to) || nodes_[to].generation != generation) {
           stats_.frames_lost += 1;
           return;
         }
         stats_.frames_delivered += 1;
         nodes_[to].bytes_received += bytes;
+        if (frame_tap_) frame_tap_(from, to, frame, bytes);
         if (nodes_[to].callbacks.on_frame) {
           nodes_[to].callbacks.on_frame(from, frame, bytes);
         }
       });
+}
+
+void Network::drop_in_flight(NodeId node) {
+  nodes_.at(node).generation += 1;
 }
 
 std::uint64_t Network::bytes_sent_by(NodeId node) const {

@@ -36,6 +36,13 @@ struct NodeCallbacks {
   std::function<void(NodeId peer)> on_peer_disconnected;
 };
 
+/// Passive wiretap invoked on every delivered frame (after loss and
+/// link-liveness checks, before the receiver callback). Scenario observers
+/// use it to model an eavesdropping adversary without touching protocol
+/// state.
+using FrameTap =
+    std::function<void(NodeId from, NodeId to, const std::any& frame, std::size_t bytes)>;
+
 class Network {
  public:
   struct Stats {
@@ -67,6 +74,16 @@ class Network {
   /// Sends a frame over an existing link; throws if not connected.
   void send(NodeId from, NodeId to, std::any frame, std::size_t bytes);
 
+  /// Invalidates every frame currently in flight towards `node` (they are
+  /// counted as lost on arrival). Call on node departure: merely
+  /// disconnecting links is not enough, because a frame sent before the
+  /// departure would still deliver if the node re-links before the frame's
+  /// arrival time (stale delivery into the re-joined instance).
+  void drop_in_flight(NodeId node);
+
+  /// Installs (or clears, with nullptr) the global delivery wiretap.
+  void set_frame_tap(FrameTap tap) { frame_tap_ = std::move(tap); }
+
   const Stats& stats() const { return stats_; }
   std::uint64_t bytes_sent_by(NodeId node) const;
   std::uint64_t bytes_received_by(NodeId node) const;
@@ -80,6 +97,9 @@ class Network {
     std::unordered_set<NodeId> links;
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
+    /// Bumped by drop_in_flight; frames remember the value at send time
+    /// and only deliver if it is unchanged on arrival.
+    std::uint64_t generation = 0;
   };
 
   static std::uint64_t link_key(NodeId a, NodeId b);
@@ -90,6 +110,7 @@ class Network {
   LinkParams default_link_;
   std::vector<NodeState> nodes_;
   std::unordered_map<std::uint64_t, LinkParams> link_overrides_;
+  FrameTap frame_tap_;
   Stats stats_;
 };
 

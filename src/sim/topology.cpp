@@ -1,6 +1,8 @@
 #include "sim/topology.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace wakurln::sim {
 
@@ -40,6 +42,33 @@ void connect_to_random_peers(Network& network, NodeId newcomer,
     const std::size_t j = i + rng.uniform(0, pool.size() - 1 - i);
     std::swap(pool[i], pool[j]);
     network.connect(newcomer, pool[i]);
+  }
+}
+
+const char* topology_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kRingPlusRandom: return "ring_plus_random";
+    case TopologyKind::kErdosRenyi: return "erdos_renyi";
+  }
+  return "unknown";
+}
+
+TopologyKind topology_from_name(std::string_view name) {
+  if (name == "ring_plus_random") return TopologyKind::kRingPlusRandom;
+  if (name == "erdos_renyi") return TopologyKind::kErdosRenyi;
+  throw std::invalid_argument("unknown topology: " + std::string(name));
+}
+
+void build_topology(Network& network, std::span<const NodeId> nodes,
+                    TopologyKind kind, std::size_t extra_per_node,
+                    double edge_probability, util::Rng& rng) {
+  switch (kind) {
+    case TopologyKind::kRingPlusRandom:
+      connect_ring_plus_random(network, nodes, extra_per_node, rng);
+      break;
+    case TopologyKind::kErdosRenyi:
+      connect_erdos_renyi(network, nodes, edge_probability, rng);
+      break;
   }
 }
 

@@ -2,6 +2,7 @@
 // Topology builders for experiment setup.
 
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "sim/network.h"
@@ -23,5 +24,25 @@ void connect_erdos_renyi(Network& network, std::span<const NodeId> nodes, double
 void connect_to_random_peers(Network& network, NodeId newcomer,
                              std::span<const NodeId> targets, std::size_t degree,
                              util::Rng& rng);
+
+/// Named topology families so experiment specs can select one declaratively.
+enum class TopologyKind {
+  kRingPlusRandom,
+  kErdosRenyi,
+};
+
+/// Stable identifier used in CLI flags and JSON reports.
+const char* topology_name(TopologyKind kind);
+
+/// Parses topology_name output back; throws std::invalid_argument on
+/// unknown names.
+TopologyKind topology_from_name(std::string_view name);
+
+/// Builds `kind` over `nodes`. `extra_per_node` applies to
+/// kRingPlusRandom, `edge_probability` to kErdosRenyi; the other parameter
+/// is ignored.
+void build_topology(Network& network, std::span<const NodeId> nodes,
+                    TopologyKind kind, std::size_t extra_per_node,
+                    double edge_probability, util::Rng& rng);
 
 }  // namespace wakurln::sim

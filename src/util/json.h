@@ -1,0 +1,24 @@
+#pragma once
+// Minimal JSON emission helpers shared by the bench harness and the
+// scenario campaign reports. Emission only — the repo's JSON consumers
+// (CI scripts, report diffing) parse with Python.
+//
+// Both helpers are deterministic: identical inputs produce identical
+// bytes, which is what lets scenario reports be byte-compared across
+// runs, threads and machines.
+
+#include <string>
+
+namespace wakurln::util {
+
+/// Escapes `in` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& in);
+
+/// Formats a double as a JSON number. Integral values within 2^53 print
+/// without exponent or decimal point (counters round-trip exactly);
+/// everything else uses %.17g so the double is reconstructible
+/// bit-for-bit.
+std::string json_number(double v);
+
+}  // namespace wakurln::util

@@ -1,0 +1,20 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace wakurln::util {
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  if (q <= 0) return samples.front();
+  if (q >= 1) return samples.back();
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
+
+}  // namespace wakurln::util

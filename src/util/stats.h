@@ -1,0 +1,14 @@
+#pragma once
+// Small numeric helpers shared by the bench harness and the scenario
+// metrics pipeline, so timing percentiles and simulated-latency
+// percentiles are computed by one definition.
+
+#include <vector>
+
+namespace wakurln::util {
+
+/// Linear-interpolation percentile over an unsorted sample set; `q` is in
+/// [0, 1]. Returns 0 for an empty sample set.
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace wakurln::util

@@ -27,7 +27,8 @@ SimHarness::SimHarness(HarnessConfig config)
         *relays_.back(), chain_, *contract_, crs_, account_of(i), config_.rln,
         util::Rng(rng_.next_u64())));
   }
-  sim::connect_ring_plus_random(network_, ids, config_.extra_links_per_node, rng_);
+  sim::build_topology(network_, ids, config_.topology, config_.extra_links_per_node,
+                      config_.erdos_renyi_p, rng_);
   for (auto& r : relays_) r->start();
   mine_loop();
 }

@@ -11,6 +11,7 @@
 #include "eth/membership_contract.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
+#include "sim/topology.h"
 #include "waku/relay.h"
 #include "waku/rln_relay.h"
 
@@ -25,8 +26,12 @@ struct HarnessConfig {
   /// Stake per membership (forwarded into the contract config).
   std::uint64_t stake_wei = 1'000'000;
   double burn_fraction = 0.5;
-  /// Random chords per node on top of the base ring.
+  /// Overlay family the peers are wired into.
+  sim::TopologyKind topology = sim::TopologyKind::kRingPlusRandom;
+  /// Random chords per node on top of the base ring (kRingPlusRandom).
   std::size_t extra_links_per_node = 3;
+  /// Pairwise edge probability (kErdosRenyi).
+  double erdos_renyi_p = 0.3;
   std::uint64_t seed = 42;
   std::uint64_t initial_balance_wei = 100'000'000;
 

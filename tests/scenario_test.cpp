@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "scenario/campaign.h"
+#include "scenario/metrics.h"
+#include "scenario/runner.h"
+#include "scenario/scenarios.h"
+
+namespace wakurln::scenario {
+namespace {
+
+// Shrinks a registered scenario so a unit test stays fast.
+ScenarioSpec small(const std::string& name, std::size_t nodes = 10,
+                   std::uint64_t epochs = 3) {
+  ScenarioSpec spec = find_scenario(name);
+  spec.nodes = nodes;
+  spec.traffic_epochs = epochs;
+  return spec;
+}
+
+TEST(MetricSetTest, SetGetAndOverwritePreservePosition) {
+  MetricSet m;
+  m.set("a", 1);
+  m.set("b", 2);
+  m.set("a", 3);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.entries()[0].name, "a");
+  EXPECT_EQ(m.at("a"), 3);
+  EXPECT_EQ(m.at("b"), 2);
+  EXPECT_FALSE(m.get("c").has_value());
+  EXPECT_THROW(m.at("c"), std::out_of_range);
+}
+
+TEST(MetricSetTest, AggregateComputesMeanMinMax) {
+  MetricSet r1, r2;
+  r1.set("x", 1);
+  r2.set("x", 3);
+  const auto agg = aggregate_runs({r1, r2});
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_EQ(agg[0].name, "x");
+  EXPECT_DOUBLE_EQ(agg[0].mean, 2);
+  EXPECT_DOUBLE_EQ(agg[0].min, 1);
+  EXPECT_DOUBLE_EQ(agg[0].max, 3);
+}
+
+TEST(MetricSetTest, AggregateRejectsMismatchedLayouts) {
+  MetricSet r1, r2;
+  r1.set("x", 1);
+  r2.set("y", 1);
+  EXPECT_THROW(aggregate_runs({r1, r2}), std::invalid_argument);
+}
+
+TEST(RegistryTest, HasAtLeastSixUniquelyNamedScenarios) {
+  const auto& catalogue = registered_scenarios();
+  EXPECT_GE(catalogue.size(), 6u);
+  std::set<std::string> names;
+  for (const ScenarioSpec& s : catalogue) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.description.empty());
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate scenario " << s.name;
+  }
+  EXPECT_EQ(find_scenario("spam_wave").name, "spam_wave");
+  EXPECT_THROW(find_scenario("no_such_scenario"), std::invalid_argument);
+}
+
+TEST(RegistryTest, SpecValidationRejectsInfeasibleSpecs) {
+  ScenarioSpec spec = find_scenario("baseline_relay");
+  spec.nodes = 3;
+  spec.observers = 3;  // leaves no honest publisher
+  EXPECT_THROW(ScenarioRunner(spec, 1), std::invalid_argument);
+  spec = find_scenario("baseline_relay");
+  spec.traffic_epochs = 0;
+  EXPECT_THROW(ScenarioRunner(spec, 1), std::invalid_argument);
+  spec = find_scenario("partition_heal");
+  spec.partition.fraction = 1.5;
+  EXPECT_THROW(ScenarioRunner(spec, 1), std::invalid_argument);
+}
+
+TEST(DeterminismTest, SameSeedSameMetricsByteIdentical) {
+  const ScenarioSpec spec = small("spam_wave");
+  CampaignConfig cfg;
+  cfg.seeds = 2;
+  cfg.seed0 = 7;
+  cfg.threads = 2;
+  const std::string a = report_json(run_campaign(spec, cfg));
+  const std::string b = report_json(run_campaign(spec, cfg));
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeterminismTest, ThreadCountDoesNotChangeTheReport) {
+  const ScenarioSpec spec = small("baseline_relay");
+  CampaignConfig serial;
+  serial.seeds = 3;
+  serial.seed0 = 1;
+  serial.threads = 1;
+  CampaignConfig parallel = serial;
+  parallel.threads = 3;
+  EXPECT_EQ(report_json(run_campaign(spec, serial)),
+            report_json(run_campaign(spec, parallel)));
+}
+
+TEST(DeterminismTest, DifferentSeedsProduceIndependentRuns) {
+  const ScenarioSpec spec = small("baseline_relay");
+  const MetricSet a = ScenarioRunner(spec, 1).run();
+  const MetricSet b = ScenarioRunner(spec, 2).run();
+  // Same layout (required for aggregation)...
+  ASSERT_EQ(a.size(), b.size());
+  // ...but genuinely different random worlds: latency percentiles depend
+  // on jitter draws and cannot coincide across seeds.
+  EXPECT_NE(a.at("latency_p50_ms"), b.at("latency_p50_ms"));
+}
+
+// The ISSUE's acceptance scenario: >90% of over-rate signals slashed while
+// the honest delivery ratio stays >= the no-adversary baseline.
+TEST(SpamWaveTest, SlashesOverRateSignalsWithoutHurtingHonestTraffic) {
+  const MetricSet spam = ScenarioRunner(small("spam_wave", 12, 3), 42).run();
+  const MetricSet base = ScenarioRunner(small("baseline_relay", 12, 3), 42).run();
+
+  EXPECT_GT(spam.at("over_rate_signals"), 0);
+  EXPECT_GT(spam.at("over_rate_slashed_ratio"), 0.9);
+  EXPECT_EQ(spam.at("adversaries_slashed"), spam.at("adversaries"));
+  EXPECT_GE(spam.at("delivery_ratio"), base.at("delivery_ratio"));
+  // Spam is contained: at most ~1/spam_per_epoch of over-rate traffic
+  // propagates (only the first signal per epoch is relayable).
+  EXPECT_LT(spam.at("spam_delivery_ratio"), 0.5);
+  EXPECT_GT(spam.at("stake_burnt_wei"), 0);
+}
+
+TEST(PowBaselineTest, PowDeliversSpamThatRlnContains) {
+  const MetricSet pow = ScenarioRunner(small("pow_baseline", 12, 3), 5).run();
+  const MetricSet rln = ScenarioRunner(small("spam_wave", 12, 3), 5).run();
+  // PoW prices spam but cannot rate-limit it: everything sealed delivers.
+  EXPECT_GT(pow.at("spam_delivery_ratio"), 0.9);
+  EXPECT_EQ(pow.at("over_rate_slashed_ratio"), 0.0);
+  EXPECT_GT(pow.at("over_rate_signals"), 0);
+  // RLN contains the same attack.
+  EXPECT_LT(rln.at("spam_delivery_ratio"), 0.5);
+  EXPECT_GT(pow.at("pow_expected_hashes_per_msg"), 0);
+}
+
+TEST(ChurnStormTest, RunsWithDegradedButPositiveDelivery) {
+  const MetricSet m = ScenarioRunner(small("churn_storm", 12, 4), 3).run();
+  // Offline windows cost deliveries, but the overlay keeps working.
+  EXPECT_GT(m.at("delivery_ratio"), 0.3);
+  EXPECT_LT(m.at("delivery_ratio"), 1.0);
+  EXPECT_GT(m.at("honest_published"), 0);
+}
+
+TEST(PartitionHealTest, DeliveryDegradesUnderCutAndNetworkSurvives) {
+  const MetricSet part = ScenarioRunner(small("partition_heal", 12, 4), 9).run();
+  const MetricSet base = ScenarioRunner(small("baseline_relay", 12, 4), 9).run();
+  EXPECT_GT(part.at("delivery_ratio"), 0.0);
+  // Messages published during the cut cannot cross it.
+  EXPECT_LT(part.at("delivery_ratio"), base.at("delivery_ratio"));
+}
+
+TEST(MixedRateTest, RateExtensionAllowsKPerEpochAndStillSlashesOverRate) {
+  const MetricSet m = ScenarioRunner(small("mixed_rate", 12, 3), 21).run();
+  EXPECT_GT(m.at("honest_published"), 0);
+  EXPECT_GE(m.at("delivery_ratio"), 0.9);
+  EXPECT_GT(m.at("over_rate_signals"), 0);
+  EXPECT_GT(m.at("over_rate_slashed_ratio"), 0.9);
+}
+
+TEST(AnonymityTest, FirstSpyObserverSeesMessagesButNotAllOriginators) {
+  const MetricSet m = ScenarioRunner(small("baseline_relay", 14, 4), 11).run();
+  EXPECT_GT(m.at("observed_messages"), 0);
+  // The observer's first-spy guess must not be a perfect deanonymiser on
+  // a multi-hop overlay.
+  EXPECT_LT(m.at("first_spy_accuracy"), 1.0);
+  EXPECT_GE(m.at("anonymity_set_mean"), 1.0);
+}
+
+TEST(ReportTest, JsonIsWellFormedAndCarriesRunsAndAggregates) {
+  CampaignConfig cfg;
+  cfg.seeds = 2;
+  cfg.seed0 = 1;
+  const CampaignResult result = run_campaign(small("baseline_relay"), cfg);
+  ASSERT_EQ(result.runs.size(), 2u);
+  ASSERT_FALSE(result.aggregate.empty());
+  const std::string json = report_json(result);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\": \"baseline_relay\""), std::string::npos);
+  EXPECT_NE(json.find("\"delivery_ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate\""), std::string::npos);
+  // Balanced braces (cheap well-formedness proxy; CI validates with a
+  // real parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace wakurln::scenario

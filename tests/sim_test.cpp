@@ -68,6 +68,49 @@ TEST(SchedulerTest, RunNextOnEmptyReturnsFalse) {
   EXPECT_FALSE(sched.run_next());
 }
 
+TEST(SchedulerTest, ZeroDelayEventRunsAtCurrentTime) {
+  Scheduler sched;
+  sched.schedule_at(100, [] {});
+  sched.run_all();
+  ASSERT_EQ(sched.now(), 100u);
+  bool fired = false;
+  sched.schedule_after(0, [&] {
+    fired = true;
+  });
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run_until(100);  // zero-latency event is due *now*
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sched.now(), 100u);
+}
+
+TEST(SchedulerTest, SameTimestampNestedSchedulingRunsAfterExistingTies) {
+  // An event that schedules a same-timestamp follow-up must see the
+  // follow-up run after every already-queued event at that timestamp
+  // (sequence numbers keep growing), and the whole order must be
+  // deterministic — the scenario runner's churn/publish interleavings
+  // depend on this.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(10, [&] {
+    order.push_back(0);
+    sched.schedule_at(10, [&] { order.push_back(2); });
+  });
+  sched.schedule_at(10, [&] { order.push_back(1); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SchedulerTest, RunUntilBoundaryIsInclusiveAndDeterministic) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(200, [&] { order.push_back(0); });
+  sched.schedule_at(200, [&] { order.push_back(1); });
+  sched.schedule_at(201, [&] { order.push_back(2); });
+  sched.run_until(200);  // both boundary events run, in submission order
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
 struct TestNode {
   std::vector<std::pair<NodeId, std::string>> received;
   std::vector<NodeId> connected;
@@ -209,6 +252,93 @@ TEST(NetworkTest, TrafficAccounting) {
   EXPECT_EQ(net.stats().frames_delivered, 2u);
 }
 
+TEST(NetworkTest, DropInFlightPreventsStaleDeliveryAfterRejoin) {
+  // Regression: a frame sent before a node departs must not deliver into
+  // the node after it re-links, even though the link exists again by the
+  // frame's arrival time. drop_in_flight invalidates the in-flight frame.
+  Scheduler sched;
+  Rng rng(11);
+  LinkParams link;
+  link.base_latency = 10 * kUsPerMs;
+  link.jitter = 0;
+  link.bandwidth_bytes_per_sec = 0;
+  Network net(sched, rng, link);
+  TestNode a, b;
+  const NodeId ida = net.add_node(a.callbacks());
+  const NodeId idb = net.add_node(b.callbacks());
+  net.connect(ida, idb);
+
+  net.send(ida, idb, std::string("stale"), 5);
+  // b departs (links torn down, in-flight frames invalidated) and rejoins
+  // before the frame's arrival time.
+  net.disconnect(ida, idb);
+  net.drop_in_flight(idb);
+  net.connect(ida, idb);
+  sched.run_all();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().frames_lost, 1u);
+
+  // Frames sent after the rejoin deliver normally.
+  net.send(ida, idb, std::string("fresh"), 5);
+  sched.run_all();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, "fresh");
+}
+
+TEST(NetworkTest, WithoutDropInFlightStaleFrameWouldDeliver) {
+  // Documents why drop_in_flight exists: a disconnect/reconnect pair alone
+  // does not invalidate frames already on the wire.
+  Scheduler sched;
+  Rng rng(12);
+  LinkParams link;
+  link.base_latency = 10 * kUsPerMs;
+  link.jitter = 0;
+  link.bandwidth_bytes_per_sec = 0;
+  Network net(sched, rng, link);
+  TestNode a, b;
+  const NodeId ida = net.add_node(a.callbacks());
+  const NodeId idb = net.add_node(b.callbacks());
+  net.connect(ida, idb);
+  net.send(ida, idb, std::string("stale"), 5);
+  net.disconnect(ida, idb);
+  net.connect(ida, idb);
+  sched.run_all();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(NetworkTest, FrameTapObservesDeliveriesOnly) {
+  Scheduler sched;
+  Rng rng(13);
+  LinkParams link;
+  link.base_latency = kUsPerMs;
+  link.jitter = 0;
+  link.loss_rate = 0;
+  link.bandwidth_bytes_per_sec = 0;
+  Network net(sched, rng, link);
+  TestNode a, b;
+  const NodeId ida = net.add_node(a.callbacks());
+  const NodeId idb = net.add_node(b.callbacks());
+  net.connect(ida, idb);
+
+  std::vector<std::pair<NodeId, NodeId>> taps;
+  net.set_frame_tap([&](NodeId from, NodeId to, const std::any&, std::size_t) {
+    taps.emplace_back(from, to);
+  });
+
+  net.send(ida, idb, std::string("seen"), 4);
+  net.send(idb, ida, std::string("back"), 4);
+  sched.run_all();
+  // This one is dropped in flight and must not reach the tap.
+  net.send(ida, idb, std::string("dropped"), 7);
+  net.drop_in_flight(idb);
+  sched.run_all();
+
+  ASSERT_EQ(taps.size(), 2u);
+  EXPECT_EQ(taps[0], (std::pair<NodeId, NodeId>{ida, idb}));
+  EXPECT_EQ(taps[1], (std::pair<NodeId, NodeId>{idb, ida}));
+  EXPECT_EQ(net.stats().frames_lost, 1u);
+}
+
 TEST(TopologyTest, RingPlusRandomIsConnected) {
   Scheduler sched;
   Rng rng(9);
@@ -251,6 +381,60 @@ TEST(TopologyTest, ConnectToRandomPeersRespectsDegree) {
   const NodeId other = net.add_node({});
   connect_to_random_peers(net, other, incl, 20, rng);
   for (NodeId n : net.neighbors(other)) EXPECT_NE(n, other);
+}
+
+TEST(TopologyTest, RingPlusRandomTinyNetworks) {
+  Scheduler sched;
+  Rng rng(14);
+  Network net(sched, rng);
+  // 0 and 1 nodes: no-ops, no crash.
+  std::vector<NodeId> none;
+  connect_ring_plus_random(net, none, 3, rng);
+  std::vector<NodeId> one = {net.add_node({})};
+  connect_ring_plus_random(net, one, 3, rng);
+  EXPECT_TRUE(net.neighbors(one[0]).empty());
+  // 2 nodes: a single link, no chords (chords need >= 3 nodes).
+  std::vector<NodeId> two = {net.add_node({}), net.add_node({})};
+  connect_ring_plus_random(net, two, 3, rng);
+  EXPECT_EQ(net.neighbors(two[0]), std::vector<NodeId>{two[1]});
+}
+
+TEST(TopologyTest, ErdosRenyiExtremes) {
+  Scheduler sched;
+  Rng rng(15);
+  Network net(sched, rng);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 12; ++i) nodes.push_back(net.add_node({}));
+
+  connect_erdos_renyi(net, nodes, 0.0, rng);
+  for (NodeId n : nodes) EXPECT_TRUE(net.neighbors(n).empty());
+
+  connect_erdos_renyi(net, nodes, 1.0, rng);
+  for (NodeId n : nodes) EXPECT_EQ(net.neighbors(n).size(), nodes.size() - 1);
+}
+
+TEST(TopologyTest, BuildTopologyDispatchesByKind) {
+  Scheduler sched;
+  Rng rng(16);
+  Network net(sched, rng);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 10; ++i) nodes.push_back(net.add_node({}));
+
+  build_topology(net, nodes, TopologyKind::kErdosRenyi, /*extra_per_node=*/9,
+                 /*edge_probability=*/0.0, rng);
+  for (NodeId n : nodes) EXPECT_TRUE(net.neighbors(n).empty());
+
+  build_topology(net, nodes, TopologyKind::kRingPlusRandom, /*extra_per_node=*/0,
+                 /*edge_probability=*/0.0, rng);
+  for (NodeId n : nodes) EXPECT_GE(net.neighbors(n).size(), 2u);  // the ring
+}
+
+TEST(TopologyTest, TopologyNamesRoundTrip) {
+  for (const TopologyKind kind :
+       {TopologyKind::kRingPlusRandom, TopologyKind::kErdosRenyi}) {
+    EXPECT_EQ(topology_from_name(topology_name(kind)), kind);
+  }
+  EXPECT_THROW(topology_from_name("moebius_strip"), std::invalid_argument);
 }
 
 TEST(DeterminismTest, SameSeedSameSchedule) {
