@@ -105,7 +105,7 @@ int main() {
       for (std::size_t i = 0; i < world.size(); ++i) {
         world.relay(i).subscribe("bench/raw",
                                  [&world, sink, &sent](const gossipsub::TopicId&,
-                                                       const util::Bytes&) {
+                                                       const util::SharedBytes&) {
                                    sink->push_back(
                                        static_cast<double>(world.scheduler().now() -
                                                            sent) /

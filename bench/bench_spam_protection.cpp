@@ -14,6 +14,7 @@
 // honest-message delivery, bandwidth consumed, and the attacker's cost.
 
 #include <cstdio>
+#include <span>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,7 +42,7 @@ struct Result {
   std::string attacker_cost;
 };
 
-bool is_spam(const util::Bytes& payload) {
+bool is_spam(std::span<const std::uint8_t> payload) {
   return payload.size() >= 4 && payload[0] == 'S' && payload[1] == 'P';
 }
 
@@ -83,8 +84,8 @@ Result run_relay_scheme(const std::string& name, bool use_pow, bool use_scoring,
   }
   for (std::size_t i = 0; i < kHonest; ++i) {
     relays[i]->subscribe(kTopic, [&inbox, i](const gossipsub::TopicId&,
-                                             const util::Bytes& payload) {
-      inbox[i].push_back(payload);
+                                             const util::SharedBytes& payload) {
+      inbox[i].push_back(payload.to_vector());
     });
   }
   sched.run_for(5 * sim::kUsPerSecond);

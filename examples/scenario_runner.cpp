@@ -14,6 +14,8 @@
 //   --threads T         worker threads (default: min(seeds, cores))
 //   --nodes N           override the spec's network size
 //   --epochs E          override the spec's traffic epochs
+//   --payload-bytes P   pad published payloads to P bytes (0 = bare key)
+//   --link-profile L    uniform | geo (per-link latency from region pairs)
 //   --out DIR           directory for SCENARIO_<name>.json (default CWD)
 
 #include <cstdio>
@@ -23,6 +25,7 @@
 
 #include "scenario/campaign.h"
 #include "scenario/scenarios.h"
+#include "sim/topology.h"
 #include "util/cli.h"
 
 using namespace wakurln;
@@ -39,6 +42,11 @@ void print_catalogue() {
 void run_one(scenario::ScenarioSpec spec, const util::CliArgs& args) {
   spec.nodes = static_cast<std::size_t>(args.get_u64("nodes", spec.nodes));
   spec.traffic_epochs = args.get_u64("epochs", spec.traffic_epochs);
+  spec.payload_bytes =
+      static_cast<std::size_t>(args.get_u64("payload-bytes", spec.payload_bytes));
+  if (args.has("link-profile")) {
+    spec.link_profile = sim::link_profile_from_name(args.get("link-profile", ""));
+  }
 
   scenario::CampaignConfig cfg;
   cfg.seeds = static_cast<std::size_t>(args.get_u64("seeds", 3));
@@ -81,7 +89,7 @@ int main(int argc, char** argv) {
     std::printf("no --scenario given; running the default catalogue listing.\n");
     std::printf("usage: %s --list | --scenario NAME | --all "
                 "[--seeds K] [--seed0 S] [--threads T] [--nodes N] [--epochs E] "
-                "[--out DIR]\n\n",
+                "[--payload-bytes P] [--link-profile uniform|geo] [--out DIR]\n\n",
                 args.program().c_str());
     print_catalogue();
     return 0;

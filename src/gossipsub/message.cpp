@@ -8,6 +8,10 @@
 namespace wakurln::gossipsub {
 
 GsMessage GsMessage::create(TopicId topic, util::Bytes data) {
+  return create(std::move(topic), util::SharedBytes(std::move(data)));
+}
+
+GsMessage GsMessage::create(TopicId topic, util::SharedBytes data) {
   GsMessage msg;
   msg.topic = std::move(topic);
   msg.data = std::move(data);
@@ -23,15 +27,24 @@ bool Rpc::empty() const {
          graft.empty() && prune.empty();
 }
 
-std::size_t Rpc::wire_size() const {
-  std::size_t size = 8;  // frame header
-  for (const auto& m : publish) size += m.wire_size();
-  for (const auto& s : subscriptions) size += s.topic.size() + 2;
-  for (const auto& ih : ihave) size += ih.topic.size() + ih.ids.size() * 32 + 4;
-  for (const auto& iw : iwant) size += iw.ids.size() * 32 + 4;
-  for (const auto& g : graft) size += g.topic.size() + 2;
-  for (const auto& p : prune) size += p.topic.size() + 2 + p.px.size() * 4;
-  return size;
+Rpc::WireBreakdown Rpc::wire_breakdown() const {
+  WireBreakdown b;
+  b.control = kRpcHeaderBytes;
+  for (const auto& m : publish) b.payload += m->wire_size();
+  for (const auto& s : subscriptions) b.control += s.topic.size() + kControlEntryBytes;
+  for (const auto& ih : ihave) {
+    b.control += ih.topic.size() + kControlEntryBytes + kIdListCountBytes +
+                 ih.ids.size() * kMessageIdBytes;
+  }
+  for (const auto& iw : iwant) {
+    b.control +=
+        kControlEntryBytes + kIdListCountBytes + iw.ids.size() * kMessageIdBytes;
+  }
+  for (const auto& g : graft) b.control += g.topic.size() + kControlEntryBytes;
+  for (const auto& p : prune) {
+    b.control += p.topic.size() + kControlEntryBytes + p.px.size() * kPxRecordBytes;
+  }
+  return b;
 }
 
 }  // namespace wakurln::gossipsub

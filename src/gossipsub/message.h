@@ -3,21 +3,51 @@
 // are content-addressed — the id is a hash of (topic, data) — which is a
 // prerequisite for sender anonymity: no sequence numbers or origin fields
 // appear anywhere in the frame (Waku-Relay's PII stripping, §I).
+//
+// Payloads are immutable util::SharedBytes views, and Rpc::publish holds
+// shared_ptr<const GsMessage> entries: the whole message (topic + id +
+// payload) lives in one heap allocation shared by the publisher's fan-out,
+// every forwarding hop, the message cache and IWANT replies.
+//
+// ---------------------------------------------------------------------
+// Wire-size model — the single source of truth for byte accounting.
+// Every byte the traffic metrics charge is derived from the constants
+// below; nothing else in the codebase invents frame sizes.
+//
+//   Rpc frame          kRpcHeaderBytes
+//                        (length-delimited protobuf-style envelope)
+//   published message  data + topic + kMessageFramingBytes
+//                        (content id 32 + field tags/lengths 8)
+//   control entry      kControlEntryBytes (entry tag + length + flags;
+//                        covers the subscribe bool of a subscription)
+//     + per IHAVE/IWANT id list:  kIdListCountBytes + 32 per message id
+//     + per PRUNE PX record:      kPxRecordBytes per candidate peer
+//   topic strings      charged at byte length wherever they appear
+// ---------------------------------------------------------------------
 
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/shared_bytes.h"
 
 namespace wakurln::gossipsub {
 
 using TopicId = std::string;
 
+inline constexpr std::size_t kRpcHeaderBytes = 8;
+inline constexpr std::size_t kMessageIdBytes = 32;
+inline constexpr std::size_t kMessageFramingBytes = kMessageIdBytes + 8;
+inline constexpr std::size_t kControlEntryBytes = 2;
+inline constexpr std::size_t kIdListCountBytes = 2;
+inline constexpr std::size_t kPxRecordBytes = 4;
+
 /// Content-derived message identifier.
-using MessageId = std::array<std::uint8_t, 32>;
+using MessageId = std::array<std::uint8_t, kMessageIdBytes>;
 
 struct MessageIdHash {
   std::size_t operator()(const MessageId& id) const {
@@ -30,15 +60,22 @@ struct MessageIdHash {
 /// A published application message.
 struct GsMessage {
   TopicId topic;
-  util::Bytes data;
+  util::SharedBytes data;
   MessageId id{};
 
   /// Builds a message with its content-derived id.
   static GsMessage create(TopicId topic, util::Bytes data);
+  static GsMessage create(TopicId topic, util::SharedBytes data);
 
-  /// Approximate wire footprint (payload + topic + framing).
-  std::size_t wire_size() const { return data.size() + topic.size() + 40; }
+  /// Wire footprint per the model above (payload + topic + framing).
+  std::size_t wire_size() const {
+    return data.size() + topic.size() + kMessageFramingBytes;
+  }
 };
+
+/// Shared handle to an immutable message — the unit the fan-out, mcache
+/// and IWANT paths pass around without copying.
+using GsMessagePtr = std::shared_ptr<const GsMessage>;
 
 /// "I have these message ids in topic" gossip advertisement.
 struct ControlIHave {
@@ -72,15 +109,23 @@ struct SubscriptionChange {
 
 /// One router-to-router frame batching messages and control traffic.
 struct Rpc {
-  std::vector<GsMessage> publish;
+  std::vector<GsMessagePtr> publish;
   std::vector<SubscriptionChange> subscriptions;
   std::vector<ControlIHave> ihave;
   std::vector<ControlIWant> iwant;
   std::vector<ControlGraft> graft;
   std::vector<ControlPrune> prune;
 
+  /// Wire bytes split by class, per the model above.
+  struct WireBreakdown {
+    std::size_t payload = 0;  ///< published messages incl. their framing
+    std::size_t control = 0;  ///< frame header + all control entries
+    std::size_t total() const { return payload + control; }
+  };
+
   bool empty() const;
-  std::size_t wire_size() const;
+  WireBreakdown wire_breakdown() const;
+  std::size_t wire_size() const { return wire_breakdown().total(); }
 };
 
 }  // namespace wakurln::gossipsub

@@ -1,6 +1,7 @@
 #include "gossipsub/router.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace wakurln::gossipsub {
 
@@ -19,7 +20,7 @@ void GossipSubRouter::start() {
   if (started_) return;
   started_ = true;
   sim::NodeCallbacks callbacks;
-  callbacks.on_frame = [this](NodeId from, const std::any& frame, std::size_t) {
+  callbacks.on_frame = [this](NodeId from, const sim::Frame& frame, std::size_t) {
     on_frame(from, frame);
   };
   callbacks.on_peer_connected = [this](NodeId peer) { on_peer_connected(peer); };
@@ -58,10 +59,10 @@ void GossipSubRouter::set_peer_ip(NodeId peer, std::uint32_t ip) {
   score_tracker_.set_peer_ip(peer, ip);
 }
 
-void GossipSubRouter::on_frame(NodeId from, const std::any& frame) {
-  const auto* rpc = std::any_cast<std::shared_ptr<const Rpc>>(&frame);
-  if (rpc == nullptr || *rpc == nullptr) return;  // foreign frame type
-  handle_rpc(from, **rpc);
+void GossipSubRouter::on_frame(NodeId from, const sim::Frame& frame) {
+  const Rpc* rpc = frame.get_if<Rpc>();
+  if (rpc == nullptr) return;  // foreign frame type
+  handle_rpc(from, *rpc);
 }
 
 void GossipSubRouter::subscribe(const TopicId& topic) {
@@ -79,10 +80,13 @@ void GossipSubRouter::subscribe(const TopicId& topic) {
   }
   Rpc announce;
   announce.subscriptions.push_back({topic, true});
-  for (const auto& [peer, st] : peers_) {
-    Rpc copy = announce;
-    send_rpc(peer, std::move(copy));
-  }
+  // Target order follows peers_ iteration so the rng draw sequence of the
+  // sends is unchanged by the shared-frame fan-out.
+  std::vector<NodeId> announce_to;
+  announce_to.reserve(peers_.size());
+  for (const auto& [peer, st] : peers_) announce_to.push_back(peer);
+  send_rpc_shared(announce_to, std::move(announce),
+                  std::numeric_limits<double>::lowest());
   // Graft eagerly where possible; the heartbeat tops the mesh up later.
   auto& mesh = mesh_[topic];
   maintain_mesh(topic, mesh);
@@ -102,10 +106,11 @@ void GossipSubRouter::unsubscribe(const TopicId& topic) {
   }
   Rpc announce;
   announce.subscriptions.push_back({topic, false});
-  for (const auto& [peer, st] : peers_) {
-    Rpc copy = announce;
-    send_rpc(peer, std::move(copy));
-  }
+  std::vector<NodeId> announce_to;
+  announce_to.reserve(peers_.size());
+  for (const auto& [peer, st] : peers_) announce_to.push_back(peer);
+  send_rpc_shared(announce_to, std::move(announce),
+                  std::numeric_limits<double>::lowest());
 }
 
 MessageId GossipSubRouter::publish(const TopicId& topic, util::Bytes payload,
@@ -154,14 +159,9 @@ MessageId GossipSubRouter::publish(const TopicId& topic, util::Bytes payload,
     targets.assign(fanout.peers.begin(), fanout.peers.end());
   }
 
-  for (NodeId peer : targets) {
-    if (params_.enable_scoring && score_of(peer) < params_.score.publish_threshold) {
-      continue;
-    }
-    Rpc rpc;
-    rpc.publish.push_back(*shared);
-    send_rpc(peer, std::move(rpc));
-  }
+  Rpc rpc;
+  rpc.publish.push_back(shared);
+  send_rpc_shared(targets, std::move(rpc), params_.score.publish_threshold);
   return id;
 }
 
@@ -200,7 +200,9 @@ void GossipSubRouter::handle_rpc(NodeId from, const Rpc& rpc) {
   for (const ControlGraft& graft : rpc.graft) handle_graft(from, graft.topic, reply);
   for (const ControlPrune& prune : rpc.prune) handle_prune(from, prune);
 
-  for (const GsMessage& msg : rpc.publish) handle_message(from, msg);
+  for (const GsMessagePtr& msg : rpc.publish) {
+    if (msg) handle_message(from, msg);
+  }
 
   // IHAVE: request unseen ids, respecting the gossip score threshold.
   if (!(params_.enable_scoring && score_of(from) < params_.score.gossip_threshold)) {
@@ -216,17 +218,18 @@ void GossipSubRouter::handle_rpc(NodeId from, const Rpc& rpc) {
     if (!iwant.ids.empty()) reply.iwant.push_back(std::move(iwant));
   }
 
-  // IWANT: serve from the message cache.
+  // IWANT: serve shared frames straight from the message cache.
   for (const ControlIWant& iwant : rpc.iwant) {
     for (const MessageId& id : iwant.ids) {
-      if (const auto msg = mcache_.get(id)) reply.publish.push_back(*msg);
+      if (auto msg = mcache_.get(id)) reply.publish.push_back(std::move(msg));
     }
   }
 
   if (!reply.empty()) send_rpc(from, std::move(reply));
 }
 
-void GossipSubRouter::handle_message(NodeId from, const GsMessage& msg) {
+void GossipSubRouter::handle_message(NodeId from, const GsMessagePtr& msg_ptr) {
+  const GsMessage& msg = *msg_ptr;
   // P3 bookkeeping: deliveries (first or duplicate) from mesh members.
   if (const auto mesh_it = mesh_.find(msg.topic);
       mesh_it != mesh_.end() && mesh_it->second.contains(from)) {
@@ -256,13 +259,13 @@ void GossipSubRouter::handle_message(NodeId from, const GsMessage& msg) {
   }
 
   score_tracker_.on_first_delivery(from, msg.topic);
-  mcache_.put(std::make_shared<const GsMessage>(msg));
+  mcache_.put(msg_ptr);  // shares the sender's allocation
 
   if (topics_.contains(msg.topic)) {
     ++stats_.delivered;
     if (message_handler_) message_handler_(msg);
   }
-  forward(msg, from);
+  forward(msg_ptr, from);
 }
 
 void GossipSubRouter::handle_graft(NodeId from, const TopicId& topic, Rpc& reply) {
@@ -328,16 +331,19 @@ bool GossipSubRouter::in_backoff(const TopicId& topic, NodeId peer) const {
          network_.scheduler().now() < peer_it->second;
 }
 
-void GossipSubRouter::forward(const GsMessage& msg, std::optional<NodeId> exclude) {
-  const auto it = mesh_.find(msg.topic);
+void GossipSubRouter::forward(const GsMessagePtr& msg, std::optional<NodeId> exclude) {
+  const auto it = mesh_.find(msg->topic);
   if (it == mesh_.end()) return;
+  std::vector<NodeId> targets;
+  targets.reserve(it->second.size());
   for (NodeId peer : it->second) {
     if (exclude && peer == *exclude) continue;
-    Rpc rpc;
-    rpc.publish.push_back(msg);
-    send_rpc(peer, std::move(rpc));
-    ++stats_.forwarded;
+    targets.push_back(peer);
   }
+  Rpc rpc;
+  rpc.publish.push_back(msg);
+  stats_.forwarded +=
+      send_rpc_shared(targets, std::move(rpc), std::numeric_limits<double>::lowest());
 }
 
 void GossipSubRouter::heartbeat() {
@@ -447,19 +453,38 @@ void GossipSubRouter::emit_gossip() {
     candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
                                     [&](NodeId p) { return mesh.contains(p); }),
                      candidates.end());
-    for (NodeId peer :
-         sample(std::move(candidates), static_cast<std::size_t>(params_.d_lazy))) {
-      Rpc rpc;
-      rpc.ihave.push_back({topic, ids});
-      send_rpc(peer, std::move(rpc));
-    }
+    Rpc rpc;
+    rpc.ihave.push_back({topic, ids});
+    send_rpc_shared(sample(std::move(candidates), static_cast<std::size_t>(params_.d_lazy)),
+                    std::move(rpc), std::numeric_limits<double>::lowest());
   }
 }
 
 void GossipSubRouter::send_rpc(NodeId to, Rpc rpc) {
   if (!network_.are_connected(self_, to)) return;
-  const std::size_t bytes = rpc.wire_size();
-  network_.send(self_, to, std::make_shared<const Rpc>(std::move(rpc)), bytes);
+  const Rpc::WireBreakdown breakdown = rpc.wire_breakdown();
+  stats_.payload_bytes_sent += breakdown.payload;
+  stats_.control_bytes_sent += breakdown.control;
+  network_.send(self_, to, sim::Frame::of<Rpc>(std::move(rpc)), breakdown.total());
+}
+
+std::size_t GossipSubRouter::send_rpc_shared(const std::vector<NodeId>& targets,
+                                             Rpc rpc, double min_score) {
+  if (targets.empty() || rpc.empty()) return 0;
+  const Rpc::WireBreakdown breakdown = rpc.wire_breakdown();
+  const std::size_t bytes = breakdown.total();
+  // One heap allocation for the whole fan-out; each send shares it.
+  const sim::Frame frame = sim::Frame::of<Rpc>(std::move(rpc));
+  std::size_t sent = 0;
+  for (NodeId to : targets) {
+    if (params_.enable_scoring && score_of(to) < min_score) continue;
+    if (!network_.are_connected(self_, to)) continue;
+    stats_.payload_bytes_sent += breakdown.payload;
+    stats_.control_bytes_sent += breakdown.control;
+    network_.send(self_, to, frame, bytes);
+    ++sent;
+  }
+  return sent;
 }
 
 std::vector<NodeId> GossipSubRouter::topic_peers(const TopicId& topic,

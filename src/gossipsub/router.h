@@ -64,6 +64,10 @@ class GossipSubRouter {
     std::uint64_t ignored = 0;            ///< validator ignores
     std::uint64_t forwarded = 0;          ///< messages relayed to mesh peers
     std::uint64_t graylisted_frames = 0;  ///< frames dropped by score
+    /// Sent bytes split by class (wire model in message.h): payload =
+    /// published messages incl. framing, control = everything else.
+    std::uint64_t payload_bytes_sent = 0;
+    std::uint64_t control_bytes_sent = 0;
   };
 
   GossipSubRouter(sim::NodeId self, sim::Network& network, GossipSubParams params);
@@ -116,10 +120,10 @@ class GossipSubRouter {
 
   void on_peer_connected(sim::NodeId peer);
   void on_peer_disconnected(sim::NodeId peer);
-  void on_frame(sim::NodeId from, const std::any& frame);
+  void on_frame(sim::NodeId from, const sim::Frame& frame);
 
   void handle_rpc(sim::NodeId from, const Rpc& rpc);
-  void handle_message(sim::NodeId from, const GsMessage& msg);
+  void handle_message(sim::NodeId from, const GsMessagePtr& msg);
   void handle_graft(sim::NodeId from, const TopicId& topic, Rpc& reply);
   void handle_prune(sim::NodeId from, const ControlPrune& prune);
 
@@ -134,8 +138,13 @@ class GossipSubRouter {
   void set_backoff(const TopicId& topic, sim::NodeId peer);
   bool in_backoff(const TopicId& topic, sim::NodeId peer) const;
 
-  void forward(const GsMessage& msg, std::optional<sim::NodeId> exclude);
+  void forward(const GsMessagePtr& msg, std::optional<sim::NodeId> exclude);
   void send_rpc(sim::NodeId to, Rpc rpc);
+
+  /// Shares one frame (a single heap allocation) across every target that
+  /// passes the connectivity and `min_score` checks; returns sends made.
+  std::size_t send_rpc_shared(const std::vector<sim::NodeId>& targets, Rpc rpc,
+                              double min_score);
 
   /// Peers subscribed to `topic`, sorted for determinism.
   std::vector<sim::NodeId> topic_peers(const TopicId& topic, double min_score) const;

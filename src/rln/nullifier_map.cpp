@@ -1,16 +1,41 @@
 #include "rln/nullifier_map.h"
 
+#include <algorithm>
+
 #include "shamir/shamir.h"
 
 namespace wakurln::rln {
 
+NullifierMap::Shard& NullifierMap::shard_for(std::uint64_t epoch) {
+  // Hot path: the newest shard, or a brand-new one past it.
+  if (!shards_.empty()) {
+    if (shards_.back().epoch == epoch) return shards_.back();
+    if (shards_.back().epoch < epoch) {
+      shards_.push_back(Shard{epoch, {}});
+      return shards_.back();
+    }
+  } else {
+    shards_.push_back(Shard{epoch, {}});
+    return shards_.back();
+  }
+  // Cold path: an epoch behind the newest shard (bounded by the Thr
+  // acceptance window in live use, arbitrary in tests). Binary search the
+  // ordered ring; insert a shard if the epoch has none yet.
+  const auto it = std::lower_bound(
+      shards_.begin(), shards_.end(), epoch,
+      [](const Shard& s, std::uint64_t e) { return s.epoch < e; });
+  if (it != shards_.end() && it->epoch == epoch) return *it;
+  return *shards_.insert(it, Shard{epoch, {}});
+}
+
 NullifierMap::CheckResult NullifierMap::observe(std::uint64_t epoch,
                                                 const field::Fr& nullifier,
                                                 const field::Fr& x, const field::Fr& y) {
-  EpochRecords& records = by_epoch_[epoch];
+  EpochRecords& records = shard_for(epoch).records;
   const auto it = records.find(nullifier);
   if (it == records.end()) {
     records.emplace(nullifier, Record{x, y});
+    ++records_;
     return {Outcome::kFresh, std::nullopt};
   }
   const Record& prior = it->second;
@@ -25,20 +50,23 @@ NullifierMap::CheckResult NullifierMap::observe(std::uint64_t epoch,
 }
 
 void NullifierMap::prune_before(std::uint64_t oldest_kept_epoch) {
-  by_epoch_.erase(by_epoch_.begin(), by_epoch_.lower_bound(oldest_kept_epoch));
-}
-
-std::size_t NullifierMap::record_count() const {
-  std::size_t n = 0;
-  for (const auto& [epoch, records] : by_epoch_) n += records.size();
-  return n;
+  while (!shards_.empty() && shards_.front().epoch < oldest_kept_epoch) {
+    records_ -= shards_.front().records.size();
+    shards_.pop_front();
+  }
 }
 
 std::size_t NullifierMap::memory_bytes() const {
-  // nullifier key (32) + record (64) + unordered_map node overhead (~48).
-  constexpr std::size_t kPerRecord = 32 + 64 + 48;
-  constexpr std::size_t kPerEpoch = 96;  // map node + bucket array baseline
-  return record_count() * kPerRecord + epoch_count() * kPerEpoch;
+  // Exact resident model: libstdc++ unordered_map stores one node per
+  // record — hash-chain next pointer (8) + cached hash (8) + key Fr (32)
+  // + Record (64) — plus the shard's live bucket array of pointers.
+  constexpr std::size_t kRecordNodeBytes = 8 + 8 + 32 + 64;
+  std::size_t total = sizeof(NullifierMap);
+  for (const Shard& shard : shards_) {
+    total += sizeof(Shard) + shard.records.bucket_count() * sizeof(void*) +
+             shard.records.size() * kRecordNodeBytes;
+  }
+  return total;
 }
 
 }  // namespace wakurln::rln

@@ -5,9 +5,18 @@
 // double-signal — unless it is the *same* message again (a gossip
 // duplicate), which is ignored rather than slashed. On a true double-signal
 // the two distinct shares reconstruct the offender's secret key.
+//
+// Storage is an epoch-indexed ring of shards: a deque ordered by epoch,
+// one hash shard per observed epoch. Epochs arrive near-monotonically
+// (the Thr acceptance window bounds how far behind the newest shard a
+// message may land), so locating a shard is a short scan from the back —
+// amortised O(1) — and prune_before pops whole shards from the front in
+// O(shards dropped). record_count is maintained incrementally and
+// memory_bytes models resident bytes exactly from live shard state
+// (bucket arrays included) instead of a flat per-record guess.
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <optional>
 #include <unordered_map>
 
@@ -35,12 +44,16 @@ class NullifierMap {
 
   /// Drops all records with epoch < `oldest_kept_epoch` (§III: older
   /// messages are invalid by default, so keeping them is pointless).
+  /// Amortised O(1): pops whole shards off the ring's front.
   void prune_before(std::uint64_t oldest_kept_epoch);
 
-  std::size_t epoch_count() const { return by_epoch_.size(); }
-  std::size_t record_count() const;
+  /// Epochs currently holding records (= resident shards).
+  std::size_t epoch_count() const { return shards_.size(); }
+  /// Total records across all shards; O(1).
+  std::size_t record_count() const { return records_; }
 
-  /// Approximate resident memory of the records (for E13).
+  /// Resident memory of the map (for E13): container headers, each
+  /// shard's live bucket array, and one hash node per record.
   std::size_t memory_bytes() const;
 
  private:
@@ -50,8 +63,17 @@ class NullifierMap {
   };
   using EpochRecords = std::unordered_map<field::Fr, Record, field::FrHash>;
 
-  /// Ordered by epoch so pruning is a range erase.
-  std::map<std::uint64_t, EpochRecords> by_epoch_;
+  struct Shard {
+    std::uint64_t epoch = 0;
+    EpochRecords records;
+  };
+
+  /// Shard for `epoch`, created in epoch order if absent.
+  Shard& shard_for(std::uint64_t epoch);
+
+  /// Ring of shards, strictly ascending by epoch.
+  std::deque<Shard> shards_;
+  std::size_t records_ = 0;
 };
 
 }  // namespace wakurln::rln

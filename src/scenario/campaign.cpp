@@ -39,6 +39,11 @@ std::string spec_json(const ScenarioSpec& s) {
             /*first=*/true);
   append_kv(out, "nodes", static_cast<double>(s.nodes));
   append_kv(out, "topology", std::string(sim::topology_name(s.topology)));
+  append_kv(out, "link_profile", std::string(sim::link_profile_name(s.link_profile)));
+  append_kv(out, "payload_bytes", static_cast<double>(s.payload_bytes));
+  append_kv(out, "publishers", static_cast<double>(s.publishers));
+  append_kv(out, "register_publishers_only",
+            static_cast<double>(s.register_publishers_only ? 1 : 0));
   append_kv(out, "extra_links_per_node", static_cast<double>(s.extra_links_per_node));
   append_kv(out, "erdos_renyi_p", s.erdos_renyi_p);
   append_kv(out, "epoch_seconds", static_cast<double>(s.epoch_seconds));
@@ -86,6 +91,7 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& conf
     result.seeds.push_back(config.seed0 + i);
   }
   result.runs.resize(config.seeds);
+  result.resources.resize(config.seeds);
 
   std::size_t threads = config.threads;
   if (threads == 0) {
@@ -103,6 +109,7 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& conf
       try {
         ScenarioRunner runner(spec, result.seeds[idx]);
         result.runs[idx] = runner.run();
+        result.resources[idx] = runner.resource();
       } catch (...) {
         errors[idx] = std::current_exception();
       }
@@ -127,9 +134,9 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& conf
 
 // Built with operator+= only: GCC 12's -Wrestrict misfires on inlined
 // `const char* + std::string&&` chains (PR105651; see bench/harness.h).
-std::string report_json(const CampaignResult& result) {
+std::string report_json(const CampaignResult& result, bool include_resources) {
   std::string out = "{\n";
-  out += "  \"schema_version\": 1,\n";
+  out += "  \"schema_version\": 2,\n";
   out += "  \"scenario\": \"";
   out += json_escape(result.spec.name);
   out += "\",\n";
@@ -182,7 +189,34 @@ std::string report_json(const CampaignResult& result) {
     out += json_number(a.max);
     out += "}";
   }
-  out += "\n  }\n}\n";
+  out += "\n  }";
+
+  // Host-cost block: machine-dependent, deliberately outside the
+  // byte-determinism contract (report_json without it is a pure function
+  // of spec and seeds).
+  if (include_resources && !result.resources.empty()) {
+    double wall_ms_total = 0;
+    double sim_s_total = 0;
+    out += ",\n  \"resources\": {\"deterministic\": false, \"runs\": [";
+    for (std::size_t i = 0; i < result.resources.size(); ++i) {
+      const ResourceUsage& r = result.resources[i];
+      wall_ms_total += r.wall_ms;
+      sim_s_total += r.sim_seconds;
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"wall_ms\": ";
+      out += json_number(r.wall_ms);
+      out += ", \"sim_seconds\": ";
+      out += json_number(r.sim_seconds);
+      out += ", \"wall_ms_per_sim_second\": ";
+      out += json_number(r.sim_seconds == 0 ? 0 : r.wall_ms / r.sim_seconds);
+      out += "}";
+    }
+    out += "\n  ], \"wall_ms_per_sim_second_mean\": ";
+    out += json_number(sim_s_total == 0 ? 0 : wall_ms_total / sim_s_total);
+    out += "}";
+  }
+
+  out += "\n}\n";
   return out;
 }
 
@@ -193,7 +227,7 @@ std::string write_report(const CampaignResult& result, const std::string& out_di
   if (f == nullptr) {
     throw std::runtime_error("cannot open " + path + " for writing");
   }
-  const std::string json = report_json(result);
+  const std::string json = report_json(result, /*include_resources=*/true);
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   return path;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "scenario/metrics.h"
+#include "scenario/runner.h"
 #include "scenario/spec.h"
 
 namespace wakurln::scenario {
@@ -30,6 +31,7 @@ struct CampaignResult {
   ScenarioSpec spec;
   std::vector<std::uint64_t> seeds;
   std::vector<MetricSet> runs;  ///< ordered by seed, not by completion
+  std::vector<ResourceUsage> resources;  ///< host cost per run (same order)
   std::vector<AggregateMetric> aggregate;
 };
 
@@ -37,10 +39,13 @@ struct CampaignResult {
 CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& config);
 
 /// Deterministic JSON serialization (schema documented in the README).
-std::string report_json(const CampaignResult& result);
+/// `include_resources` appends the machine-dependent "resources" block
+/// (host wall-clock per run); everything else stays a pure function of
+/// (spec, seeds).
+std::string report_json(const CampaignResult& result, bool include_resources = false);
 
-/// Writes report_json to "<out_dir>/SCENARIO_<name>.json" ("" = CWD);
-/// returns the path written.
+/// Writes the full report (resources included) to
+/// "<out_dir>/SCENARIO_<name>.json" ("" = CWD); returns the path written.
 std::string write_report(const CampaignResult& result, const std::string& out_dir = "");
 
 }  // namespace wakurln::scenario

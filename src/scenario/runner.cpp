@@ -1,7 +1,7 @@
 #include "scenario/runner.h"
 
 #include <algorithm>
-#include <any>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -17,20 +17,51 @@
 #include "gossipsub/message.h"
 #include "sim/topology.h"
 #include "util/bytes.h"
+#include "util/shared_bytes.h"
 #include "waku/harness.h"
 
 namespace wakurln::scenario {
 namespace {
 
-// Node index layout: [honest publishers][spammers][burst flooders][observers].
-enum class Role { kHonest, kSpammer, kFlooder, kObserver };
+// Node index layout:
+// [active publishers][pure relays][spammers][burst flooders][observers].
+// The relay band is empty unless spec.publishers caps the publisher set.
+enum class Role { kHonest, kRelay, kSpammer, kFlooder, kObserver };
 
 Role role_of(const ScenarioSpec& spec, std::size_t i) {
   const std::size_t honest = spec.honest_publishers();
-  if (i < honest) return Role::kHonest;
+  if (i < spec.active_publishers()) return Role::kHonest;
+  if (i < honest) return Role::kRelay;
   if (i < honest + spec.adversaries.spammers) return Role::kSpammer;
   if (i < honest + spec.adversaries.total()) return Role::kFlooder;
   return Role::kObserver;
+}
+
+/// Indices of every node that publishes (and therefore needs membership).
+std::vector<std::size_t> publishing_nodes(const ScenarioSpec& spec) {
+  std::vector<std::size_t> out;
+  out.reserve(spec.active_publishers() + spec.adversaries.total());
+  for (std::size_t i = 0; i < spec.nodes; ++i) {
+    const Role role = role_of(spec, i);
+    if (role == Role::kHonest || role == Role::kSpammer || role == Role::kFlooder) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+/// Pads `key` with NULs to spec.payload_bytes (workload keys never
+/// contain NUL, so key_of can strip the padding).
+util::Bytes padded_payload(const ScenarioSpec& spec, const std::string& key) {
+  util::Bytes out = util::to_bytes(key);
+  if (out.size() < spec.payload_bytes) out.resize(spec.payload_bytes, 0);
+  return out;
+}
+
+/// Recovers the workload key from a (possibly padded) payload.
+std::string key_of(std::span<const std::uint8_t> payload) {
+  const auto nul = std::find(payload.begin(), payload.end(), std::uint8_t{0});
+  return std::string(payload.begin(), nul);
 }
 
 std::string payload_key(char tag, std::size_t node, std::uint64_t epoch,
@@ -168,6 +199,8 @@ TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
       }
 
       switch (role) {
+        case Role::kRelay:
+          break;  // routes and validates, never publishes
         case Role::kHonest: {
           const bool publishes = traffic_rng.chance(spec.honest_publish_prob);
           const sim::TimeUs off = t_us / 4 + traffic_rng.uniform(0, t_us / 4);
@@ -237,7 +270,7 @@ TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
 /// originator is that neighbour ("Who started this rumor?", arXiv:1902.07138).
 class FirstSpyObserver {
  public:
-  using Decoder = std::function<std::optional<std::string>(const util::Bytes&)>;
+  using Decoder = std::function<std::optional<std::string>(const util::SharedBytes&)>;
 
   FirstSpyObserver(const ScenarioSpec& spec, sim::Network& net, Decoder decoder)
       : decoder_(std::move(decoder)) {
@@ -246,13 +279,14 @@ class FirstSpyObserver {
     for (std::size_t i = spec.nodes - spec.observers; i < spec.nodes; ++i) {
       is_observer_[i] = 1;
     }
-    net.set_frame_tap([this](sim::NodeId from, sim::NodeId to, const std::any& frame,
+    net.set_frame_tap([this](sim::NodeId from, sim::NodeId to, const sim::Frame& frame,
                              std::size_t) {
       if (!is_observer_[to]) return;
-      const auto* rpc = std::any_cast<std::shared_ptr<const gossipsub::Rpc>>(&frame);
-      if (rpc == nullptr || *rpc == nullptr) return;
-      for (const gossipsub::GsMessage& msg : (*rpc)->publish) {
-        const auto key = decoder_(msg.data);
+      const auto* rpc = frame.get_if<gossipsub::Rpc>();
+      if (rpc == nullptr) return;
+      for (const gossipsub::GsMessagePtr& msg : rpc->publish) {
+        if (!msg) continue;
+        const auto key = decoder_(msg->data);
         if (key) first_seen_.try_emplace(*key, from);
       }
     });
@@ -411,7 +445,13 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec, std::uint64_t seed)
 }
 
 MetricSet ScenarioRunner::run() {
-  return spec_.protocol == Protocol::kPow ? run_pow() : run_rln();
+  const auto t0 = std::chrono::steady_clock::now();
+  MetricSet m = spec_.protocol == Protocol::kPow ? run_pow() : run_rln();
+  resource_.wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  resource_.sim_seconds = m.at("sim_seconds");
+  return m;
 }
 
 MetricSet ScenarioRunner::run_rln() {
@@ -424,27 +464,34 @@ MetricSet ScenarioRunner::run_rln() {
   cfg.link = spec_.link;
   cfg.rln.epoch_period_seconds = spec_.epoch_seconds;
   cfg.rln.messages_per_epoch = spec_.messages_per_epoch;
+  cfg.link_profile = spec_.link_profile;
   waku::SimHarness world(cfg);
+
+  const std::uint64_t payload_allocs0 = util::SharedBytes::allocation_count();
+  const std::uint64_t payload_bytes0 = util::SharedBytes::allocated_bytes();
 
   const std::string topic = "scenario/" + spec_.name;
   world.subscribe_all(topic);
-  world.register_all();
+  if (spec_.register_publishers_only) {
+    world.register_nodes(publishing_nodes(spec_));
+  } else {
+    world.register_all();
+  }
   world.run_seconds(5);  // mesh warm-up heartbeats
 
   FirstSpyObserver spy(spec_, world.network(),
-                       [](const util::Bytes& data) -> std::optional<std::string> {
+                       [](const util::SharedBytes& data) -> std::optional<std::string> {
                          const auto decoded = waku::WakuRlnRelay::decode_envelope(data);
                          if (!decoded) return std::nullopt;
-                         return std::string(decoded->second.begin(),
-                                            decoded->second.end());
+                         return key_of(decoded->second);
                        });
 
   const PublishFn honest = [&](std::size_t node, const std::string& key) {
-    return world.node(node).publish(topic, util::to_bytes(key)) ==
+    return world.node(node).publish(topic, padded_payload(spec_, key)) ==
            waku::WakuRlnRelay::PublishOutcome::kPublished;
   };
   const PublishFn spam = [&](std::size_t node, const std::string& key) {
-    return world.node(node).publish_unchecked(topic, util::to_bytes(key)) ==
+    return world.node(node).publish_unchecked(topic, padded_payload(spec_, key)) ==
            waku::WakuRlnRelay::PublishOutcome::kPublished;
   };
 
@@ -475,8 +522,7 @@ MetricSet ScenarioRunner::run_rln() {
   std::vector<Delivered> deliveries;
   deliveries.reserve(world.deliveries().size());
   for (const auto& d : world.deliveries()) {
-    deliveries.push_back(
-        {d.node_index, std::string(d.payload.begin(), d.payload.end()), d.at});
+    deliveries.push_back({d.node_index, key_of(d.payload), d.at});
   }
 
   MetricSet m;
@@ -496,6 +542,31 @@ MetricSet ScenarioRunner::run_rln() {
 
   fill_network_metrics(m, spec_, world.network().stats());
   fill_anonymity_metrics(m, log, spy);
+
+  // Resource metrics (all deterministic): zkSNARK verification work and
+  // saved repeats, payload-buffer allocations, router byte classes.
+  m.set("verifications_total", static_cast<double>(stats.proof_verifications));
+  m.set("verifications_saved", static_cast<double>(stats.proof_cache_hits));
+  std::uint64_t payload_wire = 0;
+  std::uint64_t control_wire = 0;
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    const auto& rs = world.relay(i).router().stats();
+    payload_wire += rs.payload_bytes_sent;
+    control_wire += rs.control_bytes_sent;
+  }
+  m.set("payload_bytes_total", static_cast<double>(payload_wire));
+  m.set("control_bytes_total", static_cast<double>(control_wire));
+  m.set("control_overhead_ratio",
+        payload_wire + control_wire == 0
+            ? 0
+            : static_cast<double>(control_wire) /
+                  static_cast<double>(payload_wire + control_wire));
+  m.set("payload_allocs",
+        static_cast<double>(util::SharedBytes::allocation_count() - payload_allocs0));
+  m.set("payload_alloc_bytes",
+        static_cast<double>(util::SharedBytes::allocated_bytes() - payload_bytes0));
+  m.set("sim_seconds", static_cast<double>(world.scheduler().now()) /
+                           static_cast<double>(sim::kUsPerSecond));
   return m;
 }
 
@@ -514,13 +585,19 @@ MetricSet ScenarioRunner::run_pow() {
   }
   sim::build_topology(net, ids, spec_.topology, spec_.extra_links_per_node,
                       spec_.erdos_renyi_p, rng);
+  if (spec_.link_profile == sim::LinkProfile::kGeo) {
+    sim::apply_geo_latency(net, ids, spec_.link);
+  }
   for (auto& r : relays) r->start();
 
+  const std::uint64_t payload_allocs0 = util::SharedBytes::allocation_count();
+  const std::uint64_t payload_bytes0 = util::SharedBytes::allocated_bytes();
+
   const std::string topic = "scenario/" + spec_.name;
-  const auto decode = [](const util::Bytes& data) -> std::optional<std::string> {
+  const auto decode = [](const util::SharedBytes& data) -> std::optional<std::string> {
     const auto env = baselines::PowEnvelope::deserialize(data);
     if (!env) return std::nullopt;
-    return std::string(env->payload.begin(), env->payload.end());
+    return key_of(env->payload);
   };
 
   std::vector<Delivered> deliveries;
@@ -528,7 +605,8 @@ MetricSet ScenarioRunner::run_pow() {
     relays[i]->router().set_validator(
         topic, baselines::make_pow_validator(spec_.pow_difficulty_bits));
     relays[i]->subscribe(topic, [&deliveries, &sched, &decode, i](
-                                    const gossipsub::TopicId&, const util::Bytes& data) {
+                                    const gossipsub::TopicId&,
+                                    const util::SharedBytes& data) {
       const auto key = decode(data);
       if (key) deliveries.push_back({i, *key, sched.now()});
     });
@@ -541,7 +619,7 @@ MetricSet ScenarioRunner::run_pow() {
   // price and there is no rate to enforce: the spam path is just publish.
   const PublishFn publish = [&](std::size_t node, const std::string& key) {
     const auto env =
-        baselines::pow_seal(util::to_bytes(key), spec_.pow_difficulty_bits);
+        baselines::pow_seal(padded_payload(spec_, key), spec_.pow_difficulty_bits);
     relays[node]->publish(topic, env.serialize());
     return true;
   };
@@ -558,6 +636,27 @@ MetricSet ScenarioRunner::run_pow() {
         baselines::expected_hashes(spec_.pow_difficulty_bits));
   fill_network_metrics(m, spec_, net.stats());
   fill_anonymity_metrics(m, log, spy);
+
+  std::uint64_t payload_wire = 0;
+  std::uint64_t control_wire = 0;
+  for (const auto& r : relays) {
+    const auto& rs = r->router().stats();
+    payload_wire += rs.payload_bytes_sent;
+    control_wire += rs.control_bytes_sent;
+  }
+  m.set("payload_bytes_total", static_cast<double>(payload_wire));
+  m.set("control_bytes_total", static_cast<double>(control_wire));
+  m.set("control_overhead_ratio",
+        payload_wire + control_wire == 0
+            ? 0
+            : static_cast<double>(control_wire) /
+                  static_cast<double>(payload_wire + control_wire));
+  m.set("payload_allocs",
+        static_cast<double>(util::SharedBytes::allocation_count() - payload_allocs0));
+  m.set("payload_alloc_bytes",
+        static_cast<double>(util::SharedBytes::allocated_bytes() - payload_bytes0));
+  m.set("sim_seconds", static_cast<double>(sched.now()) /
+                           static_cast<double>(sim::kUsPerSecond));
   return m;
 }
 

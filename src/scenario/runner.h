@@ -18,6 +18,14 @@
 
 namespace wakurln::scenario {
 
+/// Host-machine cost of one run. Wall-clock is *not* part of the metric
+/// set: it is machine-dependent, so it lives outside the byte-determinism
+/// contract and is reported in the campaign's separate resources block.
+struct ResourceUsage {
+  double wall_ms = 0;      ///< host time spent inside run()
+  double sim_seconds = 0;  ///< simulated time the run covered
+};
+
 class ScenarioRunner {
  public:
   /// Throws std::invalid_argument if the spec is infeasible (e.g. fewer
@@ -26,6 +34,9 @@ class ScenarioRunner {
 
   /// Builds the world, runs it to completion and returns the metrics.
   MetricSet run();
+
+  /// Host cost of the last run() call.
+  const ResourceUsage& resource() const { return resource_; }
 
   const ScenarioSpec& spec() const { return spec_; }
   std::uint64_t seed() const { return seed_; }
@@ -36,6 +47,7 @@ class ScenarioRunner {
 
   ScenarioSpec spec_;
   std::uint64_t seed_;
+  ResourceUsage resource_;
 };
 
 }  // namespace wakurln::scenario

@@ -87,6 +87,27 @@ std::vector<ScenarioSpec> build_catalogue() {
   }
   {
     ScenarioSpec s = base_spec();
+    s.name = "large_mesh";
+    s.description =
+        "10k-node geo-distributed mesh with a bounded publisher set: "
+        "exercises the zero-copy fabric, sharded nullifier state and "
+        "publisher-only registration; resource metrics (verifications, "
+        "payload allocations, byte classes) gate the 10k roadmap item.";
+    s.nodes = 10000;
+    s.extra_links_per_node = 4;
+    s.link_profile = sim::LinkProfile::kGeo;
+    s.traffic_epochs = 3;
+    s.honest_publish_prob = 0.5;
+    s.publishers = 64;
+    s.observers = 4;
+    s.register_publishers_only = true;
+    s.payload_bytes = 512;
+    s.adversaries.spammers = 4;
+    s.adversaries.spam_per_epoch = 3;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s = base_spec();
     s.name = "pow_baseline";
     s.description =
         "The same spam wave against the PoW (EIP-627-style) baseline: spam "

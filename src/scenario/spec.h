@@ -74,6 +74,9 @@ struct ScenarioSpec {
   std::size_t extra_links_per_node = 3;
   double erdos_renyi_p = 0.3;
   sim::LinkParams link;
+  /// kGeo assigns nodes to regions and derives per-link latency from
+  /// region pairs (sim/topology.h); kUniform uses `link` everywhere.
+  sim::LinkProfile link_profile = sim::LinkProfile::kUniform;
 
   // -- protocol ----------------------------------------------------------
   /// RLN epoch length T (also the cadence of the honest workload).
@@ -91,6 +94,20 @@ struct ScenarioSpec {
   /// Silent colluding first-spy observers (taken from the tail of the
   /// node range; they subscribe and relay but never publish).
   std::size_t observers = 1;
+  /// 0 = every honest node publishes. Otherwise only the first N honest
+  /// nodes publish and the rest are pure relays (they validate and route
+  /// but never publish or churn) — how 10k-node worlds keep a bounded
+  /// publisher set.
+  std::size_t publishers = 0;
+  /// Register only the publishing members (publishers + adversaries).
+  /// Relays and observers stay unregistered: RLN validation needs the
+  /// group view, not a membership. Keeps registration cost O(publishers)
+  /// instead of O(nodes) at large scale.
+  bool register_publishers_only = false;
+  /// Pads every published payload (honest and spam) to this many bytes
+  /// (0 = the bare workload key). Payload-heavy runs exercise the
+  /// zero-copy message fabric.
+  std::size_t payload_bytes = 0;
 
   AdversaryMix adversaries;
   ChurnSpec churn;
@@ -100,6 +117,12 @@ struct ScenarioSpec {
   std::size_t honest_publishers() const {
     const std::size_t reserved = adversaries.total() + observers;
     return nodes > reserved ? nodes - reserved : 0;
+  }
+
+  /// Honest nodes that actually publish (see `publishers`).
+  std::size_t active_publishers() const {
+    const std::size_t honest = honest_publishers();
+    return publishers == 0 ? honest : std::min(publishers, honest);
   }
 };
 

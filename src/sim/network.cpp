@@ -63,7 +63,7 @@ void Network::set_link_params(NodeId a, NodeId b, LinkParams params) {
   link_overrides_[link_key(a, b)] = params;
 }
 
-void Network::send(NodeId from, NodeId to, std::any frame, std::size_t bytes) {
+void Network::send(NodeId from, NodeId to, Frame frame, std::size_t bytes) {
   if (!are_connected(from, to)) {
     throw std::logic_error("Network: send over non-existent link");
   }

@@ -1,12 +1,14 @@
 #pragma once
 // Simulated peer-to-peer network: point-to-point links with configurable
-// latency, jitter, bandwidth and loss. Message payloads are passed as
-// std::any (protocol layers define their own frames); the network charges
-// wire bytes for traffic accounting.
+// latency, jitter, bandwidth and loss. Message payloads travel as Frame
+// handles — immutable, ref-counted views of a protocol frame — so a
+// fan-out of one frame to N peers shares a single heap allocation instead
+// of copying the payload per send. The network charges wire bytes for
+// traffic accounting.
 
-#include <any>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -17,6 +19,53 @@
 namespace wakurln::sim {
 
 using NodeId = std::uint32_t;
+
+namespace detail {
+/// One tag object per frame payload type; its address identifies the type
+/// without RTTI. `inline` guarantees a single address across TUs.
+template <typename T>
+inline constexpr char frame_tag_v = 0;
+}  // namespace detail
+
+/// Immutable, shared handle to a protocol frame. Copying a Frame bumps a
+/// reference count — it never clones the contained frame, so the same
+/// handle can be scheduled for delivery to many peers at zero marginal
+/// cost (the zero-copy fabric's wire representation).
+class Frame {
+ public:
+  Frame() = default;
+
+  /// Wraps `value` in a shared frame (the one allocation of its fan-out).
+  template <typename T>
+  static Frame of(T value) {
+    return Frame(std::make_shared<const T>(std::move(value)),
+                 &detail::frame_tag_v<T>);
+  }
+
+  /// Adopts an existing shared payload without copying it.
+  template <typename T>
+  static Frame wrap(std::shared_ptr<const T> ptr) {
+    return Frame(std::move(ptr), &detail::frame_tag_v<T>);
+  }
+
+  /// Typed access; nullptr when the frame holds a different type.
+  template <typename T>
+  const T* get_if() const {
+    return tag_ == &detail::frame_tag_v<T> ? static_cast<const T*>(ptr_.get())
+                                           : nullptr;
+  }
+
+  bool has_value() const { return ptr_ != nullptr; }
+  /// Owners of the underlying frame (introspection for zero-copy tests).
+  long use_count() const { return ptr_.use_count(); }
+
+ private:
+  Frame(std::shared_ptr<const void> ptr, const void* tag)
+      : ptr_(std::move(ptr)), tag_(tag) {}
+
+  std::shared_ptr<const void> ptr_;
+  const void* tag_ = nullptr;
+};
 
 struct LinkParams {
   /// Fixed propagation delay.
@@ -31,7 +80,7 @@ struct LinkParams {
 
 /// Handlers a node registers when joining the network.
 struct NodeCallbacks {
-  std::function<void(NodeId from, const std::any& frame, std::size_t bytes)> on_frame;
+  std::function<void(NodeId from, const Frame& frame, std::size_t bytes)> on_frame;
   std::function<void(NodeId peer)> on_peer_connected;
   std::function<void(NodeId peer)> on_peer_disconnected;
 };
@@ -41,7 +90,7 @@ struct NodeCallbacks {
 /// use it to model an eavesdropping adversary without touching protocol
 /// state.
 using FrameTap =
-    std::function<void(NodeId from, NodeId to, const std::any& frame, std::size_t bytes)>;
+    std::function<void(NodeId from, NodeId to, const Frame& frame, std::size_t bytes)>;
 
 class Network {
  public:
@@ -70,9 +119,13 @@ class Network {
 
   /// Per-link parameter override (applies to both directions).
   void set_link_params(NodeId a, NodeId b, LinkParams params);
+  /// Effective parameters of a link (the override, or the default).
+  const LinkParams& link_params(NodeId a, NodeId b) const { return params_for(a, b); }
 
-  /// Sends a frame over an existing link; throws if not connected.
-  void send(NodeId from, NodeId to, std::any frame, std::size_t bytes);
+  /// Sends a frame over an existing link; throws if not connected. The
+  /// frame handle is shared, not copied — callers fanning one frame out
+  /// to many peers pass the same handle each time.
+  void send(NodeId from, NodeId to, Frame frame, std::size_t bytes);
 
   /// Invalidates every frame currently in flight towards `node` (they are
   /// counted as lost on arrival). Call on node departure: merely

@@ -72,4 +72,60 @@ void build_topology(Network& network, std::span<const NodeId> nodes,
   }
 }
 
+const char* link_profile_name(LinkProfile profile) {
+  switch (profile) {
+    case LinkProfile::kUniform: return "uniform";
+    case LinkProfile::kGeo: return "geo";
+  }
+  return "unknown";
+}
+
+LinkProfile link_profile_from_name(std::string_view name) {
+  if (name == "uniform") return LinkProfile::kUniform;
+  if (name == "geo") return LinkProfile::kGeo;
+  throw std::invalid_argument("unknown link profile: " + std::string(name));
+}
+
+std::size_t geo_region_of(std::size_t index, std::size_t node_count) {
+  if (node_count == 0) return 0;
+  const std::size_t region = index * kGeoRegions / node_count;
+  return region < kGeoRegions ? region : kGeoRegions - 1;
+}
+
+LinkParams geo_link_params(std::size_t region_a, std::size_t region_b,
+                           const LinkParams& base) {
+  // One-way latencies in ms between [NA-East, NA-West, EU, Asia, Oceania],
+  // shaped after public cloud inter-region RTT tables (half-RTT).
+  static constexpr TimeUs kOneWayMs[kGeoRegions][kGeoRegions] = {
+      {5, 30, 40, 100, 110},
+      {30, 5, 70, 70, 80},
+      {40, 70, 5, 90, 140},
+      {100, 70, 90, 5, 60},
+      {110, 80, 140, 60, 5},
+  };
+  const std::size_t a = std::min(region_a, kGeoRegions - 1);
+  const std::size_t b = std::min(region_b, kGeoRegions - 1);
+  LinkParams params = base;
+  params.base_latency = kOneWayMs[a][b] * kUsPerMs;
+  params.jitter = params.base_latency / 5;
+  return params;
+}
+
+void apply_geo_latency(Network& network, std::span<const NodeId> nodes,
+                       const LinkParams& base) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::size_t region_i = geo_region_of(i, nodes.size());
+    for (const NodeId peer : network.neighbors(nodes[i])) {
+      if (peer <= nodes[i]) continue;  // each link once
+      // Map the neighbour id back to its span position: node ids are
+      // assigned densely in span order by every harness, so the id is the
+      // position. Ids outside the span keep the default link.
+      const std::size_t j = static_cast<std::size_t>(peer);
+      if (j >= nodes.size() || nodes[j] != peer) continue;
+      network.set_link_params(nodes[i], peer,
+                              geo_link_params(region_i, geo_region_of(j, nodes.size()), base));
+    }
+  }
+}
+
 }  // namespace wakurln::sim

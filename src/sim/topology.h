@@ -45,4 +45,44 @@ void build_topology(Network& network, std::span<const NodeId> nodes,
                     TopologyKind kind, std::size_t extra_per_node,
                     double edge_probability, util::Rng& rng);
 
+// -- geo-latency link classes ------------------------------------------
+//
+// The kGeo profile assigns nodes to contiguous regions (geographic
+// clusters) and derives each link's LinkParams from the region pair via a
+// canonical inter-region latency matrix, so cross-continent links are an
+// order of magnitude slower than intra-region ones. Links created *after*
+// the profile is applied (peer exchange, churn rewiring) fall back to the
+// network's default LinkParams — a rejoining node is treated as connecting
+// through an unknown path.
+
+/// Named link-parameter families for experiment specs and CLI flags.
+enum class LinkProfile {
+  kUniform,  ///< every link uses the spec's single LinkParams
+  kGeo,      ///< per-link params derived from region pairs
+};
+
+/// Stable identifier used in CLI flags and JSON reports.
+const char* link_profile_name(LinkProfile profile);
+
+/// Parses link_profile_name output back; throws std::invalid_argument on
+/// unknown names.
+LinkProfile link_profile_from_name(std::string_view name);
+
+/// Regions of the canonical geo profile (NA-East, NA-West, EU, Asia, Oceania).
+inline constexpr std::size_t kGeoRegions = 5;
+
+/// Region of the node at `index` of `node_count`: contiguous index blocks,
+/// so ring neighbours usually share a region (clustered overlays).
+std::size_t geo_region_of(std::size_t index, std::size_t node_count);
+
+/// LinkParams for a region pair: one-way latency from the canonical
+/// matrix, jitter at 20% of it; loss and bandwidth inherited from `base`.
+LinkParams geo_link_params(std::size_t region_a, std::size_t region_b,
+                           const LinkParams& base);
+
+/// Applies geo link params to every existing link among `nodes` (region
+/// assignment is by position in the span).
+void apply_geo_latency(Network& network, std::span<const NodeId> nodes,
+                       const LinkParams& base);
+
 }  // namespace wakurln::sim

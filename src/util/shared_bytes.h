@@ -1,0 +1,70 @@
+#pragma once
+// Immutable, ref-counted byte buffer: the zero-copy payload type of the
+// message fabric. A SharedBytes is a view (pointer + length) into a
+// heap buffer owned by a shared_ptr, so copying one — across the gossip
+// fan-out, the message cache, the simulated wire and the delivery log —
+// bumps a reference count instead of cloning the bytes. slice() carves
+// sub-views (e.g. the payload inside an RLN envelope) that keep the one
+// underlying allocation alive.
+//
+// Allocation accounting: every buffer actually allocated through this
+// type is counted in thread-local counters (allocation_count /
+// allocated_bytes). A simulated world runs on one thread, so the deltas
+// around a run are a deterministic measure of how many payload copies the
+// hot path really made — the scenario reports quote them.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "util/bytes.h"
+
+namespace wakurln::util {
+
+class SharedBytes {
+ public:
+  /// Empty view, no allocation.
+  SharedBytes() = default;
+
+  /// Takes ownership of `data` (one counted allocation, no byte copy).
+  explicit SharedBytes(Bytes data);
+
+  /// Deep-copies `data` into a fresh buffer (one counted allocation).
+  static SharedBytes copy_of(std::span<const std::uint8_t> data);
+
+  /// Sub-view [offset, offset+len) sharing this buffer; no allocation.
+  /// Throws std::out_of_range if the range does not fit.
+  SharedBytes slice(std::size_t offset, std::size_t len) const;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::uint8_t* begin() const { return data_; }
+  const std::uint8_t* end() const { return data_ + size_; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<const std::uint8_t> span() const { return {data_, size_}; }
+  operator std::span<const std::uint8_t>() const { return span(); }  // NOLINT
+
+  /// Explicit deep copy back into an owning vector.
+  Bytes to_vector() const { return Bytes(begin(), end()); }
+
+  /// Owners of the underlying buffer (0 for an empty view) — lets tests
+  /// prove the fan-out shares rather than copies.
+  long use_count() const { return buf_.use_count(); }
+
+  /// Content equality (not identity).
+  bool operator==(const SharedBytes& other) const;
+  bool operator==(std::span<const std::uint8_t> other) const;
+
+  /// Thread-local counters of buffers/bytes allocated via this type.
+  static std::uint64_t allocation_count();
+  static std::uint64_t allocated_bytes();
+
+ private:
+  std::shared_ptr<const Bytes> buf_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace wakurln::util

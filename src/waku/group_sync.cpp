@@ -1,0 +1,18 @@
+#include "waku/group_sync.h"
+
+namespace wakurln::waku {
+
+GroupSync::GroupSync(eth::Chain& chain, std::size_t tree_depth) : group_(tree_depth) {
+  chain.subscribe_events(
+      [this](const eth::ContractEvent& ev, const eth::Block&) { on_event(ev); });
+}
+
+void GroupSync::on_event(const eth::ContractEvent& event) {
+  if (const auto* reg = std::get_if<eth::MemberRegistered>(&event)) {
+    group_.add_member(reg->pk);
+  } else if (const auto* slashed = std::get_if<eth::MemberSlashed>(&event)) {
+    if (group_.is_active(slashed->index)) group_.remove_member(slashed->index);
+  }
+}
+
+}  // namespace wakurln::waku

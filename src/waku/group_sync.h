@@ -1,0 +1,34 @@
+#pragma once
+// Membership group sync as a standalone service: one chain subscriber
+// applying MemberRegistered / MemberSlashed events to one Merkle tree.
+//
+// Every honest peer deterministically applies the same contract events in
+// the same order, so all per-peer trees in one simulated world are
+// bit-identical at every instant. Peers of one SimHarness therefore share
+// a single GroupSync (10k peers hash each registration once, not 10k
+// times — the dedup that makes 10k-node campaigns tractable), while a
+// standalone WakuRlnRelay creates a private one, preserving the paper's
+// "every peer maintains the tree itself" model at the protocol level.
+
+#include <memory>
+
+#include "eth/chain.h"
+#include "rln/group.h"
+
+namespace wakurln::waku {
+
+class GroupSync {
+ public:
+  /// Subscribes to `chain` events immediately; construct before any relay
+  /// that reads the group, so membership updates land first.
+  GroupSync(eth::Chain& chain, std::size_t tree_depth);
+
+  const rln::RlnGroup& group() const { return group_; }
+
+ private:
+  void on_event(const eth::ContractEvent& event);
+
+  rln::RlnGroup group_;
+};
+
+}  // namespace wakurln::waku

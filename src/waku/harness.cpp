@@ -16,6 +16,11 @@ SimHarness::SimHarness(HarnessConfig config)
   contract_ = std::make_unique<eth::RegistryListContract>(chain_, mcfg);
   crs_ = zksnark::MockGroth16::setup(config_.rln.tree_depth, rng_);
 
+  // One group-sync service for the whole world: every peer's tree view is
+  // deterministically identical (see group_sync.h), so each contract
+  // event is hashed into the Merkle tree once instead of node_count times.
+  const auto sync = std::make_shared<GroupSync>(chain_, config_.rln.tree_depth);
+
   std::vector<sim::NodeId> ids;
   ids.reserve(config_.node_count);
   for (std::size_t i = 0; i < config_.node_count; ++i) {
@@ -25,10 +30,13 @@ SimHarness::SimHarness(HarnessConfig config)
     chain_.ledger().mint(account_of(i), config_.initial_balance_wei);
     nodes_.push_back(std::make_unique<WakuRlnRelay>(
         *relays_.back(), chain_, *contract_, crs_, account_of(i), config_.rln,
-        util::Rng(rng_.next_u64())));
+        util::Rng(rng_.next_u64()), sync));
   }
   sim::build_topology(network_, ids, config_.topology, config_.extra_links_per_node,
                       config_.erdos_renyi_p, rng_);
+  if (config_.link_profile == sim::LinkProfile::kGeo) {
+    sim::apply_geo_latency(network_, ids, config_.link);
+  }
   for (auto& r : relays_) r->start();
   mine_loop();
 }
@@ -44,7 +52,7 @@ void SimHarness::mine_loop() {
 void SimHarness::subscribe_all(const gossipsub::TopicId& topic) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i]->subscribe(topic, [this, i](const gossipsub::TopicId&,
-                                          const util::Bytes& payload) {
+                                          const util::SharedBytes& payload) {
       deliveries_.push_back(Delivery{i, payload, scheduler_.now()});
     });
   }
@@ -52,6 +60,11 @@ void SimHarness::subscribe_all(const gossipsub::TopicId& topic) {
 
 void SimHarness::register_all() {
   for (auto& n : nodes_) n->request_registration();
+  run_seconds(chain_.config().block_time_seconds + 3);
+}
+
+void SimHarness::register_nodes(std::span<const std::size_t> indices) {
+  for (const std::size_t i : indices) nodes_.at(i)->request_registration();
   run_seconds(chain_.config().block_time_seconds + 3);
 }
 
@@ -89,6 +102,8 @@ WakuRlnRelay::Stats SimHarness::aggregate_stats() const {
     total.duplicates += s.duplicates;
     total.double_signals += s.double_signals;
     total.slashes_submitted += s.slashes_submitted;
+    total.proof_verifications += s.proof_verifications;
+    total.proof_cache_hits += s.proof_cache_hits;
   }
   return total;
 }

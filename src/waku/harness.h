@@ -6,6 +6,7 @@
 // on — "give me a working network in five lines".
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "eth/membership_contract.h"
@@ -32,6 +33,8 @@ struct HarnessConfig {
   std::size_t extra_links_per_node = 3;
   /// Pairwise edge probability (kErdosRenyi).
   double erdos_renyi_p = 0.3;
+  /// kGeo derives per-link latency from region pairs (sim/topology.h).
+  sim::LinkProfile link_profile = sim::LinkProfile::kUniform;
   std::uint64_t seed = 42;
   std::uint64_t initial_balance_wei = 100'000'000;
 
@@ -46,10 +49,12 @@ struct HarnessConfig {
 
 class SimHarness {
  public:
-  /// One observed application-level delivery.
+  /// One observed application-level delivery. The payload is a shared
+  /// view of the message buffer — recording 10k deliveries of one
+  /// message costs 10k views, not 10k copies.
   struct Delivery {
     std::size_t node_index;
-    util::Bytes payload;
+    util::SharedBytes payload;
     sim::TimeUs at;
   };
 
@@ -73,6 +78,11 @@ class SimHarness {
 
   /// Registers every node and mines the confirmations.
   void register_all();
+
+  /// Registers only the given node indices and mines the confirmations —
+  /// large worlds register their publishers while the remaining nodes
+  /// stay pure (validating, unregistered) relays.
+  void register_nodes(std::span<const std::size_t> indices);
 
   /// Advances the simulated world.
   void run_seconds(std::uint64_t seconds);

@@ -15,8 +15,9 @@ namespace wakurln::waku {
 
 class WakuRelay {
  public:
+  /// Payloads are handed to the application as zero-copy shared views.
   using PayloadHandler =
-      std::function<void(const gossipsub::TopicId&, const util::Bytes&)>;
+      std::function<void(const gossipsub::TopicId&, const util::SharedBytes&)>;
 
   WakuRelay(sim::NodeId self, sim::Network& network,
             gossipsub::GossipSubParams params = {});

@@ -11,7 +11,8 @@ using gossipsub::Validation;
 
 WakuRlnRelay::WakuRlnRelay(WakuRelay& relay, eth::Chain& chain,
                            eth::MembershipContract& contract, zksnark::KeyPair crs,
-                           eth::Address account, WakuRlnConfig config, util::Rng rng)
+                           eth::Address account, WakuRlnConfig config, util::Rng rng,
+                           std::shared_ptr<GroupSync> group_sync)
     : relay_(relay),
       chain_(chain),
       contract_(contract),
@@ -23,11 +24,17 @@ WakuRlnRelay::WakuRlnRelay(WakuRelay& relay, eth::Chain& chain,
       prover_(crs_.pk, identity_, config.messages_per_epoch),
       verifier_(crs_.vk, config.messages_per_epoch),
       epochs_(config.epoch_period_seconds, config.max_delay_seconds),
-      group_(config.tree_depth) {
+      sync_(group_sync ? std::move(group_sync)
+                       : std::make_shared<GroupSync>(chain, config.tree_depth)) {
   if (crs_.pk.tree_depth != config.tree_depth) {
     throw std::invalid_argument("WakuRlnRelay: CRS depth != configured tree depth");
   }
+  if (sync_->group().tree_depth() != config.tree_depth) {
+    throw std::invalid_argument("WakuRlnRelay: group sync depth != configured depth");
+  }
   remember_root();
+  // The sync's own subscription predates this one, so membership updates
+  // are applied to the tree before any relay reads the new root.
   chain_.subscribe_events(
       [this](const eth::ContractEvent& ev, const eth::Block&) { on_chain_event(ev); });
   schedule_nullifier_gc();
@@ -57,11 +64,13 @@ void WakuRlnRelay::subscribe(const gossipsub::TopicId& topic, PayloadHandler han
         return validate(source, msg);
       });
   // Validation has already run by the time the relay delivers; unwrap the
-  // RLN envelope and hand the bare payload to the application.
-  relay_.subscribe(topic, [this](const gossipsub::TopicId& t, const util::Bytes& data) {
-    const auto decoded = decode_envelope(data);
-    if (decoded && handler_) handler_(t, decoded->second);
-  });
+  // RLN envelope and hand the bare payload (a zero-copy slice of the
+  // message buffer) to the application.
+  relay_.subscribe(topic,
+                   [this](const gossipsub::TopicId& t, const util::SharedBytes& data) {
+                     const auto decoded = decode_envelope(data);
+                     if (decoded && handler_) handler_(t, decoded->second);
+                   });
 }
 
 WakuRlnRelay::PublishOutcome WakuRlnRelay::publish(const gossipsub::TopicId& topic,
@@ -92,7 +101,7 @@ WakuRlnRelay::PublishOutcome WakuRlnRelay::do_publish(const gossipsub::TopicId& 
   const std::uint64_t slot =
       std::min(published_in_epoch_, config_.messages_per_epoch - 1);
   const auto signal =
-      prover_.create_signal(payload, epoch, group_, *own_index_, rng_, slot);
+      prover_.create_signal(payload, epoch, sync_->group(), *own_index_, rng_, slot);
   if (!signal) return PublishOutcome::kProofFailed;
 
   published_in_epoch_ += enforce_rate_limit ? 1 : 0;
@@ -106,16 +115,38 @@ WakuRlnRelay::PublishOutcome WakuRlnRelay::do_publish(const gossipsub::TopicId& 
   return PublishOutcome::kPublished;
 }
 
+bool WakuRlnRelay::verify_proof_cached(const gossipsub::MessageId& id,
+                                       std::span<const std::uint8_t> payload,
+                                       const rln::RlnSignal& signal) {
+  if (config_.proof_cache_entries == 0) {
+    ++stats_.proof_verifications;
+    return verifier_.verify(payload, signal);
+  }
+  if (const auto it = proof_cache_.find(id); it != proof_cache_.end()) {
+    ++stats_.proof_cache_hits;
+    return it->second;
+  }
+  ++stats_.proof_verifications;
+  const bool ok = verifier_.verify(payload, signal);
+  if (proof_cache_order_.size() >= config_.proof_cache_entries) {
+    proof_cache_.erase(proof_cache_order_.front());
+    proof_cache_order_.pop_front();
+  }
+  proof_cache_.emplace(id, ok);
+  proof_cache_order_.push_back(id);
+  return ok;
+}
+
 gossipsub::Validation WakuRlnRelay::validate(sim::NodeId /*source*/,
                                              const gossipsub::GsMessage& msg) {
-  // 1. Envelope shape.
+  // 1. Envelope shape (zero-copy: the payload is a slice of msg.data).
   const auto decoded = decode_envelope(msg.data);
   if (!decoded) {
     ++stats_.invalid_envelope;
     return Validation::kReject;
   }
   const rln::RlnSignal& signal = decoded->first;
-  const util::Bytes& payload = decoded->second;
+  const util::SharedBytes& payload = decoded->second;
 
   // 2. Epoch window: |msg.epoch - local| <= Thr (§III).
   if (!epochs_.within_threshold(signal.epoch, current_epoch())) {
@@ -136,8 +167,9 @@ gossipsub::Validation WakuRlnRelay::validate(sim::NodeId /*source*/,
     return Validation::kIgnore;  // possibly our own stale view: don't punish
   }
 
-  // 4. zkSNARK verification.
-  if (!verifier_.verify(payload, signal)) {
+  // 4. zkSNARK verification — the content-addressed message id keys a
+  // verdict cache, so a re-delivered message costs a map lookup.
+  if (!verify_proof_cached(msg.id, payload, signal)) {
     ++stats_.invalid_proof;
     return Validation::kReject;
   }
@@ -165,15 +197,13 @@ gossipsub::Validation WakuRlnRelay::validate(sim::NodeId /*source*/,
 }
 
 void WakuRlnRelay::on_chain_event(const eth::ContractEvent& event) {
+  // Tree updates were applied by the GroupSync subscriber already; here
+  // each peer tracks only its own membership index and the root window.
   if (const auto* reg = std::get_if<eth::MemberRegistered>(&event)) {
-    const std::uint64_t index = group_.add_member(reg->pk);
-    if (reg->pk == identity_.pk) own_index_ = index;
+    if (reg->pk == identity_.pk) own_index_ = reg->index;
     remember_root();
   } else if (const auto* slashed = std::get_if<eth::MemberSlashed>(&event)) {
-    if (group_.is_active(slashed->index)) {
-      group_.remove_member(slashed->index);
-      remember_root();
-    }
+    remember_root();
     if (slashed->pk == identity_.pk) own_index_.reset();
   }
 }
@@ -190,7 +220,7 @@ void WakuRlnRelay::submit_slash(const field::Fr& sk) {
 }
 
 void WakuRlnRelay::remember_root() {
-  const field::Fr root = group_.root();
+  const field::Fr root = sync_->group().root();
   if (!recent_roots_.empty() && recent_roots_.back() == root) return;
   recent_roots_.push_back(root);
   while (recent_roots_.size() > config_.acceptable_root_window) {
@@ -227,8 +257,12 @@ util::Bytes WakuRlnRelay::encode_envelope(const rln::RlnSignal& signal,
   return w.take();
 }
 
-std::optional<std::pair<rln::RlnSignal, util::Bytes>> WakuRlnRelay::decode_envelope(
-    std::span<const std::uint8_t> data) {
+namespace {
+
+/// One parser for both decode_envelope overloads: the payload is returned
+/// as a span into `data`, so callers choose copy vs shared-slice.
+std::optional<std::pair<rln::RlnSignal, std::span<const std::uint8_t>>>
+parse_envelope(std::span<const std::uint8_t> data) {
   try {
     util::ByteReader r(data);
     const auto signal_bytes = r.get_var();
@@ -236,10 +270,30 @@ std::optional<std::pair<rln::RlnSignal, util::Bytes>> WakuRlnRelay::decode_envel
     if (!r.empty()) return std::nullopt;
     auto signal = rln::RlnSignal::deserialize(signal_bytes);
     if (!signal) return std::nullopt;
-    return std::make_pair(*signal, util::Bytes(payload.begin(), payload.end()));
+    return std::make_pair(*signal, payload);
   } catch (const util::DecodeError&) {
     return std::nullopt;
   }
+}
+
+}  // namespace
+
+std::optional<std::pair<rln::RlnSignal, util::Bytes>> WakuRlnRelay::decode_envelope(
+    std::span<const std::uint8_t> data) {
+  auto parsed = parse_envelope(data);
+  if (!parsed) return std::nullopt;
+  return std::make_pair(std::move(parsed->first),
+                        util::Bytes(parsed->second.begin(), parsed->second.end()));
+}
+
+std::optional<std::pair<rln::RlnSignal, util::SharedBytes>> WakuRlnRelay::decode_envelope(
+    const util::SharedBytes& data) {
+  auto parsed = parse_envelope(data.span());
+  if (!parsed) return std::nullopt;
+  // The payload view shares data's buffer: no copy on the hot path.
+  const auto offset = static_cast<std::size_t>(parsed->second.data() - data.data());
+  return std::make_pair(std::move(parsed->first),
+                        data.slice(offset, parsed->second.size()));
 }
 
 }  // namespace wakurln::waku

@@ -4,16 +4,22 @@
 //
 // Per peer this class wires together:
 //   * registration        — stake + pk to the membership contract
-//   * group sync          — local Merkle tree maintained from contract
-//                           events, with an acceptable-root window
+//   * group sync          — Merkle tree maintained from contract events
+//                           (a GroupSync service, shareable across the
+//                           peers of one simulated world), with an
+//                           acceptable-root window
 //   * rate-limited publish — RLN signal attached to every message
 //   * routing validation  — proof check, epoch window (Thr = D/T),
-//                           nullifier-map double-signal detection
+//                           nullifier-map double-signal detection, and a
+//                           message-id-keyed proof-result cache so IWANT
+//                           re-deliveries and gossip duplicates skip the
+//                           repeat zkSNARK verification
 //   * slashing            — reconstructed sk submitted to the contract;
 //                           the slasher earns the reward share
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "eth/membership_contract.h"
@@ -22,6 +28,7 @@
 #include "rln/identity.h"
 #include "rln/nullifier_map.h"
 #include "rln/prover.h"
+#include "waku/group_sync.h"
 #include "waku/relay.h"
 
 namespace wakurln::waku {
@@ -44,6 +51,10 @@ struct WakuRlnConfig {
   /// k > 1 is the RLN-v2-style rate extension: each (epoch, slot) pair is
   /// an independent external nullifier, so slot reuse still leaks the key.
   std::uint64_t messages_per_epoch = 1;
+  /// Capacity of the proof-result cache (message ids; FIFO eviction;
+  /// 0 disables). Cheap insurance: a re-delivered message (late IWANT
+  /// after seen-cache expiry) reuses its zkSNARK verdict.
+  std::size_t proof_cache_entries = 4096;
 };
 
 class WakuRlnRelay {
@@ -66,14 +77,20 @@ class WakuRlnRelay {
     std::uint64_t duplicates = 0;         ///< same share seen again
     std::uint64_t double_signals = 0;     ///< rate violations detected
     std::uint64_t slashes_submitted = 0;  ///< slash txs sent to the contract
+    std::uint64_t proof_verifications = 0;  ///< zkSNARK verify calls made
+    std::uint64_t proof_cache_hits = 0;     ///< verify calls saved by the cache
   };
 
   using PayloadHandler =
-      std::function<void(const gossipsub::TopicId&, const util::Bytes&)>;
+      std::function<void(const gossipsub::TopicId&, const util::SharedBytes&)>;
 
+  /// `group_sync` may be shared across the peers of one simulated world
+  /// (their views are deterministically identical — see group_sync.h);
+  /// nullptr creates a private sync.
   WakuRlnRelay(WakuRelay& relay, eth::Chain& chain,
                eth::MembershipContract& contract, zksnark::KeyPair crs,
-               eth::Address account, WakuRlnConfig config, util::Rng rng);
+               eth::Address account, WakuRlnConfig config, util::Rng rng,
+               std::shared_ptr<GroupSync> group_sync = nullptr);
 
   // -- membership -------------------------------------------------------
   /// Submits the staking registration transaction; membership becomes
@@ -97,7 +114,7 @@ class WakuRlnRelay {
                                    const util::Bytes& payload);
 
   // -- introspection ------------------------------------------------------
-  const rln::RlnGroup& group() const { return group_; }
+  const rln::RlnGroup& group() const { return sync_->group(); }
   const Stats& stats() const { return stats_; }
   std::uint64_t current_epoch() const;
   const rln::EpochScheme& epoch_scheme() const { return epochs_; }
@@ -108,12 +125,19 @@ class WakuRlnRelay {
                                      const util::Bytes& payload);
   static std::optional<std::pair<rln::RlnSignal, util::Bytes>> decode_envelope(
       std::span<const std::uint8_t> data);
+  /// Zero-copy variant: the returned payload is a slice sharing `data`'s
+  /// buffer (no allocation on the validation hot path).
+  static std::optional<std::pair<rln::RlnSignal, util::SharedBytes>> decode_envelope(
+      const util::SharedBytes& data);
 
  private:
   std::uint64_t now_seconds() const;
   PublishOutcome do_publish(const gossipsub::TopicId& topic,
                             const util::Bytes& payload, bool enforce_rate_limit);
   gossipsub::Validation validate(sim::NodeId source, const gossipsub::GsMessage& msg);
+  bool verify_proof_cached(const gossipsub::MessageId& id,
+                           std::span<const std::uint8_t> payload,
+                           const rln::RlnSignal& signal);
   void on_chain_event(const eth::ContractEvent& event);
   void submit_slash(const field::Fr& sk);
   void remember_root();
@@ -132,7 +156,7 @@ class WakuRlnRelay {
   rln::RlnProver prover_;
   rln::RlnVerifier verifier_;
   rln::EpochScheme epochs_;
-  rln::RlnGroup group_;
+  std::shared_ptr<GroupSync> sync_;
   rln::NullifierMap nullifier_map_;
 
   std::optional<std::uint64_t> own_index_;
@@ -140,6 +164,9 @@ class WakuRlnRelay {
   std::uint64_t published_in_epoch_ = 0;  ///< honest messages sent this epoch
   std::deque<field::Fr> recent_roots_;
   std::unordered_map<field::Fr, bool, field::FrHash> slash_submitted_;
+  /// Proof verdicts by message id, FIFO-bounded at proof_cache_entries.
+  std::unordered_map<gossipsub::MessageId, bool, gossipsub::MessageIdHash> proof_cache_;
+  std::deque<gossipsub::MessageId> proof_cache_order_;
   PayloadHandler handler_;
   Stats stats_;
 };

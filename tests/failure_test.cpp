@@ -190,7 +190,8 @@ TEST(FailureTest, LateSubscriberMissesOldButGetsNewMessages) {
   // All but node 7 subscribe.
   std::vector<Bytes> late_inbox;
   for (std::size_t i = 0; i < 7; ++i) {
-    world.node(i).subscribe("fail/late", [](const gossipsub::TopicId&, const Bytes&) {});
+    world.node(i).subscribe("fail/late",
+                            [](const gossipsub::TopicId&, const util::SharedBytes&) {});
   }
   world.register_all();
   world.run_seconds(3);
@@ -198,8 +199,9 @@ TEST(FailureTest, LateSubscriberMissesOldButGetsNewMessages) {
   world.run_seconds(world.config().rln.epoch_period_seconds + 5);
 
   world.node(7).subscribe("fail/late",
-                          [&late_inbox](const gossipsub::TopicId&, const Bytes& p) {
-                            late_inbox.push_back(p);
+                          [&late_inbox](const gossipsub::TopicId&,
+                                        const util::SharedBytes& p) {
+                            late_inbox.push_back(p.to_vector());
                           });
   world.run_seconds(5);  // mesh formation for the late subscriber
   world.node(0).publish("fail/late", util::to_bytes("current message"));

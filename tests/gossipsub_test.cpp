@@ -75,7 +75,8 @@ TEST(RpcTest, WireSizeCountsComponents) {
   Rpc rpc;
   EXPECT_TRUE(rpc.empty());
   const std::size_t base = rpc.wire_size();
-  rpc.publish.push_back(GsMessage::create("topic", util::Bytes(100, 7)));
+  rpc.publish.push_back(
+      std::make_shared<const GsMessage>(GsMessage::create("topic", util::Bytes(100, 7))));
   EXPECT_GT(rpc.wire_size(), base + 100);
   EXPECT_FALSE(rpc.empty());
 }
@@ -338,6 +339,67 @@ TEST(RouterTest, StatsTrackForwarding) {
   std::uint64_t forwarded = 0;
   for (const auto& r : swarm.routers) forwarded += r->stats().forwarded;
   EXPECT_GT(forwarded, 0u);
+}
+
+TEST(ZeroCopyTest, FanOutSharesOnePayloadAllocation) {
+  // One published message floods a 12-node swarm. Every delivered copy —
+  // inboxes, mcaches, frames still in flight — must view the single
+  // buffer allocated at publish time.
+  Swarm m(12);
+  m.subscribe_all("z");
+  m.settle();
+  const std::uint64_t allocs0 = util::SharedBytes::allocation_count();
+  m.routers[0]->publish("z", util::Bytes(4096, 0xAB));
+  m.settle(10);
+  EXPECT_EQ(util::SharedBytes::allocation_count(), allocs0 + 1);
+  EXPECT_EQ(m.delivered_count("z"), m.routers.size());
+  // All delivered messages alias the same bytes.
+  const std::uint8_t* buffer = nullptr;
+  for (const auto& [id, msgs] : m.inbox) {
+    for (const GsMessage& msg : msgs) {
+      if (buffer == nullptr) buffer = msg.data.data();
+      EXPECT_EQ(msg.data.data(), buffer);
+      EXPECT_GE(msg.data.use_count(), 1);
+    }
+  }
+}
+
+TEST(ZeroCopyTest, WireSizeModelSplitsPayloadAndControl) {
+  Rpc rpc;
+  const auto empty = rpc.wire_breakdown();
+  EXPECT_EQ(empty.payload, 0u);
+  EXPECT_EQ(empty.control, kRpcHeaderBytes);
+  rpc.publish.push_back(std::make_shared<const GsMessage>(
+      GsMessage::create("topic", util::Bytes(100, 7))));
+  rpc.ihave.push_back({"topic", std::vector<MessageId>(3)});
+  rpc.subscriptions.push_back({"topic", true});
+  const auto b = rpc.wire_breakdown();
+  EXPECT_EQ(b.payload, 100 + 5 + kMessageFramingBytes);
+  EXPECT_EQ(b.control, kRpcHeaderBytes + (5 + kControlEntryBytes + kIdListCountBytes +
+                                          3 * kMessageIdBytes) +
+                           (5 + kControlEntryBytes));
+  EXPECT_EQ(rpc.wire_size(), b.payload + b.control);
+}
+
+TEST(ZeroCopyTest, RouterAccountsBytesByClass) {
+  Swarm m(8);
+  m.subscribe_all("z");
+  m.settle();
+  std::uint64_t payload0 = 0;
+  for (auto& r : m.routers) payload0 += r->stats().payload_bytes_sent;
+  EXPECT_EQ(payload0, 0u);  // only control traffic so far
+  m.routers[0]->publish("z", util::Bytes(512, 1));
+  m.settle(10);
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t control_bytes = 0;
+  for (auto& r : m.routers) {
+    payload_bytes += r->stats().payload_bytes_sent;
+    control_bytes += r->stats().control_bytes_sent;
+  }
+  EXPECT_GT(payload_bytes, 0u);
+  EXPECT_GT(control_bytes, 0u);
+  // Byte classes reconcile exactly with the network's total accounting.
+  EXPECT_EQ(payload_bytes + control_bytes, m.net.stats().bytes_sent);
 }
 
 }  // namespace

@@ -31,7 +31,7 @@ std::vector<std::tuple<std::size_t, Bytes, sim::TimeUs>> run_scenario(
   world.run_seconds(10);
   std::vector<std::tuple<std::size_t, Bytes, sim::TimeUs>> trace;
   for (const auto& d : world.deliveries()) {
-    trace.emplace_back(d.node_index, d.payload, d.at);
+    trace.emplace_back(d.node_index, d.payload.to_vector(), d.at);
   }
   return trace;
 }

@@ -79,8 +79,8 @@ struct World {
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       nodes[i]->subscribe(
           topic, [this, id = relays[i]->id()](const gossipsub::TopicId&,
-                                              const Bytes& payload) {
-            inbox[id].push_back(payload);
+                                              const util::SharedBytes& payload) {
+            inbox[id].push_back(payload.to_vector());
           });
     }
   }

@@ -286,6 +286,122 @@ TEST(NullifierMapTest, MemoryGrowsWithRecordsAndShrinksOnPrune) {
   EXPECT_EQ(map.record_count(), 0u);
 }
 
+// -- sharded-ring storage invariants ------------------------------------
+
+TEST(NullifierMapShardTest, PruneInvariantsAcrossEpochWrapAround) {
+  // Drive many prune cycles: the ring must keep exactly the retained
+  // window at every step, with counts consistent, as epochs march far
+  // beyond the initial allocation (ring reuse / wrap-around).
+  NullifierMap map;
+  constexpr std::uint64_t kWindow = 4;
+  for (std::uint64_t e = 0; e < 200; ++e) {
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(
+          map.observe(e, Fr::from_u64(e * 17 + i), Fr::from_u64(i + 1), Fr::from_u64(i + 2))
+              .outcome,
+          NullifierMap::Outcome::kFresh);
+    }
+    if (e >= kWindow) {
+      map.prune_before(e - kWindow + 1);
+      EXPECT_EQ(map.epoch_count(), kWindow);
+      EXPECT_EQ(map.record_count(), kWindow * 3);
+    }
+    // Records inside the window survive the prune; a record from the
+    // current epoch is always a duplicate on re-observation.
+    EXPECT_EQ(map.observe(e, Fr::from_u64(e * 17), Fr::from_u64(1), Fr::from_u64(2)).outcome,
+              NullifierMap::Outcome::kDuplicateMessage);
+  }
+  map.prune_before(1000);
+  EXPECT_EQ(map.epoch_count(), 0u);
+  EXPECT_EQ(map.record_count(), 0u);
+}
+
+TEST(NullifierMapShardTest, OutOfOrderEpochsWithinWindowShareTheRing) {
+  // The Thr acceptance window lets slightly-old epochs arrive after newer
+  // ones; they must land in their own shard, not corrupt neighbours.
+  NullifierMap map;
+  map.observe(10, Fr::from_u64(1), Fr::from_u64(1), Fr::from_u64(2));
+  map.observe(12, Fr::from_u64(2), Fr::from_u64(1), Fr::from_u64(2));
+  map.observe(11, Fr::from_u64(3), Fr::from_u64(1), Fr::from_u64(2));  // middle insert
+  map.observe(9, Fr::from_u64(4), Fr::from_u64(1), Fr::from_u64(2));   // front insert
+  EXPECT_EQ(map.epoch_count(), 4u);
+  EXPECT_EQ(map.record_count(), 4u);
+  // Same nullifier value in different epochs stays independent.
+  EXPECT_EQ(map.observe(11, Fr::from_u64(2), Fr::from_u64(5), Fr::from_u64(6)).outcome,
+            NullifierMap::Outcome::kFresh);
+  map.prune_before(11);
+  EXPECT_EQ(map.epoch_count(), 2u);
+  EXPECT_EQ(map.record_count(), 3u);
+}
+
+TEST(NullifierMapShardTest, MemoryBytesTracksLiveStateExactly) {
+  // memory_bytes must be reproducible from the visible state (records and
+  // shards), grow monotonically under inserts within an epoch, and return
+  // to the empty baseline after a full prune.
+  NullifierMap map;
+  const std::size_t empty = map.memory_bytes();
+  std::size_t prev = empty;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    map.observe(5, Fr::from_u64(1000 + i), Fr::from_u64(1), Fr::from_u64(2));
+    const std::size_t now = map.memory_bytes();
+    EXPECT_GT(now, prev - 1);  // never shrinks while inserting
+    prev = now;
+  }
+  // Duplicates add no records and therefore no memory.
+  const std::size_t loaded = map.memory_bytes();
+  map.observe(5, Fr::from_u64(1000), Fr::from_u64(1), Fr::from_u64(2));
+  EXPECT_EQ(map.memory_bytes(), loaded);
+  map.prune_before(6);
+  EXPECT_EQ(map.record_count(), 0u);
+  EXPECT_EQ(map.memory_bytes(), empty);
+}
+
+TEST(NullifierMapShardTest, DuplicateVersusDoubleSignalUnderRateExtension) {
+  // messages_per_epoch > 1: each (epoch, slot) pair derives a distinct
+  // internal nullifier, so k honest slots coexist in one epoch shard,
+  // while reusing one slot with a different message is a double-signal
+  // and re-sending the same message is only a duplicate.
+  Rng rng(903);
+  const Identity id = Identity::generate(rng);
+  const std::uint64_t epoch = 77;
+  NullifierMap map;
+  std::vector<Fr> slot_nullifiers;
+  std::vector<Fr> slot_keys;  // a_1 per slot
+  for (std::uint64_t slot = 0; slot < 3; ++slot) {
+    // External nullifier mixes epoch and slot as in the RLN-v2 extension.
+    const Fr ext = hash::poseidon_hash2(Fr::from_u64(epoch), Fr::from_u64(slot));
+    const Fr a1 = hash::poseidon_hash2(id.sk, ext);
+    slot_keys.push_back(a1);
+    slot_nullifiers.push_back(hash::poseidon_hash1(a1));
+  }
+  // One honest message per slot: all fresh, same epoch shard.
+  for (std::uint64_t slot = 0; slot < 3; ++slot) {
+    const Fr x = Fr::from_u64(100 + slot);
+    const auto share = shamir::make_share(id.sk, slot_keys[slot], x);
+    EXPECT_EQ(map.observe(epoch, slot_nullifiers[slot], x, share.y).outcome,
+              NullifierMap::Outcome::kFresh);
+  }
+  EXPECT_EQ(map.epoch_count(), 1u);
+  EXPECT_EQ(map.record_count(), 3u);
+  // Gossip duplicate of slot 1: same x, same y -> ignore.
+  {
+    const Fr x = Fr::from_u64(101);
+    const auto share = shamir::make_share(id.sk, slot_keys[1], x);
+    EXPECT_EQ(map.observe(epoch, slot_nullifiers[1], x, share.y).outcome,
+              NullifierMap::Outcome::kDuplicateMessage);
+  }
+  // Slot 1 reused for a *different* message: double-signal, sk recovered.
+  {
+    const Fr x = Fr::from_u64(555);
+    const auto share = shamir::make_share(id.sk, slot_keys[1], x);
+    const auto result = map.observe(epoch, slot_nullifiers[1], x, share.y);
+    EXPECT_EQ(result.outcome, NullifierMap::Outcome::kDoubleSignal);
+    ASSERT_TRUE(result.breached_sk.has_value());
+    EXPECT_EQ(*result.breached_sk, id.sk);
+  }
+  EXPECT_EQ(map.record_count(), 3u);  // violations never add records
+}
+
 // Property sweep: double-signal reconstruction always recovers the true sk
 // for random identities, epochs and message pairs.
 class DoubleSignalProperty : public ::testing::TestWithParam<std::uint64_t> {};

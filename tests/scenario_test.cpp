@@ -181,7 +181,7 @@ TEST(ReportTest, JsonIsWellFormedAndCarriesRunsAndAggregates) {
   ASSERT_EQ(result.runs.size(), 2u);
   ASSERT_FALSE(result.aggregate.empty());
   const std::string json = report_json(result);
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"scenario\": \"baseline_relay\""), std::string::npos);
   EXPECT_NE(json.find("\"delivery_ratio\""), std::string::npos);
   EXPECT_NE(json.find("\"aggregate\""), std::string::npos);
@@ -189,6 +189,80 @@ TEST(ReportTest, JsonIsWellFormedAndCarriesRunsAndAggregates) {
   // real parser).
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(LargeMeshTest, RegisteredAndShrinksToAUnitScaleWorld) {
+  const ScenarioSpec full = find_scenario("large_mesh");
+  EXPECT_EQ(full.nodes, 10000u);
+  EXPECT_EQ(full.link_profile, sim::LinkProfile::kGeo);
+  EXPECT_TRUE(full.register_publishers_only);
+  EXPECT_GT(full.publishers, 0u);
+  EXPECT_GT(full.payload_bytes, 0u);
+
+  // The same spec at toy scale: a bounded publisher set, relays that
+  // never publish, and publisher-only registration still deliver.
+  ScenarioSpec spec = small("large_mesh", 24, 2);
+  spec.publishers = 4;
+  spec.payload_bytes = 256;
+  const MetricSet m = ScenarioRunner(spec, 3).run();
+  EXPECT_GT(m.at("honest_published"), 0);
+  EXPECT_GE(m.at("delivery_ratio"), 0.9);
+  // Only 4 publishers ever attempt: 4 nodes x 2 epochs at most.
+  EXPECT_LE(m.at("honest_attempted"), 8);
+  EXPECT_GT(m.at("verifications_total"), 0);
+  EXPECT_GT(m.at("payload_bytes_total"), 0);
+  EXPECT_GT(m.at("sim_seconds"), 0);
+}
+
+TEST(LargeMeshTest, PayloadPaddingDoesNotChangeDeliverySemantics) {
+  ScenarioSpec bare = small("baseline_relay", 10, 2);
+  ScenarioSpec padded = bare;
+  padded.payload_bytes = 2048;
+  const MetricSet mb = ScenarioRunner(bare, 5).run();
+  const MetricSet mp = ScenarioRunner(padded, 5).run();
+  // Same workload decisions (same seed, padding draws no randomness).
+  EXPECT_EQ(mb.at("honest_attempted"), mp.at("honest_attempted"));
+  EXPECT_EQ(mb.at("honest_published"), mp.at("honest_published"));
+  EXPECT_EQ(mb.at("delivery_ratio"), mp.at("delivery_ratio"));
+  // Padding shows up on the wire.
+  EXPECT_GT(mp.at("payload_bytes_total"), mb.at("payload_bytes_total"));
+}
+
+TEST(LargeMeshTest, GeoProfileStretchesLatencyTails) {
+  ScenarioSpec uniform = small("baseline_relay", 20, 3);
+  ScenarioSpec geo = uniform;
+  geo.link_profile = sim::LinkProfile::kGeo;
+  const MetricSet mu = ScenarioRunner(uniform, 9).run();
+  const MetricSet mg = ScenarioRunner(geo, 9).run();
+  EXPECT_GE(mg.at("delivery_ratio"), 0.9);  // still a connected overlay
+  // Cross-region hops dominate the tail: geo p90 well above uniform's.
+  EXPECT_GT(mg.at("latency_p90_ms"), mu.at("latency_p90_ms"));
+}
+
+TEST(ResourceTest, DeterministicResourceMetricsAndSeparateWallClockBlock) {
+  CampaignConfig cfg;
+  cfg.seeds = 2;
+  cfg.seed0 = 4;
+  const CampaignResult result = run_campaign(small("baseline_relay"), cfg);
+  ASSERT_EQ(result.resources.size(), 2u);
+  for (const ResourceUsage& r : result.resources) {
+    EXPECT_GT(r.wall_ms, 0);
+    EXPECT_GT(r.sim_seconds, 0);
+  }
+  // The deterministic view omits host wall-clock; the full report
+  // carries it in the resources block.
+  const std::string deterministic = report_json(result);
+  EXPECT_EQ(deterministic.find("\"resources\""), std::string::npos);
+  const std::string full = report_json(result, /*include_resources=*/true);
+  EXPECT_NE(full.find("\"resources\""), std::string::npos);
+  EXPECT_NE(full.find("\"wall_ms_per_sim_second_mean\""), std::string::npos);
+  EXPECT_EQ(std::count(full.begin(), full.end(), '{'),
+            std::count(full.begin(), full.end(), '}'));
+  // Deterministic resource metrics live in the metric sets themselves.
+  EXPECT_GT(result.runs[0].at("verifications_total"), 0);
+  EXPECT_GE(result.runs[0].at("verifications_saved"), 0);
+  EXPECT_GT(result.runs[0].at("payload_allocs"), 0);
+  EXPECT_GT(result.runs[0].at("control_bytes_total"), 0);
 }
 
 }  // namespace

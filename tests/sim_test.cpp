@@ -117,8 +117,9 @@ struct TestNode {
 
   NodeCallbacks callbacks() {
     NodeCallbacks cb;
-    cb.on_frame = [this](NodeId from, const std::any& frame, std::size_t) {
-      received.emplace_back(from, std::any_cast<std::string>(frame));
+    cb.on_frame = [this](NodeId from, const sim::Frame& frame, std::size_t) {
+      const std::string* text = frame.get_if<std::string>();
+      received.emplace_back(from, text ? *text : std::string());
     };
     cb.on_peer_connected = [this](NodeId peer) { connected.push_back(peer); };
     return cb;
@@ -140,7 +141,7 @@ TEST(NetworkTest, DeliversWithLatency) {
   const NodeId idb = net.add_node(b.callbacks());
   net.connect(ida, idb);
 
-  net.send(ida, idb, std::string("hello"), 5);
+  net.send(ida, idb, sim::Frame::of(std::string("hello")), 5);
   EXPECT_TRUE(b.received.empty());
   sched.run_until(9 * kUsPerMs);
   EXPECT_TRUE(b.received.empty());
@@ -182,7 +183,7 @@ TEST(NetworkTest, SendWithoutLinkThrows) {
   TestNode a, b;
   const NodeId ida = net.add_node(a.callbacks());
   const NodeId idb = net.add_node(b.callbacks());
-  EXPECT_THROW(net.send(ida, idb, std::string("x"), 1), std::logic_error);
+  EXPECT_THROW(net.send(ida, idb, sim::Frame::of(std::string("x")), 1), std::logic_error);
 }
 
 TEST(NetworkTest, LossDropsFrames) {
@@ -195,7 +196,7 @@ TEST(NetworkTest, LossDropsFrames) {
   const NodeId ida = net.add_node(a.callbacks());
   const NodeId idb = net.add_node(b.callbacks());
   net.connect(ida, idb);
-  for (int i = 0; i < 10; ++i) net.send(ida, idb, std::string("x"), 1);
+  for (int i = 0; i < 10; ++i) net.send(ida, idb, sim::Frame::of(std::string("x")), 1);
   sched.run_all();
   EXPECT_TRUE(b.received.empty());
   EXPECT_EQ(net.stats().frames_lost, 10u);
@@ -209,7 +210,7 @@ TEST(NetworkTest, InFlightFramesDropOnDisconnect) {
   const NodeId ida = net.add_node(a.callbacks());
   const NodeId idb = net.add_node(b.callbacks());
   net.connect(ida, idb);
-  net.send(ida, idb, std::string("x"), 1);
+  net.send(ida, idb, sim::Frame::of(std::string("x")), 1);
   net.disconnect(ida, idb);
   sched.run_all();
   EXPECT_TRUE(b.received.empty());
@@ -228,7 +229,7 @@ TEST(NetworkTest, BandwidthAddsSizeDependentDelay) {
   const NodeId ida = net.add_node(a.callbacks());
   const NodeId idb = net.add_node(b.callbacks());
   net.connect(ida, idb);
-  net.send(ida, idb, std::string("x"), 500);  // 0.5 s serialisation
+  net.send(ida, idb, sim::Frame::of(std::string("x")), 500);  // 0.5 s serialisation
   sched.run_until(499 * kUsPerMs);
   EXPECT_TRUE(b.received.empty());
   sched.run_until(500 * kUsPerMs);
@@ -243,8 +244,8 @@ TEST(NetworkTest, TrafficAccounting) {
   const NodeId ida = net.add_node(a.callbacks());
   const NodeId idb = net.add_node(b.callbacks());
   net.connect(ida, idb);
-  net.send(ida, idb, std::string("x"), 100);
-  net.send(ida, idb, std::string("y"), 50);
+  net.send(ida, idb, sim::Frame::of(std::string("x")), 100);
+  net.send(ida, idb, sim::Frame::of(std::string("y")), 50);
   sched.run_all();
   EXPECT_EQ(net.bytes_sent_by(ida), 150u);
   EXPECT_EQ(net.bytes_received_by(idb), 150u);
@@ -268,7 +269,7 @@ TEST(NetworkTest, DropInFlightPreventsStaleDeliveryAfterRejoin) {
   const NodeId idb = net.add_node(b.callbacks());
   net.connect(ida, idb);
 
-  net.send(ida, idb, std::string("stale"), 5);
+  net.send(ida, idb, sim::Frame::of(std::string("stale")), 5);
   // b departs (links torn down, in-flight frames invalidated) and rejoins
   // before the frame's arrival time.
   net.disconnect(ida, idb);
@@ -279,7 +280,7 @@ TEST(NetworkTest, DropInFlightPreventsStaleDeliveryAfterRejoin) {
   EXPECT_EQ(net.stats().frames_lost, 1u);
 
   // Frames sent after the rejoin deliver normally.
-  net.send(ida, idb, std::string("fresh"), 5);
+  net.send(ida, idb, sim::Frame::of(std::string("fresh")), 5);
   sched.run_all();
   ASSERT_EQ(b.received.size(), 1u);
   EXPECT_EQ(b.received[0].second, "fresh");
@@ -299,7 +300,7 @@ TEST(NetworkTest, WithoutDropInFlightStaleFrameWouldDeliver) {
   const NodeId ida = net.add_node(a.callbacks());
   const NodeId idb = net.add_node(b.callbacks());
   net.connect(ida, idb);
-  net.send(ida, idb, std::string("stale"), 5);
+  net.send(ida, idb, sim::Frame::of(std::string("stale")), 5);
   net.disconnect(ida, idb);
   net.connect(ida, idb);
   sched.run_all();
@@ -321,15 +322,15 @@ TEST(NetworkTest, FrameTapObservesDeliveriesOnly) {
   net.connect(ida, idb);
 
   std::vector<std::pair<NodeId, NodeId>> taps;
-  net.set_frame_tap([&](NodeId from, NodeId to, const std::any&, std::size_t) {
+  net.set_frame_tap([&](NodeId from, NodeId to, const sim::Frame&, std::size_t) {
     taps.emplace_back(from, to);
   });
 
-  net.send(ida, idb, std::string("seen"), 4);
-  net.send(idb, ida, std::string("back"), 4);
+  net.send(ida, idb, sim::Frame::of(std::string("seen")), 4);
+  net.send(idb, ida, sim::Frame::of(std::string("back")), 4);
   sched.run_all();
   // This one is dropped in flight and must not reach the tap.
-  net.send(ida, idb, std::string("dropped"), 7);
+  net.send(ida, idb, sim::Frame::of(std::string("dropped")), 7);
   net.drop_in_flight(idb);
   sched.run_all();
 
@@ -447,13 +448,80 @@ TEST(DeterminismTest, SameSeedSameSchedule) {
     const NodeId idb = net.add_node(b.callbacks());
     net.connect(ida, idb);
     for (int i = 0; i < 20; ++i) {
-      net.send(ida, idb, std::string("m") + std::to_string(i), 10 + i);
+      net.send(ida, idb, sim::Frame::of(std::string("m") + std::to_string(i)), 10 + i);
     }
     sched.run_all();
     return sched.now();
   };
   EXPECT_EQ(run(1234), run(1234));
   EXPECT_NE(run(1234), run(5678));
+}
+
+TEST(FrameTest, SharesOnePayloadAcrossFanOut) {
+  const Frame a = Frame::of(std::string("shared payload"));
+  const Frame b = a;  // refcount bump, no clone
+  EXPECT_EQ(a.use_count(), 2);
+  ASSERT_NE(a.get_if<std::string>(), nullptr);
+  EXPECT_EQ(a.get_if<std::string>(), b.get_if<std::string>());  // same object
+  EXPECT_EQ(*b.get_if<std::string>(), "shared payload");
+  // Typed access is exact: a string frame is not an int frame.
+  EXPECT_EQ(a.get_if<int>(), nullptr);
+  const Frame empty;
+  EXPECT_FALSE(empty.has_value());
+  EXPECT_EQ(empty.get_if<std::string>(), nullptr);
+}
+
+TEST(FrameTest, WrapAdoptsExistingSharedPayload) {
+  auto payload = std::make_shared<const int>(41);
+  const Frame f = Frame::wrap(payload);
+  EXPECT_EQ(payload.use_count(), 2);
+  ASSERT_NE(f.get_if<int>(), nullptr);
+  EXPECT_EQ(*f.get_if<int>(), 41);
+  EXPECT_EQ(f.get_if<int>(), payload.get());
+}
+
+TEST(GeoLatencyTest, NamesAndRegionsAreStable) {
+  EXPECT_STREQ(link_profile_name(LinkProfile::kGeo), "geo");
+  EXPECT_EQ(link_profile_from_name("uniform"), LinkProfile::kUniform);
+  EXPECT_EQ(link_profile_from_name("geo"), LinkProfile::kGeo);
+  EXPECT_THROW(link_profile_from_name("mars"), std::invalid_argument);
+  // Contiguous blocks cover all regions in order.
+  EXPECT_EQ(geo_region_of(0, 100), 0u);
+  EXPECT_EQ(geo_region_of(99, 100), kGeoRegions - 1);
+  for (std::size_t i = 1; i < 100; ++i) {
+    EXPECT_GE(geo_region_of(i, 100), geo_region_of(i - 1, 100));
+  }
+}
+
+TEST(GeoLatencyTest, CrossRegionLinksAreSlowerThanLocalOnes) {
+  LinkParams base;
+  base.loss_rate = 0.25;
+  const LinkParams local = geo_link_params(0, 0, base);
+  const LinkParams far = geo_link_params(0, 3, base);
+  EXPECT_GT(far.base_latency, 10 * local.base_latency);
+  EXPECT_EQ(local.loss_rate, base.loss_rate);  // non-latency params inherited
+  EXPECT_EQ(far.bandwidth_bytes_per_sec, base.bandwidth_bytes_per_sec);
+  // Symmetric matrix.
+  EXPECT_EQ(geo_link_params(3, 0, base).base_latency, far.base_latency);
+}
+
+TEST(GeoLatencyTest, AppliesPerLinkParamsToExistingLinksOnly) {
+  Rng rng(77);
+  Scheduler sched;
+  LinkParams base;
+  base.base_latency = 1 * kUsPerMs;
+  base.jitter = 0;
+  Network net(sched, rng, base);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(net.add_node({}));
+  net.connect(ids[0], ids[1]);  // same region (nodes 0-1 of 10)
+  net.connect(ids[0], ids[9]);  // cross-region (region 0 vs 4)
+  apply_geo_latency(net, ids, base);
+  EXPECT_GT(net.link_params(ids[0], ids[9]).base_latency,
+            net.link_params(ids[0], ids[1]).base_latency);
+  // A link created after the profile was applied keeps the default.
+  net.connect(ids[2], ids[9]);
+  EXPECT_EQ(net.link_params(ids[2], ids[9]).base_latency, base.base_latency);
 }
 
 }  // namespace

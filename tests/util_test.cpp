@@ -4,6 +4,7 @@
 
 #include "util/bytes.h"
 #include "util/rng.h"
+#include "util/shared_bytes.h"
 #include "util/serde.h"
 
 namespace wakurln::util {
@@ -190,6 +191,43 @@ TEST(SerdeTest, RemainingTracksPosition) {
   EXPECT_EQ(r.remaining(), 4u);
   r.get_raw(4);
   EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SharedBytesTest, SharesOneBufferAcrossCopiesAndSlices) {
+  const std::uint64_t allocs0 = SharedBytes::allocation_count();
+  SharedBytes a{Bytes{1, 2, 3, 4, 5}};
+  EXPECT_EQ(SharedBytes::allocation_count(), allocs0 + 1);
+  const SharedBytes b = a;                 // refcount bump, no allocation
+  const SharedBytes mid = a.slice(1, 3);   // view, no allocation
+  EXPECT_EQ(SharedBytes::allocation_count(), allocs0 + 1);
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_EQ(b, a);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid[0], 2);
+  EXPECT_EQ(mid[2], 4);
+  EXPECT_EQ(mid.data(), a.data() + 1);  // same buffer, shifted view
+  EXPECT_EQ(mid.to_vector(), (Bytes{2, 3, 4}));
+}
+
+TEST(SharedBytesTest, ComparesByContentAndHandlesEmpty) {
+  const SharedBytes empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.use_count(), 0);
+  EXPECT_EQ(empty, SharedBytes{});
+  const SharedBytes a{Bytes{9, 8}};
+  const SharedBytes same = SharedBytes::copy_of(a.span());
+  EXPECT_EQ(a, same);                  // equal content, distinct buffers
+  EXPECT_NE(a.data(), same.data());
+  const Bytes plain{9, 8};
+  EXPECT_EQ(a, plain);                 // span comparison against vectors
+  EXPECT_FALSE(a == SharedBytes{Bytes{9}});
+}
+
+TEST(SharedBytesTest, SliceBoundsAreChecked) {
+  const SharedBytes a{Bytes{1, 2, 3}};
+  EXPECT_NO_THROW(a.slice(3, 0));
+  EXPECT_THROW(a.slice(2, 2), std::out_of_range);
+  EXPECT_THROW(a.slice(4, 0), std::out_of_range);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "sim/topology.h"
+#include "waku/harness.h"
 #include "waku/relay.h"
 #include "waku/rln_relay.h"
 
@@ -77,8 +78,9 @@ struct TestNet {
   void subscribe_all(const std::string& topic) {
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       nodes[i]->subscribe(topic, [this, id = relays[i]->id()](
-                                     const gossipsub::TopicId&, const Bytes& payload) {
-        delivered[id].push_back(payload);
+                                     const gossipsub::TopicId&,
+                                     const util::SharedBytes& payload) {
+        delivered[id].push_back(payload.to_vector());
       });
     }
   }
@@ -112,7 +114,8 @@ TEST(WakuRelayTest, AnonymousPayloadDelivery) {
   int received = 0;
   for (auto& r : relays) {
     r->start();
-    r->subscribe("chat", [&](const gossipsub::TopicId&, const Bytes&) { ++received; });
+    r->subscribe("chat",
+                 [&](const gossipsub::TopicId&, const util::SharedBytes&) { ++received; });
   }
   sched.run_for(5 * sim::kUsPerSecond);
   relays[0]->publish("chat", util::to_bytes("hi"));
@@ -368,6 +371,92 @@ TEST(WakuRlnRelayTest, CrsDepthMismatchThrows) {
   EXPECT_THROW(WakuRlnRelay(*tn.relays[0], tn.chain, *tn.contract, tn.crs, 1, bad,
                             Rng(1)),
                std::invalid_argument);
+}
+
+TEST(WakuRlnRelayTest, ProofCacheSkipsRepeatVerificationOnRedelivery) {
+  // Two peers with a fast-expiring gossip seen-cache: re-publishing the
+  // exact same envelope re-enters the receiver's validator after seen
+  // expiry, and the message-id proof cache answers instead of the
+  // zkSNARK verifier. The outcome stays the duplicate-ignore of the
+  // nullifier map — only the repeat verification is saved.
+  Rng rng(414);
+  sim::Scheduler sched;
+  sim::Network net{sched, rng, TestNet::link()};
+  eth::Chain chain{TestNet::chain_config()};
+  eth::MembershipConfig mcfg;
+  const WakuRlnConfig cfg = TestNet::rln_config();
+  mcfg.tree_depth = cfg.tree_depth;
+  eth::RegistryListContract contract(chain, mcfg);
+  const zksnark::KeyPair crs = zksnark::MockGroth16::setup(cfg.tree_depth, rng);
+
+  gossipsub::GossipSubParams gossip;
+  gossip.seen_ttl = 1 * sim::kUsPerSecond;  // heartbeats expire seen ids fast
+
+  const sim::NodeId ida = net.add_node({});
+  const sim::NodeId idb = net.add_node({});
+  WakuRelay relay_a(ida, net, gossip);
+  WakuRelay relay_b(idb, net, gossip);
+  chain.ledger().mint(1, 100'000'000);
+  chain.ledger().mint(2, 100'000'000);
+  WakuRlnRelay a(relay_a, chain, contract, crs, 1, cfg, Rng(rng.next_u64()));
+  WakuRlnRelay b(relay_b, chain, contract, crs, 2, cfg, Rng(rng.next_u64()));
+  net.connect(ida, idb);
+  relay_a.start();
+  relay_b.start();
+  a.subscribe("t", [](const gossipsub::TopicId&, const util::SharedBytes&) {});
+  b.subscribe("t", [](const gossipsub::TopicId&, const util::SharedBytes&) {});
+
+  a.request_registration();
+  sched.run_for(2 * sim::kUsPerSecond);
+  chain.mine_block(sched.now() / sim::kUsPerSecond);
+  sched.run_for(3 * sim::kUsPerSecond);
+  ASSERT_TRUE(a.is_registered());
+
+  // One signal, serialized once, published twice: identical message id.
+  rln::RlnProver prover(crs.pk, a.identity(), cfg.messages_per_epoch);
+  Rng prng(7);
+  const Bytes payload = util::to_bytes("cache me");
+  const auto index = a.group().index_of(a.identity().pk);
+  ASSERT_TRUE(index.has_value());
+  const auto signal =
+      prover.create_signal(payload, a.current_epoch(), a.group(), *index, prng);
+  ASSERT_TRUE(signal.has_value());
+  const Bytes envelope = WakuRlnRelay::encode_envelope(*signal, payload);
+
+  relay_a.publish("t", envelope);
+  sched.run_for(3 * sim::kUsPerSecond);  // deliver + expire b's seen entry
+  EXPECT_EQ(b.stats().proof_verifications, 1u);
+  EXPECT_EQ(b.stats().accepted, 1u);
+
+  // Re-send exactly the same frame, skipping A's own validator (which
+  // would classify it as a duplicate and drop the publish locally).
+  relay_a.publish("t", envelope, /*apply_validator=*/false);
+  sched.run_for(3 * sim::kUsPerSecond);
+  EXPECT_EQ(b.stats().proof_verifications, 1u);  // no repeat verify
+  EXPECT_EQ(b.stats().proof_cache_hits, 1u);
+  EXPECT_EQ(b.stats().duplicates, 1u);  // nullifier map still says duplicate
+}
+
+TEST(WakuRlnRelayTest, SharedGroupSyncMatchesPrivateViews) {
+  // A world where every peer shares one GroupSync must expose the same
+  // roots and membership as per-peer private syncs (the views are
+  // deterministically identical; sharing only removes redundant hashing).
+  TestNet tn(3);  // private syncs
+  for (auto& n : tn.nodes) n->request_registration();
+  tn.run_seconds(15);
+  const field::Fr private_root = tn.nodes[0]->group().root();
+  EXPECT_EQ(tn.nodes[1]->group().root(), private_root);
+  EXPECT_EQ(tn.nodes[2]->group().root(), private_root);
+  EXPECT_EQ(tn.nodes[0]->group().member_count(), 3u);
+  // Harness worlds share one sync; same membership state shape.
+  HarnessConfig hc = HarnessConfig::defaults();
+  hc.node_count = 3;
+  hc.seed = tn.rng.next_u64() | 1;
+  SimHarness world(hc);
+  world.register_all();
+  EXPECT_EQ(world.node(0).group().member_count(), 3u);
+  EXPECT_EQ(world.node(0).group().root(), world.node(2).group().root());
+  EXPECT_EQ(&world.node(0).group(), &world.node(1).group());  // one tree
 }
 
 }  // namespace
