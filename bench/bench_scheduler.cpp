@@ -1,0 +1,143 @@
+// Microbenchmark for the typed pooled event engine (sim/scheduler.h):
+// raw event throughput (events/sec) and allocation discipline
+// (allocs/event) for each of the three event classes — one-shot
+// callbacks, typed frame deliveries, periodic timers — plus the
+// far-future overflow path. The BENCH_scheduler.json metrics gate the
+// 50k-node campaign work: steady-state allocs/event must stay ~0.
+
+#include <cstdio>
+#include <string>
+
+#include "harness.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+using namespace wakurln;
+
+namespace {
+
+double events_per_sec(const bench::TimingStats& t) {
+  return t.median_ns <= 0 ? 0 : 1e9 / t.median_ns;
+}
+
+}  // namespace
+
+int main() {
+  bench::Runner runner("scheduler");
+  std::printf("typed pooled event engine: throughput and allocation discipline\n\n");
+
+  // 1. One-shot callback churn: schedule batches across the calendar
+  // ring and drain. After the first warm-up rep the pool serves
+  // everything.
+  {
+    sim::Scheduler sched;
+    constexpr std::size_t kBatch = 100'000;
+    const auto t = runner.run(
+        "oneshot_schedule_and_run",
+        [&] {
+          for (std::size_t i = 0; i < kBatch; ++i) {
+            sched.schedule_after((i % 1000) * 17, [] {});
+          }
+          sched.run_all();
+        },
+        /*reps=*/10, /*warmup=*/2, /*batch=*/kBatch);
+    const sim::Scheduler::Stats& st = sched.stats();
+    runner.metric("oneshot_events_per_sec", events_per_sec(t), "events/s");
+    runner.metric("oneshot_allocs_per_event",
+                  static_cast<double>(st.node_allocs) /
+                      static_cast<double>(st.executed));
+    runner.metric("oneshot_pool_reuse_ratio",
+                  static_cast<double>(st.pool_reuses) /
+                      static_cast<double>(st.scheduled));
+  }
+
+  // 2. Typed frame deliveries: a 64-node ring fanning shared frames to
+  // both neighbours — the network hot path, zero closures per send.
+  {
+    sim::Scheduler sched;
+    util::Rng rng(42);
+    sim::LinkParams link;
+    link.base_latency = 5 * sim::kUsPerMs;
+    link.jitter = 30 * sim::kUsPerMs;  // spread deliveries across ring slots
+    link.loss_rate = 0;
+    link.bandwidth_bytes_per_sec = 0;
+    sim::Network net(sched, rng, link);
+    constexpr std::size_t kNodes = 64;
+    constexpr std::size_t kRounds = 500;
+    std::vector<sim::NodeId> ids;
+    for (std::size_t i = 0; i < kNodes; ++i) ids.push_back(net.add_node({}));
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      net.connect(ids[i], ids[(i + 1) % kNodes]);
+    }
+    const sim::Frame frame = sim::Frame::of(std::string(256, 'x'));
+    const auto t = runner.run(
+        "delivery_ring_fanout",
+        [&] {
+          for (std::size_t r = 0; r < kRounds; ++r) {
+            for (std::size_t i = 0; i < kNodes; ++i) {
+              net.send(ids[i], ids[(i + 1) % kNodes], frame, 256);
+            }
+          }
+          sched.run_all();
+        },
+        /*reps=*/10, /*warmup=*/2, /*batch=*/kNodes * kRounds);
+    const sim::Scheduler::Stats& st = sched.stats();
+    runner.metric("delivery_events_per_sec", events_per_sec(t), "events/s");
+    runner.metric("delivery_allocs_per_event",
+                  static_cast<double>(st.node_allocs) /
+                      static_cast<double>(st.executed));
+  }
+
+  // 3. Periodic timers: 10k timers (one per simulated node at mid scale)
+  // ticking every second for a simulated minute — one stored callback
+  // each, every fire a pooled re-arm.
+  {
+    sim::Scheduler sched;
+    std::uint64_t fires = 0;
+    for (std::size_t i = 0; i < 10'000; ++i) {
+      sched.schedule_periodic(i % sim::kUsPerSecond, sim::kUsPerSecond,
+                              [&fires] { ++fires; });
+    }
+    const auto t = runner.run_once("periodic_10k_timers_60s", [&] {
+      sched.run_for(60 * sim::kUsPerSecond);
+    });
+    const sim::Scheduler::Stats& st = sched.stats();
+    runner.metric("periodic_timer_fires", static_cast<double>(st.timer_fires));
+    runner.metric("periodic_fires_per_sec",
+                  t.median_ns <= 0 ? 0
+                                   : static_cast<double>(st.timer_fires) /
+                                         (t.median_ns / 1e9),
+                  "fires/s");
+    runner.metric("periodic_allocs_per_fire",
+                  static_cast<double>(st.node_allocs) /
+                      static_cast<double>(st.timer_fires));
+  }
+
+  // 4. Far-future overflow: every event lands beyond the ~8.4 s ring
+  // horizon and migrates in as the cursor advances.
+  {
+    sim::Scheduler sched;
+    constexpr std::size_t kBatch = 50'000;
+    const auto t = runner.run(
+        "overflow_far_future",
+        [&] {
+          for (std::size_t i = 0; i < kBatch; ++i) {
+            sched.schedule_after(10 * sim::kUsPerSecond + (i % 5000) * 7'000, [] {});
+          }
+          sched.run_all();
+        },
+        /*reps=*/5, /*warmup=*/1, /*batch=*/kBatch);
+    const sim::Scheduler::Stats& st = sched.stats();
+    runner.metric("overflow_events_per_sec", events_per_sec(t), "events/s");
+    runner.metric("overflow_share",
+                  static_cast<double>(st.overflow_events) /
+                      static_cast<double>(st.scheduled));
+  }
+
+  std::printf(
+      "\nshape check: allocs/event ~0 once warm (the pool absorbs steady\n"
+      "state), deliveries within ~2x of bare callbacks, overflow path\n"
+      "slower but correct.\n");
+  return 0;
+}

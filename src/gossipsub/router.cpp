@@ -30,8 +30,12 @@ void GossipSubRouter::start() {
   // Adopt peers connected before start().
   for (NodeId peer : network_.neighbors(self_)) on_peer_connected(peer);
 
+  // First-class periodic timer: the heartbeat callback is stored once in
+  // the scheduler's timer table and re-armed by the engine after every
+  // tick — no lambda re-capture, no allocation per heartbeat.
   const sim::TimeUs stagger = rng_.uniform(0, params_.heartbeat_interval - 1);
-  network_.scheduler().schedule_after(stagger, [this] { heartbeat(); });
+  heartbeat_timer_ = network_.scheduler().schedule_periodic(
+      stagger, params_.heartbeat_interval, [this] { heartbeat(); });
 }
 
 void GossipSubRouter::on_peer_connected(NodeId peer) {
@@ -384,9 +388,9 @@ void GossipSubRouter::heartbeat() {
 
   // 5. Score decay.
   score_tracker_.decay();
-
-  network_.scheduler().schedule_after(params_.heartbeat_interval,
-                                      [this] { heartbeat(); });
+  // The periodic timer re-arms the next tick after this callback returns,
+  // sequenced after every frame the tick just scheduled (the same order
+  // the old tail-call schedule_after produced).
 }
 
 void GossipSubRouter::maintain_mesh(const TopicId& topic, std::set<NodeId>& mesh) {

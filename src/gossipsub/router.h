@@ -170,6 +170,7 @@ class GossipSubRouter {
   MessageHandler message_handler_;
   PeerScoreTracker score_tracker_;
   Stats stats_;
+  sim::TimerHandle heartbeat_timer_;
   bool started_ = false;
 };
 

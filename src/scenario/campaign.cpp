@@ -60,6 +60,12 @@ std::string spec_json(const ScenarioSpec& s) {
   append_kv(out, "churn_offline_epochs",
             static_cast<double>(s.churn.offline_epochs));
   append_kv(out, "churn_rejoin_degree", static_cast<double>(s.churn.rejoin_degree));
+  append_kv(out, "seen_ttl_seconds", static_cast<double>(s.seen_ttl_seconds));
+  append_kv(out, "replayers", static_cast<double>(s.replay.replayers));
+  append_kv(out, "replay_delay_seconds",
+            static_cast<double>(s.replay.delay_seconds));
+  append_kv(out, "replay_ihave_fanout",
+            static_cast<double>(s.replay.ihave_fanout));
   append_kv(out, "partition", static_cast<double>(s.partition.enabled ? 1 : 0));
   append_kv(out, "partition_cut_at_epoch",
             static_cast<double>(s.partition.cut_at_epoch));
@@ -191,9 +197,10 @@ std::string report_json(const CampaignResult& result, bool include_resources) {
   }
   out += "\n  }";
 
-  // Host-cost block: machine-dependent, deliberately outside the
-  // byte-determinism contract (report_json without it is a pure function
-  // of spec and seeds).
+  // Host-cost block. Only wall_ms (and its derived ratio) is
+  // machine-dependent; the nested "scheduler" object — typed event
+  // engine statistics — is deterministic, a pure function of (spec,
+  // seed), and safe to compare across machines.
   if (include_resources && !result.resources.empty()) {
     double wall_ms_total = 0;
     double sim_s_total = 0;
@@ -209,7 +216,23 @@ std::string report_json(const CampaignResult& result, bool include_resources) {
       out += json_number(r.sim_seconds);
       out += ", \"wall_ms_per_sim_second\": ";
       out += json_number(r.sim_seconds == 0 ? 0 : r.wall_ms / r.sim_seconds);
-      out += "}";
+      out += ",\n     \"scheduler\": {\"deterministic\": true, \"events_scheduled\": ";
+      out += json_number(r.events_scheduled);
+      out += ", \"events_executed\": ";
+      out += json_number(r.events_executed);
+      out += ", \"event_allocs\": ";
+      out += json_number(r.event_allocs);
+      out += ", \"event_pool_reuses\": ";
+      out += json_number(r.event_pool_reuses);
+      out += ", \"event_queue_peak\": ";
+      out += json_number(r.event_queue_peak);
+      out += ", \"timer_fires\": ";
+      out += json_number(r.timer_fires);
+      out += ", \"event_allocs_steady\": ";
+      out += json_number(r.event_allocs_steady);
+      out += ", \"event_allocs_per_sim_second\": ";
+      out += json_number(r.event_allocs_per_sim_second);
+      out += "}}";
     }
     out += "\n  ], \"wall_ms_per_sim_second_mean\": ";
     out += json_number(sim_s_total == 0 ? 0 : wall_ms_total / sim_s_total);

@@ -23,10 +23,10 @@
 namespace wakurln::scenario {
 namespace {
 
-// Node index layout:
-// [active publishers][pure relays][spammers][burst flooders][observers].
-// The relay band is empty unless spec.publishers caps the publisher set.
-enum class Role { kHonest, kRelay, kSpammer, kFlooder, kObserver };
+// Node index layout: [active publishers][pure relays][spammers]
+// [burst flooders][replayers][observers]. The relay band is empty unless
+// spec.publishers caps the publisher set.
+enum class Role { kHonest, kRelay, kSpammer, kFlooder, kReplayer, kObserver };
 
 Role role_of(const ScenarioSpec& spec, std::size_t i) {
   const std::size_t honest = spec.honest_publishers();
@@ -34,6 +34,9 @@ Role role_of(const ScenarioSpec& spec, std::size_t i) {
   if (i < honest) return Role::kRelay;
   if (i < honest + spec.adversaries.spammers) return Role::kSpammer;
   if (i < honest + spec.adversaries.total()) return Role::kFlooder;
+  if (i < honest + spec.adversaries.total() + spec.replay.replayers) {
+    return Role::kReplayer;
+  }
   return Role::kObserver;
 }
 
@@ -254,7 +257,8 @@ TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
           }
           break;
         }
-        case Role::kObserver:
+        case Role::kReplayer:   // replays are driven off the frame tap,
+        case Role::kObserver:   // not the workload clock
           break;
       }
     }
@@ -268,28 +272,32 @@ TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
 /// The first-spy adversary: colluding silent observer nodes record, per
 /// message, which neighbour first handed it to any of them; the guessed
 /// originator is that neighbour ("Who started this rumor?", arXiv:1902.07138).
+/// The runner feeds it from the network's frame tap (one tap slot is
+/// shared between every passive adversary of a scenario).
 class FirstSpyObserver {
  public:
   using Decoder = std::function<std::optional<std::string>(const util::SharedBytes&)>;
 
-  FirstSpyObserver(const ScenarioSpec& spec, sim::Network& net, Decoder decoder)
+  FirstSpyObserver(const ScenarioSpec& spec, Decoder decoder)
       : decoder_(std::move(decoder)) {
     if (spec.observers == 0) return;
     is_observer_.assign(spec.nodes, 0);
     for (std::size_t i = spec.nodes - spec.observers; i < spec.nodes; ++i) {
       is_observer_[i] = 1;
     }
-    net.set_frame_tap([this](sim::NodeId from, sim::NodeId to, const sim::Frame& frame,
-                             std::size_t) {
-      if (!is_observer_[to]) return;
-      const auto* rpc = frame.get_if<gossipsub::Rpc>();
-      if (rpc == nullptr) return;
-      for (const gossipsub::GsMessagePtr& msg : rpc->publish) {
-        if (!msg) continue;
-        const auto key = decoder_(msg->data);
-        if (key) first_seen_.try_emplace(*key, from);
-      }
-    });
+  }
+
+  bool enabled() const { return !is_observer_.empty(); }
+
+  void on_frame(sim::NodeId from, sim::NodeId to, const sim::Frame& frame) {
+    if (!is_observer_[to]) return;
+    const auto* rpc = frame.get_if<gossipsub::Rpc>();
+    if (rpc == nullptr) return;
+    for (const gossipsub::GsMessagePtr& msg : rpc->publish) {
+      if (!msg) continue;
+      const auto key = decoder_(msg->data);
+      if (key) first_seen_.try_emplace(*key, from);
+    }
   }
 
   const std::unordered_map<std::string, sim::NodeId>& first_seen() const {
@@ -301,6 +309,147 @@ class FirstSpyObserver {
   std::vector<char> is_observer_;
   std::unordered_map<std::string, sim::NodeId> first_seen_;
 };
+
+/// The IWANT-replay adversary: colluding silent peers (the replayer band)
+/// record every message delivered to them. After spec.replay.delay_seconds
+/// — chosen past the honest routers' seen-cache TTL but inside the RLN
+/// epoch acceptance window — the sighting replayer advertises the old id
+/// via IHAVE to its honest neighbours. Their unmodified routers answer
+/// with IWANT (the id is no longer in their seen cache); the colluding
+/// store serves the stale message, forcing a full re-validation on the
+/// honest side — which the proof-verdict cache answers without a zkSNARK
+/// verify (metric: verifications_saved).
+class ReplayAttacker {
+ public:
+  ReplayAttacker(const ScenarioSpec& spec, sim::Network& net, gossipsub::TopicId topic)
+      : spec_(spec), net_(net), topic_(std::move(topic)) {
+    if (spec.replay.replayers == 0) return;
+    is_replayer_.assign(spec.nodes, 0);
+    const std::size_t first = spec.nodes - spec.observers - spec.replay.replayers;
+    for (std::size_t i = first; i < spec.nodes - spec.observers; ++i) {
+      is_replayer_[i] = 1;
+    }
+  }
+
+  bool enabled() const { return !is_replayer_.empty(); }
+
+  void on_frame(sim::NodeId from, sim::NodeId to, const sim::Frame& frame) {
+    if (!is_replayer_[to]) return;
+    const auto* rpc = frame.get_if<gossipsub::Rpc>();
+    if (rpc == nullptr) return;
+    // Record fresh messages and schedule their delayed IHAVE replay.
+    for (const gossipsub::GsMessagePtr& msg : rpc->publish) {
+      if (!msg || msg->topic != topic_) continue;
+      if (!store_.emplace(msg->id, msg).second) continue;  // colluders share one store
+      ++ids_recorded_;
+      net_.scheduler().schedule_after(
+          spec_.replay.delay_seconds * sim::kUsPerSecond,
+          [this, replayer = to, id = msg->id] { send_ihave(replayer, id); });
+    }
+    // Serve IWANT requests from the colluding store (the replayer's own
+    // router mcache has long expired — that is the point of the attack).
+    for (const gossipsub::ControlIWant& iwant : rpc->iwant) {
+      gossipsub::Rpc reply;
+      for (const gossipsub::MessageId& id : iwant.ids) {
+        if (const auto it = store_.find(id); it != store_.end()) {
+          reply.publish.push_back(it->second);
+        }
+      }
+      if (!reply.publish.empty()) {
+        served_ += reply.publish.size();
+        send_rpc(to, from, std::move(reply));
+      }
+    }
+  }
+
+  std::uint64_t ids_recorded() const { return ids_recorded_; }
+  std::uint64_t ihaves_sent() const { return ihaves_sent_; }
+  std::uint64_t messages_served() const { return served_; }
+
+ private:
+  void send_ihave(sim::NodeId replayer, const gossipsub::MessageId& id) {
+    gossipsub::Rpc rpc;
+    rpc.ihave.push_back({topic_, {id}});
+    std::size_t sent = 0;
+    // neighbors() is sorted, so the targeted victims are deterministic.
+    for (const sim::NodeId peer : net_.neighbors(replayer)) {
+      if (sent >= spec_.replay.ihave_fanout) break;
+      if (is_replayer_[peer]) continue;  // colluders need no advertisement
+      send_rpc(replayer, peer, rpc);
+      ++sent;
+    }
+    ihaves_sent_ += sent;
+  }
+
+  void send_rpc(sim::NodeId from, sim::NodeId to, gossipsub::Rpc rpc) {
+    if (!net_.are_connected(from, to)) return;
+    const auto breakdown = rpc.wire_breakdown();
+    net_.send(from, to, sim::Frame::of<gossipsub::Rpc>(std::move(rpc)),
+              breakdown.total());
+  }
+
+  const ScenarioSpec& spec_;
+  sim::Network& net_;
+  gossipsub::TopicId topic_;
+  std::vector<char> is_replayer_;
+  std::unordered_map<gossipsub::MessageId, gossipsub::GsMessagePtr,
+                     gossipsub::MessageIdHash>
+      store_;
+  std::uint64_t ids_recorded_ = 0;
+  std::uint64_t ihaves_sent_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+/// Wires the passive adversaries into the network's single tap slot.
+void install_frame_tap(sim::Network& net, FirstSpyObserver& spy,
+                       ReplayAttacker* replay) {
+  if (!spy.enabled() && (replay == nullptr || !replay->enabled())) return;
+  net.set_frame_tap([&spy, replay](sim::NodeId from, sim::NodeId to,
+                                   const sim::Frame& frame, std::size_t) {
+    if (spy.enabled()) spy.on_frame(from, to, frame);
+    if (replay != nullptr && replay->enabled()) replay->on_frame(from, to, frame);
+  });
+}
+
+/// Steady-state allocation probe. drive_traffic pre-schedules the whole
+/// workload synchronously before running it, and the first traffic
+/// epoch's delivery wave sets the pool's high-water mark — so the probe
+/// fires one epoch into the traffic phase: from there on, a warm pool
+/// should serve the run without allocating.
+struct SteadyProbe {
+  std::uint64_t from_s = 0;   ///< steady phase start (simulated seconds)
+  std::uint64_t allocs0 = 0;  ///< pool misses when the probe fired
+};
+
+/// `probe` must outlive the run: the scheduled callback writes into it.
+void arm_steady_probe(sim::Scheduler& sched, std::uint64_t epoch_seconds,
+                      SteadyProbe& probe) {
+  const std::uint64_t now_s = sched.now() / sim::kUsPerSecond;
+  probe.from_s = (now_s / epoch_seconds + 2) * epoch_seconds;
+  sched.schedule_at(probe.from_s * sim::kUsPerSecond, [&sched, &probe] {
+    probe.allocs0 = sched.stats().node_allocs;
+  });
+}
+
+/// Distils the engine's counters (and the probe's steady window) into the
+/// deterministic scheduler fields of the run's ResourceUsage.
+void capture_scheduler_stats(const sim::Scheduler& sched, const SteadyProbe& probe,
+                             ResourceUsage& resource) {
+  const sim::Scheduler::Stats& sst = sched.stats();
+  resource.events_scheduled = static_cast<double>(sst.scheduled);
+  resource.events_executed = static_cast<double>(sst.executed);
+  resource.event_allocs = static_cast<double>(sst.node_allocs);
+  resource.event_pool_reuses = static_cast<double>(sst.pool_reuses);
+  resource.event_queue_peak = static_cast<double>(sst.peak_pending);
+  resource.timer_fires = static_cast<double>(sst.timer_fires);
+  resource.event_allocs_steady =
+      static_cast<double>(sst.node_allocs - probe.allocs0);
+  const double steady_sim_s = static_cast<double>(sched.now()) /
+                                  static_cast<double>(sim::kUsPerSecond) -
+                              static_cast<double>(probe.from_s);
+  resource.event_allocs_per_sim_second =
+      steady_sim_s <= 0 ? 0 : resource.event_allocs_steady / steady_sim_s;
+}
 
 void fill_delivery_metrics(MetricSet& m, const ScenarioSpec& spec,
                            const TrafficLog& log,
@@ -442,6 +591,11 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec, std::uint64_t seed)
     throw std::invalid_argument(
         "ScenarioSpec: partition.fraction must be in (0, 1)");
   }
+  if (spec_.replay.replayers > 0 && spec_.protocol == Protocol::kPow) {
+    throw std::invalid_argument(
+        "ScenarioSpec: the IWANT-replay adversary targets the RLN proof "
+        "cache; it has no PoW equivalent");
+  }
 }
 
 MetricSet ScenarioRunner::run() {
@@ -465,6 +619,9 @@ MetricSet ScenarioRunner::run_rln() {
   cfg.rln.epoch_period_seconds = spec_.epoch_seconds;
   cfg.rln.messages_per_epoch = spec_.messages_per_epoch;
   cfg.link_profile = spec_.link_profile;
+  if (spec_.seen_ttl_seconds > 0) {
+    cfg.gossip.seen_ttl = spec_.seen_ttl_seconds * sim::kUsPerSecond;
+  }
   waku::SimHarness world(cfg);
 
   const std::uint64_t payload_allocs0 = util::SharedBytes::allocation_count();
@@ -479,12 +636,14 @@ MetricSet ScenarioRunner::run_rln() {
   }
   world.run_seconds(5);  // mesh warm-up heartbeats
 
-  FirstSpyObserver spy(spec_, world.network(),
+  FirstSpyObserver spy(spec_,
                        [](const util::SharedBytes& data) -> std::optional<std::string> {
                          const auto decoded = waku::WakuRlnRelay::decode_envelope(data);
                          if (!decoded) return std::nullopt;
                          return key_of(decoded->second);
                        });
+  ReplayAttacker replay(spec_, world.network(), topic);
+  install_frame_tap(world.network(), spy, &replay);
 
   const PublishFn honest = [&](std::size_t node, const std::string& key) {
     return world.node(node).publish(topic, padded_payload(spec_, key)) ==
@@ -516,8 +675,13 @@ MetricSet ScenarioRunner::run_rln() {
     }
   }
 
+  SteadyProbe probe;
+  arm_steady_probe(world.scheduler(), spec_.epoch_seconds, probe);
+
   const TrafficLog log = drive_traffic(spec_, seed_, world.scheduler(),
                                        world.network(), honest, spam, drain_seconds);
+
+  capture_scheduler_stats(world.scheduler(), probe, resource_);
 
   std::vector<Delivered> deliveries;
   deliveries.reserve(world.deliveries().size());
@@ -547,6 +711,11 @@ MetricSet ScenarioRunner::run_rln() {
   // saved repeats, payload-buffer allocations, router byte classes.
   m.set("verifications_total", static_cast<double>(stats.proof_verifications));
   m.set("verifications_saved", static_cast<double>(stats.proof_cache_hits));
+  if (replay.enabled()) {
+    m.set("replay_ids_recorded", static_cast<double>(replay.ids_recorded()));
+    m.set("replay_ihaves_sent", static_cast<double>(replay.ihaves_sent()));
+    m.set("replay_messages_served", static_cast<double>(replay.messages_served()));
+  }
   std::uint64_t payload_wire = 0;
   std::uint64_t control_wire = 0;
   for (std::size_t i = 0; i < world.size(); ++i) {
@@ -575,13 +744,17 @@ MetricSet ScenarioRunner::run_pow() {
   sim::Scheduler sched;
   sim::Network net(sched, rng, spec_.link);
 
+  gossipsub::GossipSubParams gossip;
+  if (spec_.seen_ttl_seconds > 0) {
+    gossip.seen_ttl = spec_.seen_ttl_seconds * sim::kUsPerSecond;
+  }
   std::vector<sim::NodeId> ids;
   std::vector<std::unique_ptr<waku::WakuRelay>> relays;
   ids.reserve(spec_.nodes);
   relays.reserve(spec_.nodes);
   for (std::size_t i = 0; i < spec_.nodes; ++i) {
     ids.push_back(net.add_node({}));
-    relays.push_back(std::make_unique<waku::WakuRelay>(ids.back(), net));
+    relays.push_back(std::make_unique<waku::WakuRelay>(ids.back(), net, gossip));
   }
   sim::build_topology(net, ids, spec_.topology, spec_.extra_links_per_node,
                       spec_.erdos_renyi_p, rng);
@@ -613,7 +786,8 @@ MetricSet ScenarioRunner::run_pow() {
   }
   sched.run_for(5 * sim::kUsPerSecond);  // mesh warm-up
 
-  FirstSpyObserver spy(spec_, net, decode);
+  FirstSpyObserver spy(spec_, decode);
+  install_frame_tap(net, spy, /*replay=*/nullptr);
 
   // Under PoW everyone — honest phone or spam rig — pays the same hash
   // price and there is no rate to enforce: the spam path is just publish.
@@ -624,8 +798,13 @@ MetricSet ScenarioRunner::run_pow() {
     return true;
   };
 
+  SteadyProbe probe;
+  arm_steady_probe(sched, spec_.epoch_seconds, probe);
+
   const TrafficLog log =
       drive_traffic(spec_, seed_, sched, net, publish, publish, /*drain_seconds=*/10);
+
+  capture_scheduler_stats(sched, probe, resource_);
 
   MetricSet m;
   m.set("nodes", static_cast<double>(spec_.nodes));

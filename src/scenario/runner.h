@@ -21,9 +21,24 @@ namespace wakurln::scenario {
 /// Host-machine cost of one run. Wall-clock is *not* part of the metric
 /// set: it is machine-dependent, so it lives outside the byte-determinism
 /// contract and is reported in the campaign's separate resources block.
+/// The event-engine fields below it, by contrast, ARE deterministic —
+/// pure functions of (spec, seed) — and gate the scaling roadmap.
 struct ResourceUsage {
   double wall_ms = 0;      ///< host time spent inside run()
   double sim_seconds = 0;  ///< simulated time the run covered
+
+  // Typed event engine statistics (sim::Scheduler::Stats), deterministic.
+  double events_scheduled = 0;   ///< events enqueued, incl. timer re-arms
+  double events_executed = 0;
+  double event_allocs = 0;       ///< pool misses over the whole run
+  double event_pool_reuses = 0;  ///< pooled nodes recycled
+  double event_queue_peak = 0;   ///< max live events queued at once
+  double timer_fires = 0;        ///< periodic timer callbacks run
+  /// Pool misses after world construction + warm-up (the steady state),
+  /// and their rate per simulated second of the measured phase. ~0 means
+  /// the traffic phase scheduled every event without allocating.
+  double event_allocs_steady = 0;
+  double event_allocs_per_sim_second = 0;
 };
 
 class ScenarioRunner {

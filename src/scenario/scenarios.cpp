@@ -108,6 +108,43 @@ std::vector<ScenarioSpec> build_catalogue() {
   }
   {
     ScenarioSpec s = base_spec();
+    s.name = "iwant_replay";
+    s.description =
+        "Colluding peers record messages and re-advertise them via IHAVE "
+        "after the (shortened) seen-cache TTL, forcing honest peers to "
+        "IWANT-fetch and re-validate stale messages inside the epoch "
+        "window; the proof-verdict cache absorbs the replayed zkSNARK "
+        "work (verifications_saved > 0).";
+    s.traffic_epochs = 4;
+    s.seen_ttl_seconds = 5;       // forget ids quickly...
+    s.replay.replayers = 3;
+    s.replay.delay_seconds = 12;  // ...replay after expiry, within Thr*T = 20 s
+    s.replay.ihave_fanout = 6;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s = base_spec();
+    s.name = "huge_mesh";
+    s.description =
+        "50k-node geo-distributed mesh with a bounded publisher set: the "
+        "typed pooled event engine's scaling gate. Scheduler stats "
+        "(events, pool misses, queue peak) land in the report's resources "
+        "block; steady-state event allocations should stay near zero.";
+    s.nodes = 50000;
+    s.extra_links_per_node = 4;
+    s.link_profile = sim::LinkProfile::kGeo;
+    s.traffic_epochs = 2;
+    s.honest_publish_prob = 0.5;
+    s.publishers = 64;
+    s.observers = 4;
+    s.register_publishers_only = true;
+    s.payload_bytes = 256;
+    s.adversaries.spammers = 2;
+    s.adversaries.spam_per_epoch = 3;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s = base_spec();
     s.name = "pow_baseline";
     s.description =
         "The same spam wave against the PoW (EIP-627-style) baseline: spam "

@@ -45,6 +45,24 @@ struct ChurnSpec {
   std::size_t rejoin_degree = 4;
 };
 
+/// Colluding replay adversary ("IWANT replay"): silent peers that record
+/// every message delivered to them and, once the honest routers' seen
+/// caches have forgotten the id (but the RLN epoch window still accepts
+/// it), advertise the old ids via IHAVE. Honest peers IWANT-fetch the
+/// stale message and must re-validate it — the proof-verdict cache turns
+/// each re-validation into a map lookup instead of a zkSNARK verify.
+struct ReplaySpec {
+  /// Colluding replay peers (node band after the flooders, before the
+  /// observers; they subscribe and relay but never publish or register).
+  std::size_t replayers = 0;
+  /// Seconds between first sighting and the IHAVE replay. Must exceed
+  /// the seen-cache TTL (so honest peers re-fetch) and stay under
+  /// Thr * epoch_seconds (so validation reaches the proof check).
+  std::uint64_t delay_seconds = 12;
+  /// Honest neighbours each replayer advertises an old id to.
+  std::size_t ihave_fanout = 6;
+};
+
 /// One clean cut of the overlay into two halves, healed later.
 struct PartitionSpec {
   bool enabled = false;
@@ -109,13 +127,19 @@ struct ScenarioSpec {
   /// zero-copy message fabric.
   std::size_t payload_bytes = 0;
 
+  /// GossipSub seen-cache TTL override in seconds (0 = router default).
+  /// Short TTLs open the window the iwant_replay adversary exploits.
+  std::uint64_t seen_ttl_seconds = 0;
+
   AdversaryMix adversaries;
   ChurnSpec churn;
   PartitionSpec partition;
+  ReplaySpec replay;
 
-  /// Honest publisher count (everything that is not adversary/observer).
+  /// Honest publisher count (everything that is not adversary/replayer/
+  /// observer).
   std::size_t honest_publishers() const {
-    const std::size_t reserved = adversaries.total() + observers;
+    const std::size_t reserved = adversaries.total() + replay.replayers + observers;
     return nodes > reserved ? nodes - reserved : 0;
   }
 

@@ -1,0 +1,61 @@
+#pragma once
+// The wire unit of the simulated network: an immutable, ref-counted view
+// of a protocol frame. Lives below both the scheduler and the network so
+// the typed event engine can carry frame deliveries as plain data (no
+// type-erased closures on the hot path) without a circular include.
+
+#include <cstdint>
+#include <memory>
+
+namespace wakurln::sim {
+
+using NodeId = std::uint32_t;
+
+namespace detail {
+/// One tag object per frame payload type; its address identifies the type
+/// without RTTI. `inline` guarantees a single address across TUs.
+template <typename T>
+inline constexpr char frame_tag_v = 0;
+}  // namespace detail
+
+/// Immutable, shared handle to a protocol frame. Copying a Frame bumps a
+/// reference count — it never clones the contained frame, so the same
+/// handle can be scheduled for delivery to many peers at zero marginal
+/// cost (the zero-copy fabric's wire representation).
+class Frame {
+ public:
+  Frame() = default;
+
+  /// Wraps `value` in a shared frame (the one allocation of its fan-out).
+  template <typename T>
+  static Frame of(T value) {
+    return Frame(std::make_shared<const T>(std::move(value)),
+                 &detail::frame_tag_v<T>);
+  }
+
+  /// Adopts an existing shared payload without copying it.
+  template <typename T>
+  static Frame wrap(std::shared_ptr<const T> ptr) {
+    return Frame(std::move(ptr), &detail::frame_tag_v<T>);
+  }
+
+  /// Typed access; nullptr when the frame holds a different type.
+  template <typename T>
+  const T* get_if() const {
+    return tag_ == &detail::frame_tag_v<T> ? static_cast<const T*>(ptr_.get())
+                                           : nullptr;
+  }
+
+  bool has_value() const { return ptr_ != nullptr; }
+  /// Owners of the underlying frame (introspection for zero-copy tests).
+  long use_count() const { return ptr_.use_count(); }
+
+ private:
+  Frame(std::shared_ptr<const void> ptr, const void* tag)
+      : ptr_(std::move(ptr)), tag_(tag) {}
+
+  std::shared_ptr<const void> ptr_;
+  const void* tag_ = nullptr;
+};
+
+}  // namespace wakurln::sim

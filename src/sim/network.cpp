@@ -6,7 +6,13 @@
 namespace wakurln::sim {
 
 Network::Network(Scheduler& scheduler, util::Rng& rng, LinkParams default_link)
-    : scheduler_(scheduler), rng_(rng), default_link_(default_link) {}
+    : scheduler_(scheduler), rng_(rng), default_link_(default_link) {
+  scheduler_.set_delivery_sink(this);
+}
+
+Network::~Network() {
+  scheduler_.clear_delivery_sink(this);
+}
 
 NodeId Network::add_node(NodeCallbacks callbacks) {
   nodes_.push_back(NodeState{std::move(callbacks), {}, 0, 0, 0});
@@ -83,22 +89,30 @@ void Network::send(NodeId from, NodeId to, Frame frame, std::size_t bytes) {
                                  link.bandwidth_bytes_per_sec * kUsPerSecond);
   }
 
-  const std::uint64_t generation = nodes_[to].generation;
-  scheduler_.schedule_after(
-      delay, [this, from, to, generation, frame = std::move(frame), bytes]() {
-        // Link may have been torn down — or the destination may have
-        // departed (drop_in_flight) — while the frame was in flight.
-        if (!are_connected(from, to) || nodes_[to].generation != generation) {
-          stats_.frames_lost += 1;
-          return;
-        }
-        stats_.frames_delivered += 1;
-        nodes_[to].bytes_received += bytes;
-        if (frame_tap_) frame_tap_(from, to, frame, bytes);
-        if (nodes_[to].callbacks.on_frame) {
-          nodes_[to].callbacks.on_frame(from, frame, bytes);
-        }
-      });
+  // Typed, pooled delivery event: plain data through the scheduler's
+  // calendar queue, no per-send closure allocation.
+  DeliveryEvent ev;
+  ev.from = from;
+  ev.to = to;
+  ev.generation = nodes_[to].generation;
+  ev.bytes = bytes;
+  ev.frame = std::move(frame);
+  scheduler_.schedule_delivery_after(delay, std::move(ev));
+}
+
+void Network::on_delivery(const DeliveryEvent& ev) {
+  // Link may have been torn down — or the destination may have departed
+  // (drop_in_flight) — while the frame was in flight.
+  if (!are_connected(ev.from, ev.to) || nodes_[ev.to].generation != ev.generation) {
+    stats_.frames_lost += 1;
+    return;
+  }
+  stats_.frames_delivered += 1;
+  nodes_[ev.to].bytes_received += ev.bytes;
+  if (frame_tap_) frame_tap_(ev.from, ev.to, ev.frame, ev.bytes);
+  if (nodes_[ev.to].callbacks.on_frame) {
+    nodes_[ev.to].callbacks.on_frame(ev.from, ev.frame, ev.bytes);
+  }
 }
 
 void Network::drop_in_flight(NodeId node) {

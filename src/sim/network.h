@@ -13,59 +13,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/frame.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
 
 namespace wakurln::sim {
-
-using NodeId = std::uint32_t;
-
-namespace detail {
-/// One tag object per frame payload type; its address identifies the type
-/// without RTTI. `inline` guarantees a single address across TUs.
-template <typename T>
-inline constexpr char frame_tag_v = 0;
-}  // namespace detail
-
-/// Immutable, shared handle to a protocol frame. Copying a Frame bumps a
-/// reference count — it never clones the contained frame, so the same
-/// handle can be scheduled for delivery to many peers at zero marginal
-/// cost (the zero-copy fabric's wire representation).
-class Frame {
- public:
-  Frame() = default;
-
-  /// Wraps `value` in a shared frame (the one allocation of its fan-out).
-  template <typename T>
-  static Frame of(T value) {
-    return Frame(std::make_shared<const T>(std::move(value)),
-                 &detail::frame_tag_v<T>);
-  }
-
-  /// Adopts an existing shared payload without copying it.
-  template <typename T>
-  static Frame wrap(std::shared_ptr<const T> ptr) {
-    return Frame(std::move(ptr), &detail::frame_tag_v<T>);
-  }
-
-  /// Typed access; nullptr when the frame holds a different type.
-  template <typename T>
-  const T* get_if() const {
-    return tag_ == &detail::frame_tag_v<T> ? static_cast<const T*>(ptr_.get())
-                                           : nullptr;
-  }
-
-  bool has_value() const { return ptr_ != nullptr; }
-  /// Owners of the underlying frame (introspection for zero-copy tests).
-  long use_count() const { return ptr_.use_count(); }
-
- private:
-  Frame(std::shared_ptr<const void> ptr, const void* tag)
-      : ptr_(std::move(ptr)), tag_(tag) {}
-
-  std::shared_ptr<const void> ptr_;
-  const void* tag_ = nullptr;
-};
 
 struct LinkParams {
   /// Fixed propagation delay.
@@ -92,7 +44,7 @@ struct NodeCallbacks {
 using FrameTap =
     std::function<void(NodeId from, NodeId to, const Frame& frame, std::size_t bytes)>;
 
-class Network {
+class Network : public DeliverySink {
  public:
   struct Stats {
     std::uint64_t frames_sent = 0;
@@ -101,7 +53,10 @@ class Network {
     std::uint64_t bytes_sent = 0;
   };
 
+  /// Registers itself as the scheduler's delivery sink (one network per
+  /// scheduler); the destructor deregisters.
   Network(Scheduler& scheduler, util::Rng& rng, LinkParams default_link = {});
+  ~Network();
 
   /// Adds a node; callbacks may be filled in later via set_callbacks.
   NodeId add_node(NodeCallbacks callbacks);
@@ -154,6 +109,10 @@ class Network {
     /// and only deliver if it is unchanged on arrival.
     std::uint64_t generation = 0;
   };
+
+  /// Executes a pooled delivery event (typed hot path — no closure per
+  /// send): loss/liveness checks, traffic accounting, tap, callback.
+  void on_delivery(const DeliveryEvent& ev) override;
 
   static std::uint64_t link_key(NodeId a, NodeId b);
   const LinkParams& params_for(NodeId a, NodeId b) const;

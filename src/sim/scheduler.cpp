@@ -1,35 +1,299 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace wakurln::sim {
+
+namespace {
+constexpr TimeUs kNoLimit = std::numeric_limits<TimeUs>::max();
+}  // namespace
+
+Scheduler::Scheduler() : buckets_(kNumBuckets) {}
+
+Scheduler::~Scheduler() = default;
+
+// -- node pool ----------------------------------------------------------
+
+Scheduler::EventNode* Scheduler::acquire() {
+  if (free_list_ != nullptr) {
+    EventNode* node = free_list_;
+    free_list_ = node->next_free;
+    node->next_free = nullptr;
+    ++stats_.pool_reuses;
+    return node;
+  }
+  if (block_used_ == kBlockSize) {
+    blocks_.emplace_back(new EventNode[kBlockSize]);
+    block_used_ = 0;
+  }
+  ++stats_.node_allocs;
+  return &blocks_.back()[block_used_++];
+}
+
+void Scheduler::release(EventNode* node) {
+  // Drop captured state and frame refcounts eagerly: a pooled node must
+  // not keep payloads alive while it waits on the free list.
+  node->payload = std::monostate{};
+  node->next_free = free_list_;
+  free_list_ = node;
+}
+
+// -- queue --------------------------------------------------------------
+
+void Scheduler::enqueue(EventNode* node) {
+  ++stats_.scheduled;
+  const std::uint64_t slot = node->time >> kSlotShift;
+  if (slot < cursor_slot_ + kNumBuckets) {
+    auto& bucket = buckets_[slot & kBucketMask];
+    bucket.push_back(node);
+    std::push_heap(bucket.begin(), bucket.end(), LaterPtr{});
+    ++wheel_count_;
+  } else {
+    overflow_.push_back(node);
+    std::push_heap(overflow_.begin(), overflow_.end(), LaterPtr{});
+    ++stats_.overflow_events;
+  }
+  ++live_;
+  stats_.peak_pending = std::max(stats_.peak_pending, live_);
+}
+
+void Scheduler::migrate_overflow() {
+  while (!overflow_.empty() &&
+         (overflow_.front()->time >> kSlotShift) < cursor_slot_ + kNumBuckets) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), LaterPtr{});
+    EventNode* node = overflow_.back();
+    overflow_.pop_back();
+    auto& bucket = buckets_[(node->time >> kSlotShift) & kBucketMask];
+    bucket.push_back(node);
+    std::push_heap(bucket.begin(), bucket.end(), LaterPtr{});
+    ++wheel_count_;
+  }
+}
+
+Scheduler::EventNode* Scheduler::pop_earliest(TimeUs limit) {
+  // Cursor invariant: cursor_slot_ never passes a non-empty bucket and
+  // never exceeds limit's slot. Since the clock only advances to executed
+  // event times (or to a run_until limit), the cursor always stays <=
+  // slot(now) — so later insertions (always at t >= now) land at or ahead
+  // of the cursor, never behind it.
+  const std::uint64_t limit_slot = limit >> kSlotShift;
+  for (;;) {
+    if (wheel_count_ == 0) {
+      if (overflow_.empty()) return nullptr;
+      EventNode* top = overflow_.front();
+      if (top->time > limit) return nullptr;
+      // The ring is empty: jump the cursor straight to the overflow
+      // minimum (always ahead of the cursor) and pull its window in.
+      cursor_slot_ = top->time >> kSlotShift;
+      migrate_overflow();
+      continue;
+    }
+    auto& bucket = buckets_[cursor_slot_ & kBucketMask];
+    if (bucket.empty()) {
+      // Every ring event is in a later slot; past limit_slot they are all
+      // beyond the limit, and the cursor must not outrun it.
+      if (cursor_slot_ >= limit_slot) return nullptr;
+      ++cursor_slot_;
+      migrate_overflow();  // the slot entering the horizon may be waiting
+      continue;
+    }
+    // The cursor never passes a non-empty bucket, so this bucket holds
+    // exactly the events of slot cursor_slot_ — its heap top is the
+    // global (time, seq) minimum (overflow events are all beyond the
+    // horizon, hence later).
+    EventNode* top = bucket.front();
+    if (top->time > limit) return nullptr;
+    std::pop_heap(bucket.begin(), bucket.end(), LaterPtr{});
+    bucket.pop_back();
+    --wheel_count_;
+    return top;
+  }
+}
+
+bool Scheduler::is_tombstone(const EventNode* node) const {
+  const TimerRef* ref = std::get_if<TimerRef>(&node->payload);
+  return ref != nullptr && timers_[ref->index].generation != ref->generation;
+}
+
+// -- scheduling ---------------------------------------------------------
 
 void Scheduler::schedule_at(TimeUs t, std::function<void()> fn) {
   if (t < now_) {
     throw std::invalid_argument("Scheduler: cannot schedule in the past");
   }
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  EventNode* node = acquire();
+  node->time = t;
+  node->seq = next_seq_++;
+  node->payload = std::move(fn);
+  enqueue(node);
 }
 
 void Scheduler::schedule_after(TimeUs delay, std::function<void()> fn) {
   schedule_at(now_ + delay, std::move(fn));
 }
 
-bool Scheduler::run_next() {
-  if (queue_.empty()) return false;
-  // Copy out before pop: the callback may schedule new events.
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.time;
-  ev.fn();
+void Scheduler::schedule_delivery_after(TimeUs delay, DeliveryEvent ev) {
+  EventNode* node = acquire();
+  node->time = now_ + delay;
+  node->seq = next_seq_++;
+  node->payload = std::move(ev);
+  enqueue(node);
+}
+
+void Scheduler::set_delivery_sink(DeliverySink* sink) {
+  if (sink_ != nullptr && sink != nullptr && sink != sink_) {
+    throw std::logic_error("Scheduler: delivery sink already installed");
+  }
+  sink_ = sink;
+}
+
+void Scheduler::clear_delivery_sink(DeliverySink* sink) {
+  if (sink_ == sink) sink_ = nullptr;
+}
+
+TimerHandle Scheduler::schedule_periodic(TimeUs first_delay, TimeUs interval,
+                                         std::function<void()> fn) {
+  if (interval == 0) {
+    throw std::invalid_argument("Scheduler: periodic interval must be > 0");
+  }
+  std::uint32_t index;
+  if (timer_free_ != TimerHandle::kInvalidIndex) {
+    index = timer_free_;
+    timer_free_ = timers_[index].next_free;
+  } else {
+    index = static_cast<std::uint32_t>(timers_.size());
+    timers_.emplace_back();
+  }
+  TimerSlot& slot = timers_[index];
+  slot.fn = std::move(fn);
+  slot.interval = interval;
+  slot.next_free = TimerHandle::kInvalidIndex;
+  slot.active = true;
+  slot.firing = false;
+  ++stats_.timers_created;
+
+  EventNode* node = acquire();
+  node->time = now_ + first_delay;
+  node->seq = next_seq_++;
+  node->payload = TimerRef{index, slot.generation};
+  enqueue(node);
+
+  TimerHandle handle;
+  handle.index_ = index;
+  handle.generation_ = slot.generation;
+  return handle;
+}
+
+bool Scheduler::cancel(const TimerHandle& handle) {
+  if (handle.index_ >= timers_.size()) return false;
+  TimerSlot& slot = timers_[handle.index_];
+  if (!slot.active || slot.generation != handle.generation_) return false;
+  slot.active = false;
+  ++slot.generation;  // the pending occurrence node becomes a tombstone
+  ++stats_.timers_cancelled;
+  if (slot.firing) {
+    // Cancelled from inside its own callback: the occurrence node is
+    // already popped (not counted in live_), and the callback object is
+    // on the stack — execute() finishes the slot teardown on return.
+    return true;
+  }
+  --live_;  // the queued occurrence no longer counts as pending
+  free_timer_slot(handle.index_);
   return true;
 }
 
+bool Scheduler::timer_active(const TimerHandle& handle) const {
+  return handle.index_ < timers_.size() && timers_[handle.index_].active &&
+         timers_[handle.index_].generation == handle.generation_;
+}
+
+void Scheduler::free_timer_slot(std::uint32_t index) {
+  TimerSlot& slot = timers_[index];
+  slot.fn = nullptr;
+  slot.firing = false;
+  slot.next_free = timer_free_;
+  timer_free_ = index;
+}
+
+// -- execution ----------------------------------------------------------
+
+void Scheduler::execute(EventNode* node) {
+  now_ = node->time;
+  --live_;
+  ++stats_.executed;
+  if (auto* fn_slot = std::get_if<std::function<void()>>(&node->payload)) {
+    // Move the callback out and recycle the node first: whatever the
+    // callback schedules can reuse it immediately.
+    std::function<void()> fn = std::move(*fn_slot);
+    release(node);
+    fn();
+  } else if (auto* delivery = std::get_if<DeliveryEvent>(&node->payload)) {
+    DeliveryEvent ev = std::move(*delivery);
+    release(node);
+    if (sink_ != nullptr) sink_->on_delivery(ev);
+  } else {
+    const TimerRef ref = std::get<TimerRef>(node->payload);
+    TimerSlot& slot = timers_[ref.index];
+    ++stats_.timer_fires;
+    slot.firing = true;
+    slot.fn();
+    if (slot.generation == ref.generation) {
+      // Still installed: re-arm by recycling this very node. The fresh
+      // sequence number puts the next occurrence after everything the
+      // callback just scheduled.
+      slot.firing = false;
+      node->time += slot.interval;
+      node->seq = next_seq_++;
+      enqueue(node);
+    } else {
+      // Cancelled during its own callback: finish the deferred slot
+      // teardown now that the callback has returned.
+      free_timer_slot(ref.index);
+      release(node);
+    }
+  }
+}
+
+bool Scheduler::run_next() {
+  for (;;) {
+    EventNode* node = pop_earliest(kNoLimit);
+    if (node == nullptr) {
+      // Everything drained (tombstone reaping may have walked the cursor
+      // ahead of the clock): re-anchor the ring's window at the clock so
+      // the next insertion cannot land behind the cursor.
+      cursor_slot_ = now_ >> kSlotShift;
+      return false;
+    }
+    if (is_tombstone(node)) {
+      release(node);
+      continue;
+    }
+    execute(node);
+    return true;
+  }
+}
+
 void Scheduler::run_until(TimeUs t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    run_next();
+  for (;;) {
+    EventNode* node = pop_earliest(t);
+    if (node == nullptr) break;
+    if (is_tombstone(node)) {
+      release(node);
+      continue;
+    }
+    execute(node);
   }
   if (t > now_) now_ = t;
+  if (wheel_count_ == 0) {
+    // Re-anchor the ring's window at the clock: near-future events
+    // scheduled next land in the ring instead of the overflow heap, and
+    // a cursor that tombstone reaping walked ahead of the clock comes
+    // back so later insertions cannot land behind it.
+    cursor_slot_ = now_ >> kSlotShift;
+    migrate_overflow();
+  }
 }
 
 void Scheduler::run_for(TimeUs duration) {

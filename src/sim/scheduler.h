@@ -1,13 +1,53 @@
 #pragma once
-// Deterministic discrete-event scheduler: the clock of the whole simulated
-// world (network, gossip heartbeats, epochs, block mining). Events with
-// equal timestamps run in submission order, so a fixed seed reproduces an
-// experiment exactly.
+// Deterministic discrete-event engine: the clock of the whole simulated
+// world (network, gossip heartbeats, epochs, block mining).
+//
+// The engine is typed and pooled. The three dominant event classes each
+// have a first-class representation instead of a heap-allocated
+// type-erased closure:
+//
+//   * frame deliveries   — plain data (DeliveryEvent) executed through a
+//                          DeliverySink, so the network hot path performs
+//                          no std::function allocation per send;
+//   * periodic timers    — the callback is stored once in a timer table
+//                          and re-armed by the engine after every fire
+//                          (no lambda re-capture per tick), with a
+//                          generation-checked cancellation handle;
+//   * one-shot callbacks — the std::function fallback for everything else.
+//
+// Event nodes come from a free-list pool backed by chunked blocks: once
+// the pool has grown to the world's peak concurrency, steady-state
+// simulation schedules events with zero allocations.
+//
+// Near-future events (link deliveries, heartbeats) live in a calendar
+// queue — a ring of per-slot buckets, each a small binary heap — and
+// far-future events (epoch GC, block mining) wait in a fallback heap that
+// migrates into the ring as the cursor advances. Both structures order
+// events by (time, submission sequence), so the execution order is
+// exactly the one the classic single-heap scheduler produced.
+//
+// Determinism contract (relied on by every seeded experiment):
+//   * Events with equal timestamps run in schedule order (global
+//     submission sequence, FIFO).
+//   * An event running at time T may schedule more work at T (t < now
+//     throws); the new event runs after every event already queued at T —
+//     including within the same run_until/run_next drain, which re-checks
+//     the queue after every execution.
+//   * A periodic timer first fires at now + first_delay, then re-arms at
+//     fire_time + interval *after* its callback returns: the next
+//     occurrence is sequenced after everything the callback scheduled,
+//     matching the classic "reschedule at the end of the tick" idiom.
+//   * cancel() from inside the timer's own callback stops the re-arm.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <queue>
+#include <limits>
+#include <memory>
+#include <variant>
 #include <vector>
+
+#include "sim/frame.h"
 
 namespace wakurln::sim {
 
@@ -17,15 +57,97 @@ using TimeUs = std::uint64_t;
 inline constexpr TimeUs kUsPerMs = 1'000;
 inline constexpr TimeUs kUsPerSecond = 1'000'000;
 
+/// A frame in flight: plain data, no closure. `generation` snapshots the
+/// destination's drop_in_flight counter at send time so departures
+/// invalidate frames already on the wire.
+struct DeliveryEvent {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint64_t generation = 0;
+  std::size_t bytes = 0;
+  Frame frame;
+};
+
+/// Executes delivery events; implemented by sim::Network. One sink per
+/// scheduler — the simulated world has one network fabric.
+class DeliverySink {
+ public:
+  virtual void on_delivery(const DeliveryEvent& ev) = 0;
+
+ protected:
+  ~DeliverySink() = default;
+};
+
+/// Cancellation handle for a periodic timer. Copyable; stale handles
+/// (already-cancelled timers, recycled slots) are detected by generation
+/// and make cancel() a no-op returning false.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  /// True when the handle was issued by schedule_periodic (it may still
+  /// refer to a timer that was cancelled since; see Scheduler::timer_active).
+  bool issued() const { return index_ != kInvalidIndex; }
+
+ private:
+  friend class Scheduler;
+  static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+  std::uint32_t index_ = kInvalidIndex;
+  std::uint32_t generation_ = 0;
+};
+
 class Scheduler {
  public:
+  /// Engine statistics. All values are pure functions of the scheduled
+  /// workload — deterministic for a fixed seed, safe to put in reports.
+  struct Stats {
+    std::uint64_t scheduled = 0;      ///< events enqueued (incl. timer re-arms)
+    std::uint64_t executed = 0;       ///< events run
+    std::uint64_t node_allocs = 0;    ///< pool misses (fresh event nodes)
+    std::uint64_t pool_reuses = 0;    ///< pool hits (recycled event nodes)
+    std::uint64_t overflow_events = 0;  ///< enqueues beyond the ring horizon
+    std::uint64_t timers_created = 0;
+    std::uint64_t timers_cancelled = 0;
+    std::uint64_t timer_fires = 0;
+    std::size_t peak_pending = 0;     ///< max live events queued at once
+  };
+
+  Scheduler();
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
   TimeUs now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (>= now).
+  /// Schedules `fn` at absolute time `t` (>= now; throws otherwise).
   void schedule_at(TimeUs t, std::function<void()> fn);
 
   /// Schedules `fn` `delay` microseconds from now.
   void schedule_after(TimeUs delay, std::function<void()> fn);
+
+  /// Schedules a typed frame delivery `delay` microseconds from now; the
+  /// event is pooled plain data executed through the delivery sink.
+  void schedule_delivery_after(TimeUs delay, DeliveryEvent ev);
+
+  /// Registers the delivery executor. One sink per scheduler: installing
+  /// a second, different sink throws (clear the first one before).
+  void set_delivery_sink(DeliverySink* sink);
+  /// Clears the sink if it is `sink` (used by the network's destructor).
+  void clear_delivery_sink(DeliverySink* sink);
+
+  /// Installs a periodic timer: first fire at now + first_delay, then
+  /// every `interval` (> 0) microseconds after the previous fire. The
+  /// callback is stored once; each fire costs one pooled event node and
+  /// zero allocations.
+  TimerHandle schedule_periodic(TimeUs first_delay, TimeUs interval,
+                                std::function<void()> fn);
+
+  /// Cancels a periodic timer. Safe from inside the timer's own callback
+  /// (stops the re-arm) and with stale handles (returns false). Returns
+  /// true when an active timer was cancelled.
+  bool cancel(const TimerHandle& handle);
+
+  /// True while the timer is installed (armed or currently firing).
+  bool timer_active(const TimerHandle& handle) const;
 
   /// Runs the earliest pending event, if any. Returns false when idle.
   bool run_next();
@@ -39,24 +161,89 @@ class Scheduler {
   /// Drains the queue completely (use only for terminating workloads).
   void run_all();
 
-  std::size_t pending() const { return queue_.size(); }
+  /// Live events queued (cancelled timer occurrences are excluded).
+  std::size_t pending() const { return live_; }
+
+  const Stats& stats() const { return stats_; }
 
  private:
-  struct Event {
-    TimeUs time;
-    std::uint64_t seq;
-    std::function<void()> fn;
+  // Calendar-queue geometry: one slot covers 2^kSlotShift us (~1 ms), the
+  // ring spans kNumBuckets slots (~8.4 s). Near-future events — link
+  // deliveries, heartbeats — land in the ring; anything beyond the
+  // horizon waits in the overflow heap and migrates as the cursor moves.
+  static constexpr TimeUs kSlotShift = 10;
+  static constexpr std::size_t kNumBuckets = 8192;  // power of two
+  static constexpr std::size_t kBucketMask = kNumBuckets - 1;
+  static constexpr std::size_t kBlockSize = 256;  // event nodes per pool block
+
+  /// A periodic timer occurrence: a generation-checked reference into the
+  /// timer table (the callback itself lives there, stored once).
+  struct TimerRef {
+    std::uint32_t index = 0;
+    std::uint32_t generation = 0;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+
+  /// One payload variant per event class — the node pays for the largest
+  /// alternative only, not the sum (the pool is permanently resident, so
+  /// node size is pool size at scale). monostate = free-listed.
+  using Payload =
+      std::variant<std::monostate, std::function<void()>, DeliveryEvent, TimerRef>;
+
+  struct EventNode {
+    TimeUs time = 0;
+    std::uint64_t seq = 0;
+    Payload payload;
+    EventNode* next_free = nullptr;
+  };
+
+  struct TimerSlot {
+    std::function<void()> fn;
+    TimeUs interval = 0;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = TimerHandle::kInvalidIndex;
+    bool active = false;
+    bool firing = false;  ///< callback on the stack right now
+  };
+
+  /// Heap order: top is the (time, seq) minimum, exactly the classic
+  /// scheduler's tie-break.
+  struct LaterPtr {
+    bool operator()(const EventNode* a, const EventNode* b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
     }
   };
 
+  EventNode* acquire();
+  void release(EventNode* node);
+  void enqueue(EventNode* node);
+  void migrate_overflow();
+  EventNode* pop_earliest(TimeUs limit);
+  bool is_tombstone(const EventNode* node) const;
+  void execute(EventNode* node);
+  void free_timer_slot(std::uint32_t index);
+
   TimeUs now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t live_ = 0;  ///< queued events excluding cancelled timers
+
+  // Calendar ring + far-future overflow heap.
+  std::vector<std::vector<EventNode*>> buckets_;
+  std::size_t wheel_count_ = 0;    ///< nodes currently in the ring
+  std::uint64_t cursor_slot_ = 0;  ///< absolute slot index (time >> kSlotShift)
+  std::vector<EventNode*> overflow_;
+
+  // Node pool: chunked backing store + intrusive free list.
+  std::vector<std::unique_ptr<EventNode[]>> blocks_;
+  std::size_t block_used_ = kBlockSize;
+  EventNode* free_list_ = nullptr;
+
+  // Timer table (deque: slots must stay put while their callback runs).
+  std::deque<TimerSlot> timers_;
+  std::uint32_t timer_free_ = TimerHandle::kInvalidIndex;
+
+  DeliverySink* sink_ = nullptr;
+  Stats stats_;
 };
 
 }  // namespace wakurln::sim

@@ -38,15 +38,13 @@ SimHarness::SimHarness(HarnessConfig config)
     sim::apply_geo_latency(network_, ids, config_.link);
   }
   for (auto& r : relays_) r->start();
-  mine_loop();
-}
 
-void SimHarness::mine_loop() {
-  scheduler_.schedule_after(
-      chain_.config().block_time_seconds * sim::kUsPerSecond, [this] {
-        chain_.mine_block(scheduler_.now() / sim::kUsPerSecond);
-        mine_loop();
-      });
+  // Block mining as a first-class periodic timer: one stored callback,
+  // re-armed by the engine after each block (no per-block lambda churn).
+  const sim::TimeUs block_us = chain_.config().block_time_seconds * sim::kUsPerSecond;
+  mine_timer_ = scheduler_.schedule_periodic(block_us, block_us, [this] {
+    chain_.mine_block(scheduler_.now() / sim::kUsPerSecond);
+  });
 }
 
 void SimHarness::subscribe_all(const gossipsub::TopicId& topic) {

@@ -98,8 +98,6 @@ class SimHarness {
   WakuRlnRelay::Stats aggregate_stats() const;
 
  private:
-  void mine_loop();
-
   HarnessConfig config_;
   util::Rng rng_;
   sim::Scheduler scheduler_;
@@ -110,6 +108,7 @@ class SimHarness {
   std::vector<std::unique_ptr<WakuRelay>> relays_;
   std::vector<std::unique_ptr<WakuRlnRelay>> nodes_;
   std::vector<Delivery> deliveries_;
+  sim::TimerHandle mine_timer_;
 };
 
 }  // namespace wakurln::waku

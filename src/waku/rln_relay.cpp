@@ -235,17 +235,19 @@ bool WakuRlnRelay::root_acceptable(const field::Fr& root) const {
 
 void WakuRlnRelay::schedule_nullifier_gc() {
   // Prune once per epoch; keep a retention window of epochs so that any
-  // message still inside the Thr acceptance window has its records.
+  // message still inside the Thr acceptance window has its records. A
+  // periodic timer holds the one callback for the node's lifetime — no
+  // per-epoch lambda re-capture.
   const std::uint64_t keep_epochs =
       std::max<std::uint64_t>(epochs_.threshold(), 1) *
       std::max<std::uint64_t>(config_.nullifier_retention_factor, 1);
-  relay_.router().network().scheduler().schedule_after(
-      config_.epoch_period_seconds * sim::kUsPerSecond, [this, keep_epochs] {
+  const sim::TimeUs period_us = config_.epoch_period_seconds * sim::kUsPerSecond;
+  gc_timer_ = relay_.router().network().scheduler().schedule_periodic(
+      period_us, period_us, [this, keep_epochs] {
         const std::uint64_t epoch = current_epoch();
         if (epoch > keep_epochs) {
           nullifier_map_.prune_before(epoch - keep_epochs);
         }
-        schedule_nullifier_gc();
       });
 }
 

@@ -169,6 +169,7 @@ class WakuRlnRelay {
   std::deque<gossipsub::MessageId> proof_cache_order_;
   PayloadHandler handler_;
   Stats stats_;
+  sim::TimerHandle gc_timer_;
 };
 
 }  // namespace wakurln::waku

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <queue>
 #include <string>
 
 #include "sim/network.h"
@@ -109,6 +111,220 @@ TEST(SchedulerTest, RunUntilBoundaryIsInclusiveAndDeterministic) {
   sched.run_until(200);  // both boundary events run, in submission order
   EXPECT_EQ(order, (std::vector<int>{0, 1}));
   EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(SchedulerTest, ReentrantSameTickSchedulingRunsWithinSameDrain) {
+  // The FIFO contract (sim/scheduler.h): an event running at time T may
+  // schedule more work at T; the new event runs after every event already
+  // queued at T, inside the same run_until drain — the drain re-checks
+  // the queue after every execution.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(500, [&] {
+    order.push_back(0);
+    sched.schedule_at(500, [&] {
+      order.push_back(2);
+      sched.schedule_at(500, [&] { order.push_back(3); });
+    });
+  });
+  sched.schedule_at(500, [&] { order.push_back(1); });
+  sched.schedule_at(501, [&] { order.push_back(4); });
+  sched.run_until(500);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_EQ(sched.now(), 500u);
+}
+
+TEST(SchedulerTest, SteadyStateSchedulingReusesPooledNodes) {
+  Scheduler sched;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 8; ++i) sched.schedule_after(10, [] {});
+    sched.run_all();
+  }
+  const Scheduler::Stats& st = sched.stats();
+  EXPECT_EQ(st.scheduled, 800u);
+  EXPECT_EQ(st.executed, 800u);
+  // Only the first round's peak allocates; every later event recycles.
+  EXPECT_EQ(st.node_allocs, 8u);
+  EXPECT_EQ(st.pool_reuses, 792u);
+  EXPECT_EQ(st.peak_pending, 8u);
+}
+
+TEST(SchedulerTest, FarFutureEventsWaitInOverflowAndMigrate) {
+  // Events beyond the ring horizon (~8.4 s) park in the fallback heap and
+  // migrate into the ring as the cursor advances; global (time, seq)
+  // order is unaffected.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(20 * kUsPerSecond, [&] { order.push_back(2); });
+  sched.schedule_at(100 * kUsPerSecond, [&] { order.push_back(3); });
+  sched.schedule_at(100 * kUsPerSecond, [&] { order.push_back(4); });  // seq tie-break
+  sched.schedule_at(kUsPerMs, [&] { order.push_back(1); });
+  EXPECT_GE(sched.stats().overflow_events, 3u);
+  sched.run_until(20 * kUsPerSecond);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sched.now(), 100 * kUsPerSecond);
+}
+
+TEST(SchedulerTest, PeriodicTimerMatchesTailRescheduleSemantics) {
+  // A periodic timer re-arms after its callback returns, so the next
+  // occurrence is sequenced after everything the callback scheduled —
+  // exactly the classic "schedule_after at the end of the tick" idiom.
+  Scheduler sched;
+  std::vector<std::string> order;
+  int fires = 0;
+  TimerHandle h;
+  h = sched.schedule_periodic(100, 100, [&] {
+    ++fires;
+    order.push_back("tick" + std::to_string(sched.now()));
+    if (fires == 1) {
+      sched.schedule_after(100, [&] { order.push_back("oneshot200"); });
+    }
+    if (fires == 3) {
+      EXPECT_TRUE(sched.cancel(h));  // cancel from own callback
+    }
+  });
+  EXPECT_TRUE(sched.timer_active(h));
+  sched.run_for(10'000);
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(order, (std::vector<std::string>{"tick100", "oneshot200", "tick200",
+                                             "tick300"}));
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_FALSE(sched.timer_active(h));
+  EXPECT_FALSE(sched.cancel(h));  // stale handle: no-op
+  EXPECT_EQ(sched.stats().timer_fires, 3u);
+  EXPECT_EQ(sched.stats().timers_cancelled, 1u);
+}
+
+TEST(SchedulerTest, CancelledTimerNeverFiresAgainAndSlotIsRecycled) {
+  Scheduler sched;
+  int a_fires = 0;
+  int b_fires = 0;
+  const TimerHandle a = sched.schedule_periodic(50, 50, [&] { ++a_fires; });
+  sched.run_until(120);  // fires at 50 and 100
+  EXPECT_EQ(a_fires, 2);
+  EXPECT_EQ(sched.pending(), 1u);  // the armed occurrence at 150
+  EXPECT_TRUE(sched.cancel(a));
+  EXPECT_EQ(sched.pending(), 0u);  // cancellation retires it immediately
+  EXPECT_FALSE(sched.timer_active(a));
+  // The freed slot is recycled; the stale handle must not reach timer b.
+  const TimerHandle b = sched.schedule_periodic(50, 50, [&] { ++b_fires; });
+  EXPECT_FALSE(sched.cancel(a));
+  sched.run_until(400);
+  EXPECT_EQ(a_fires, 2);
+  EXPECT_GE(b_fires, 4);
+  EXPECT_TRUE(sched.timer_active(b));
+}
+
+TEST(SchedulerTest, ZeroIntervalPeriodicTimerRejected) {
+  Scheduler sched;
+  EXPECT_THROW(sched.schedule_periodic(10, 0, [] {}), std::invalid_argument);
+}
+
+namespace {
+
+/// The classic single-heap scheduler PR 0–3 ran on, kept as the executable
+/// specification of the (time, seq) contract: the calendar-queue engine
+/// must produce byte-identical execution orders.
+class ReferenceScheduler {
+ public:
+  TimeUs now() const { return now_; }
+  void schedule_at(TimeUs t, std::function<void()> fn) {
+    queue_.push(Ev{t, next_seq_++, std::move(fn)});
+  }
+  void schedule_after(TimeUs d, std::function<void()> fn) {
+    schedule_at(now_ + d, std::move(fn));
+  }
+  bool run_next() {
+    if (queue_.empty()) return false;
+    Ev ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+  void run_until(TimeUs t) {
+    while (!queue_.empty() && queue_.top().time <= t) run_next();
+    if (t > now_) now_ = t;
+  }
+  void run_all() {
+    while (run_next()) {
+    }
+  }
+
+ private:
+  struct Ev {
+    TimeUs time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  TimeUs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+};
+
+/// Drives a scheduler through a deterministic branching script mixing
+/// same-tick, near-future and far-future (overflow-horizon) delays, and
+/// records the execution order.
+template <typename S>
+class ScriptRunner {
+ public:
+  explicit ScriptRunner(S& sched) : sched_(sched) {}
+
+  void spawn(std::uint64_t id, int depth) {
+    const TimeUs delay = delay_of(id);
+    sched_.schedule_after(delay, [this, id, depth] {
+      log_.emplace_back(sched_.now(), id);
+      if (depth < 3) {
+        spawn(id * 3 + 1, depth + 1);
+        if (id % 2 == 0) spawn(id * 3 + 2, depth + 1);
+      }
+    });
+  }
+
+  const std::vector<std::pair<TimeUs, std::uint64_t>>& log() const { return log_; }
+
+ private:
+  static TimeUs delay_of(std::uint64_t id) {
+    if (id % 7 == 0) return 0;  // same-tick reentrant
+    if (id % 5 == 0) return 9 * kUsPerSecond + (id % 13) * kUsPerSecond;  // overflow
+    return (id % 3) * 37 * kUsPerMs + id % 997;  // near future
+  }
+
+  S& sched_;
+  std::vector<std::pair<TimeUs, std::uint64_t>> log_;
+};
+
+template <typename S>
+std::vector<std::pair<TimeUs, std::uint64_t>> run_script(S& sched) {
+  ScriptRunner<S> runner(sched);
+  for (std::uint64_t i = 0; i < 40; ++i) runner.spawn(i, 0);
+  sched.run_until(kUsPerSecond);
+  sched.run_until(5 * kUsPerSecond);
+  for (int i = 0; i < 10; ++i) sched.run_next();
+  sched.run_all();
+  return runner.log();
+}
+
+}  // namespace
+
+TEST(SchedulerTest, CalendarQueueAgreesWithReferenceHeap) {
+  Scheduler wheel;
+  ReferenceScheduler heap;
+  const auto wheel_log = run_script(wheel);
+  const auto heap_log = run_script(heap);
+  ASSERT_GT(wheel_log.size(), 100u);
+  EXPECT_EQ(wheel_log, heap_log);
+  EXPECT_EQ(wheel.now(), heap.now());
+  EXPECT_GT(wheel.stats().overflow_events, 0u);  // the script reached the heap
 }
 
 struct TestNode {
@@ -338,6 +554,66 @@ TEST(NetworkTest, FrameTapObservesDeliveriesOnly) {
   EXPECT_EQ(taps[0], (std::pair<NodeId, NodeId>{ida, idb}));
   EXPECT_EQ(taps[1], (std::pair<NodeId, NodeId>{idb, ida}));
   EXPECT_EQ(net.stats().frames_lost, 1u);
+}
+
+TEST(NetworkTest, CancelPeriodicSenderLeavesInFlightDeliveryIntact) {
+  // Cancelling a periodic timer races a delivery its callback already
+  // scheduled: the cancellation retires the timer, not the pooled frame
+  // event on the wire.
+  Scheduler sched;
+  Rng rng(21);
+  LinkParams link;
+  link.base_latency = 10 * kUsPerMs;
+  link.jitter = 0;
+  link.bandwidth_bytes_per_sec = 0;
+  Network net(sched, rng, link);
+  TestNode a, b;
+  const NodeId ida = net.add_node(a.callbacks());
+  const NodeId idb = net.add_node(b.callbacks());
+  net.connect(ida, idb);
+
+  TimerHandle ticker = sched.schedule_periodic(kUsPerMs, kUsPerMs, [&] {
+    net.send(ida, idb, sim::Frame::of(std::string("tick")), 4);
+  });
+  sched.run_until(kUsPerMs);     // one tick fired; its frame arrives at 11 ms
+  EXPECT_TRUE(sched.cancel(ticker));
+  sched.run_all();
+  ASSERT_EQ(b.received.size(), 1u);  // the in-flight frame still lands
+  EXPECT_EQ(b.received[0].second, "tick");
+  EXPECT_EQ(sched.stats().timer_fires, 1u);
+}
+
+TEST(NetworkTest, DropInFlightReleasesPooledFramePayload) {
+  // A pooled delivery event cleared by drop_in_flight must not keep the
+  // frame payload alive from the free list (node churn at scale would
+  // otherwise pin dead payload memory).
+  Scheduler sched;
+  Rng rng(23);
+  LinkParams link;
+  link.base_latency = 10 * kUsPerMs;
+  link.jitter = 0;
+  link.bandwidth_bytes_per_sec = 0;
+  Network net(sched, rng, link);
+  TestNode a, b;
+  const NodeId ida = net.add_node(a.callbacks());
+  const NodeId idb = net.add_node(b.callbacks());
+  net.connect(ida, idb);
+
+  auto payload = std::make_shared<const std::string>("pooled payload");
+  net.send(ida, idb, sim::Frame::wrap(payload), 14);
+  EXPECT_GT(payload.use_count(), 1);  // held by the queued delivery event
+  net.drop_in_flight(idb);
+  sched.run_all();
+  EXPECT_EQ(payload.use_count(), 1);  // released when the event retired
+  EXPECT_EQ(net.stats().frames_lost, 1u);
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST(NetworkTest, OneNetworkPerSchedulerEnforced) {
+  Scheduler sched;
+  Rng rng(24);
+  Network net(sched, rng);
+  EXPECT_THROW(Network(sched, rng), std::logic_error);
 }
 
 TEST(TopologyTest, RingPlusRandomIsConnected) {
