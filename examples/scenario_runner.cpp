@@ -15,6 +15,7 @@
 //   --nodes N           override the spec's network size
 //   --epochs E          override the spec's traffic epochs
 //   --payload-bytes P   pad published payloads to P bytes (0 = bare key)
+//   --topics K          carry K content topics (round-robin publishers)
 //   --link-profile L    uniform | geo (per-link latency from region pairs)
 //   --out DIR           directory for SCENARIO_<name>.json (default CWD)
 
@@ -35,7 +36,7 @@ namespace {
 void print_catalogue() {
   std::printf("registered scenarios:\n");
   for (const scenario::ScenarioSpec& s : scenario::registered_scenarios()) {
-    std::printf("  %-16s %s\n", s.name.c_str(), s.description.c_str());
+    std::printf("  %-20s %s\n", s.name.c_str(), s.description.c_str());
   }
 }
 
@@ -44,6 +45,7 @@ void run_one(scenario::ScenarioSpec spec, const util::CliArgs& args) {
   spec.traffic_epochs = args.get_u64("epochs", spec.traffic_epochs);
   spec.payload_bytes =
       static_cast<std::size_t>(args.get_u64("payload-bytes", spec.payload_bytes));
+  spec.topics = static_cast<std::size_t>(args.get_u64("topics", spec.topics));
   if (args.has("link-profile")) {
     spec.link_profile = sim::link_profile_from_name(args.get("link-profile", ""));
   }
@@ -89,7 +91,8 @@ int main(int argc, char** argv) {
     std::printf("no --scenario given; running the default catalogue listing.\n");
     std::printf("usage: %s --list | --scenario NAME | --all "
                 "[--seeds K] [--seed0 S] [--threads T] [--nodes N] [--epochs E] "
-                "[--payload-bytes P] [--link-profile uniform|geo] [--out DIR]\n\n",
+                "[--payload-bytes P] [--topics K] [--link-profile uniform|geo] "
+                "[--out DIR]\n\n",
                 args.program().c_str());
     print_catalogue();
     return 0;

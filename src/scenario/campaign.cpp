@@ -50,12 +50,31 @@ std::string spec_json(const ScenarioSpec& s) {
   append_kv(out, "messages_per_epoch", static_cast<double>(s.messages_per_epoch));
   append_kv(out, "traffic_epochs", static_cast<double>(s.traffic_epochs));
   append_kv(out, "honest_publish_prob", s.honest_publish_prob);
+  append_kv(out, "topics", static_cast<double>(s.topics));
   append_kv(out, "observers", static_cast<double>(s.observers));
+  append_kv(out, "observer_placement",
+            std::string(observer_placement_name(s.observer.placement)));
+  append_kv(out, "eclipse_target", static_cast<double>(s.observer.eclipse_target));
+  append_kv(out, "sybil_extra_links",
+            static_cast<double>(s.observer.sybil_extra_links));
   append_kv(out, "spammers", static_cast<double>(s.adversaries.spammers));
   append_kv(out, "spam_per_epoch", static_cast<double>(s.adversaries.spam_per_epoch));
   append_kv(out, "burst_flooders", static_cast<double>(s.adversaries.burst_flooders));
   append_kv(out, "burst_size", static_cast<double>(s.adversaries.burst_size));
   append_kv(out, "burst_at_epoch", static_cast<double>(s.adversaries.burst_at_epoch));
+  append_kv(out, "adaptive_spammers",
+            static_cast<double>(s.adversaries.adaptive_spammers));
+  append_kv(out, "adaptive_probe_every",
+            static_cast<double>(s.adversaries.adaptive_probe_every));
+  append_kv(out, "stormers", static_cast<double>(s.storm.stormers));
+  append_kv(out, "storm_wave_every_epochs",
+            static_cast<double>(s.storm.wave_every_epochs));
+  append_kv(out, "storm_joins_per_wave",
+            static_cast<double>(s.storm.joins_per_wave));
+  append_kv(out, "storm_slash_after_join",
+            static_cast<double>(s.storm.slash_after_join ? 1 : 0));
+  append_kv(out, "acceptable_root_window",
+            static_cast<double>(s.acceptable_root_window));
   append_kv(out, "churn_leave_prob", s.churn.leave_prob_per_epoch);
   append_kv(out, "churn_offline_epochs",
             static_cast<double>(s.churn.offline_epochs));
@@ -232,6 +251,10 @@ std::string report_json(const CampaignResult& result, bool include_resources) {
       out += json_number(r.event_allocs_steady);
       out += ", \"event_allocs_per_sim_second\": ";
       out += json_number(r.event_allocs_per_sim_second);
+      out += "},\n     \"group_sync\": {\"deterministic\": true, \"sync_bytes\": ";
+      out += json_number(r.group_sync_bytes);
+      out += ", \"root_updates\": ";
+      out += json_number(r.group_root_updates);
       out += "}}";
     }
     out += "\n  ], \"wall_ms_per_sim_second_mean\": ";

@@ -24,31 +24,127 @@ namespace wakurln::scenario {
 namespace {
 
 // Node index layout: [active publishers][pure relays][spammers]
-// [burst flooders][replayers][observers]. The relay band is empty unless
-// spec.publishers caps the publisher set.
-enum class Role { kHonest, kRelay, kSpammer, kFlooder, kReplayer, kObserver };
+// [burst flooders][adaptive spammers][stormers][replayers][observers].
+// The relay band is empty unless spec.publishers caps the publisher set.
+enum class Role {
+  kHonest,
+  kRelay,
+  kSpammer,
+  kFlooder,
+  kAdaptive,
+  kStormer,
+  kReplayer,
+  kObserver,
+};
 
 Role role_of(const ScenarioSpec& spec, std::size_t i) {
   const std::size_t honest = spec.honest_publishers();
   if (i < spec.active_publishers()) return Role::kHonest;
   if (i < honest) return Role::kRelay;
-  if (i < honest + spec.adversaries.spammers) return Role::kSpammer;
-  if (i < honest + spec.adversaries.total()) return Role::kFlooder;
-  if (i < honest + spec.adversaries.total() + spec.replay.replayers) {
-    return Role::kReplayer;
-  }
+  std::size_t edge = honest + spec.adversaries.spammers;
+  if (i < edge) return Role::kSpammer;
+  edge += spec.adversaries.burst_flooders;
+  if (i < edge) return Role::kFlooder;
+  edge += spec.adversaries.adaptive_spammers;
+  if (i < edge) return Role::kAdaptive;
+  edge += spec.storm.stormers;
+  if (i < edge) return Role::kStormer;
+  edge += spec.replay.replayers;
+  if (i < edge) return Role::kReplayer;
   return Role::kObserver;
 }
 
-/// Indices of every node that publishes (and therefore needs membership).
+/// Indices of every node that publishes from the start of the traffic
+/// phase (and therefore needs membership up front). Stormers are
+/// deliberately absent: the registration storm joins them mid-run.
 std::vector<std::size_t> publishing_nodes(const ScenarioSpec& spec) {
   std::vector<std::size_t> out;
   out.reserve(spec.active_publishers() + spec.adversaries.total());
   for (std::size_t i = 0; i < spec.nodes; ++i) {
-    const Role role = role_of(spec, i);
-    if (role == Role::kHonest || role == Role::kSpammer || role == Role::kFlooder) {
-      out.push_back(i);
+    switch (role_of(spec, i)) {
+      case Role::kHonest:
+      case Role::kSpammer:
+      case Role::kFlooder:
+      case Role::kAdaptive:
+        out.push_back(i);
+        break;
+      default:
+        break;
     }
+  }
+  return out;
+}
+
+/// Indices of the storm band, in join order.
+std::vector<std::size_t> storm_nodes(const ScenarioSpec& spec) {
+  std::vector<std::size_t> out;
+  out.reserve(spec.storm.stormers);
+  for (std::size_t i = 0; i < spec.nodes; ++i) {
+    if (role_of(spec, i) == Role::kStormer) out.push_back(i);
+  }
+  return out;
+}
+
+/// First node index of the observer coalition (tail band).
+std::size_t first_observer(const ScenarioSpec& spec) {
+  return spec.nodes - spec.observers;
+}
+
+/// Rewires the eclipse-ring coalition around its target publisher: the
+/// target's links to non-coalition nodes are severed and every coalition
+/// member links to the target directly. The coalition keeps its own base
+/// links, so the target stays connected to the overlay — through the
+/// observers, which is the point: the target's first hop is always
+/// observed. Draws no randomness; kRandomTail placement is a no-op (the
+/// coalition is wired like any other node), and kSybilHighDegree is
+/// applied earlier, at topology-build time, through the DegreeBias hook.
+void apply_observer_placement(const ScenarioSpec& spec, sim::Network& net) {
+  if (spec.observers == 0 ||
+      spec.observer.placement != ObserverPlacement::kEclipseRing) {
+    return;
+  }
+  const auto target = static_cast<sim::NodeId>(spec.observer.eclipse_target);
+  const std::size_t coalition_start = first_observer(spec);
+  for (const sim::NodeId peer : net.neighbors(target)) {
+    if (static_cast<std::size_t>(peer) < coalition_start) {
+      net.disconnect(target, peer);
+    }
+  }
+  for (std::size_t o = coalition_start; o < spec.nodes; ++o) {
+    const auto obs = static_cast<sim::NodeId>(o);
+    net.connect(target, obs);
+    // The ring is wired after the harness applied per-link latency, so
+    // geo worlds must derive the new links' params themselves — an
+    // eclipse must not come with an accidental uniform-latency shortcut.
+    if (spec.link_profile == sim::LinkProfile::kGeo) {
+      net.set_link_params(
+          target, obs,
+          sim::geo_link_params(
+              sim::geo_region_of(spec.observer.eclipse_target, spec.nodes),
+              sim::geo_region_of(o, spec.nodes), spec.link));
+    }
+  }
+}
+
+/// Topic index node `i`'s epoch-`e` message is published on: round-robin
+/// over the configured topics (always 0 for single-topic worlds).
+std::size_t topic_of(const ScenarioSpec& spec, std::size_t i, std::uint64_t e) {
+  return spec.topics == 1 ? 0 : (i + static_cast<std::size_t>(e)) % spec.topics;
+}
+
+/// Topic names of a scenario. Single-topic worlds keep the original
+/// "scenario/<name>" id (byte-compatible reports); multi-topic worlds
+/// append "/t<k>".
+std::vector<std::string> topic_names(const ScenarioSpec& spec) {
+  std::vector<std::string> out;
+  const std::string base = "scenario/" + spec.name;
+  if (spec.topics == 1) {
+    out.push_back(base);
+    return out;
+  }
+  out.reserve(spec.topics);
+  for (std::size_t k = 0; k < spec.topics; ++k) {
+    out.push_back(base + "/t" + std::to_string(k));
   }
   return out;
 }
@@ -82,6 +178,7 @@ std::string payload_key(char tag, std::size_t node, std::uint64_t epoch,
 struct Publication {
   std::size_t origin = 0;
   sim::TimeUs at = 0;
+  std::size_t topic = 0;
 };
 
 /// One application-level delivery, keyed by the bare payload.
@@ -102,9 +199,13 @@ struct TrafficLog {
   std::map<std::string, Publication> spam;
   /// adversary index -> traffic epoch -> messages actually published.
   std::map<std::size_t, std::map<std::uint64_t, std::uint64_t>> adversary_published;
+  /// Over-rate probes the adaptive spammers attempted / got onto the wire.
+  std::uint64_t adaptive_probes_attempted = 0;
+  std::uint64_t adaptive_probes_published = 0;
 };
 
-using PublishFn = std::function<bool(std::size_t node, const std::string& payload)>;
+using PublishFn =
+    std::function<bool(std::size_t node, std::size_t topic, const std::string& payload)>;
 
 void take_offline(sim::Network& net, sim::NodeId id) {
   for (const sim::NodeId peer : net.neighbors(id)) net.disconnect(id, peer);
@@ -121,6 +222,16 @@ void bring_online(sim::Network& net, sim::NodeId id, const std::vector<char>& on
   sim::connect_to_random_peers(net, id, targets, degree, rng);
 }
 
+/// First traffic-epoch boundary after `sched.now()`: the next protocol
+/// epoch boundary, so one workload epoch never straddles two RLN epochs.
+/// Shared by drive_traffic and the registration-storm timer (which must
+/// agree on where the waves land).
+sim::TimeUs traffic_start_us(const ScenarioSpec& spec, const sim::Scheduler& sched) {
+  const std::uint64_t now_s = sched.now() / sim::kUsPerSecond;
+  const std::uint64_t start_s = (now_s / spec.epoch_seconds + 1) * spec.epoch_seconds;
+  return start_s * sim::kUsPerSecond;
+}
+
 /// Schedules the honest workload, the adversaries, churn and the partition
 /// onto the world clock, runs the traffic phase plus `drain_seconds`, and
 /// returns what happened. All workload randomness is pre-drawn from a
@@ -135,12 +246,9 @@ TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
   util::Rng traffic_rng(seed ^ 0x7472616666696331ULL);
   util::Rng rewire_rng(seed ^ 0x72656a6f696e3031ULL);
 
-  // Align the first traffic epoch with a protocol epoch boundary so one
-  // workload epoch never straddles two RLN epochs; publish offsets stay in
-  // the first half of the epoch for the same reason.
-  const std::uint64_t now_s = sched.now() / sim::kUsPerSecond;
-  const std::uint64_t start_s = (now_s / spec.epoch_seconds + 1) * spec.epoch_seconds;
-  const sim::TimeUs start_us = start_s * sim::kUsPerSecond;
+  // Publish offsets stay in the first half of each epoch so a message and
+  // its proof always share the epoch they were drawn for.
+  const sim::TimeUs start_us = traffic_start_us(spec, sched);
 
   std::vector<char> online(spec.nodes, 1);
 
@@ -201,6 +309,7 @@ TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
         }
       }
 
+      const std::size_t topic = topic_of(spec, i, e);
       switch (role) {
         case Role::kRelay:
           break;  // routes and validates, never publishes
@@ -209,13 +318,13 @@ TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
           const sim::TimeUs off = t_us / 4 + traffic_rng.uniform(0, t_us / 4);
           if (!publishes) break;
           sched.schedule_at(epoch_us + off, [&log, &online, &publish_honest, &sched, i,
-                                             e] {
+                                             e, topic] {
             if (!online[i]) return;
             ++log.honest_attempted;
             const std::string key = payload_key('h', i, e, 0);
-            if (publish_honest(i, key)) {
+            if (publish_honest(i, topic, key)) {
               ++log.honest_published;
-              log.honest.emplace(key, Publication{i, sched.now()});
+              log.honest.emplace(key, Publication{i, sched.now(), topic});
             }
           });
           break;
@@ -225,12 +334,12 @@ TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
           for (std::uint64_t j = 0; j < spec.adversaries.spam_per_epoch; ++j) {
             sched.schedule_at(
                 epoch_us + off + j * sim::kUsPerMs,
-                [&log, &publish_spam, &sched, i, e, j] {
+                [&log, &publish_spam, &sched, i, e, j, topic] {
                   ++log.spam_attempted;
                   const std::string key = payload_key('s', i, e, j);
-                  if (publish_spam(i, key)) {
+                  if (publish_spam(i, topic, key)) {
                     ++log.spam_published;
-                    log.spam.emplace(key, Publication{i, sched.now()});
+                    log.spam.emplace(key, Publication{i, sched.now(), topic});
                     ++log.adversary_published[i][e];
                   }
                 });
@@ -245,20 +354,59 @@ TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
           for (std::uint64_t j = 0; j < spec.adversaries.burst_size; ++j) {
             sched.schedule_at(
                 epoch_us + off + j * sim::kUsPerMs,
-                [&log, &publish_spam, &sched, i, e, j] {
+                [&log, &publish_spam, &sched, i, e, j, topic] {
                   ++log.spam_attempted;
                   const std::string key = payload_key('f', i, e, j);
-                  if (publish_spam(i, key)) {
+                  if (publish_spam(i, topic, key)) {
                     ++log.spam_published;
-                    log.spam.emplace(key, Publication{i, sched.now()});
+                    log.spam.emplace(key, Publication{i, sched.now(), topic});
                     ++log.adversary_published[i][e];
                   }
                 });
           }
           break;
         }
-        case Role::kReplayer:   // replays are driven off the frame tap,
-        case Role::kObserver:   // not the workload clock
+        case Role::kAdaptive: {
+          // Exactly messages_per_epoch messages through the *rate-checked*
+          // client path: spam the limiter cannot tell from honest traffic
+          // and the slasher never sees. On probe epochs, one extra
+          // unchecked message right after the allowance — its slot reuse
+          // is the double signal the network slashes.
+          const sim::TimeUs off = t_us / 4 + traffic_rng.uniform(0, t_us / 4);
+          for (std::uint64_t j = 0; j < spec.messages_per_epoch; ++j) {
+            sched.schedule_at(
+                epoch_us + off + j * sim::kUsPerMs,
+                [&log, &publish_honest, &sched, i, e, j, topic] {
+                  ++log.spam_attempted;
+                  const std::string key = payload_key('a', i, e, j);
+                  if (publish_honest(i, topic, key)) {
+                    ++log.spam_published;
+                    log.spam.emplace(key, Publication{i, sched.now(), topic});
+                    ++log.adversary_published[i][e];
+                  }
+                });
+          }
+          const bool probes = spec.adversaries.adaptive_probe_every > 0 &&
+                              (e + 1) % spec.adversaries.adaptive_probe_every == 0;
+          if (!probes) break;
+          sched.schedule_at(
+              epoch_us + off + (spec.messages_per_epoch + 1) * sim::kUsPerMs,
+              [&log, &publish_spam, &sched, i, e, topic] {
+                ++log.spam_attempted;
+                ++log.adaptive_probes_attempted;
+                const std::string key = payload_key('p', i, e, 0);
+                if (publish_spam(i, topic, key)) {
+                  ++log.spam_published;
+                  ++log.adaptive_probes_published;
+                  log.spam.emplace(key, Publication{i, sched.now(), topic});
+                  ++log.adversary_published[i][e];
+                }
+              });
+          break;
+        }
+        case Role::kStormer:    // joins are driven by the storm timer,
+        case Role::kReplayer:   // replays off the frame tap,
+        case Role::kObserver:   // observers never publish
           break;
       }
     }
@@ -269,9 +417,12 @@ TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
   return log;
 }
 
-/// The first-spy adversary: colluding silent observer nodes record, per
-/// message, which neighbour first handed it to any of them; the guessed
-/// originator is that neighbour ("Who started this rumor?", arXiv:1902.07138).
+/// The coalition-first-spy adversary: colluding silent observer nodes
+/// record, per message, which neighbour first handed it to *any* member of
+/// the coalition — the earliest arrival across the whole coalition — and
+/// guess that neighbour as the originator ("Who started this rumor?",
+/// arXiv:1902.07138). How well the guess works is a function of the
+/// coalition's structural placement (ObserverSpec), not just its size.
 /// The runner feeds it from the network's frame tap (one tap slot is
 /// shared between every passive adversary of a scenario).
 class FirstSpyObserver {
@@ -496,6 +647,28 @@ void fill_delivery_metrics(MetricSet& m, const ScenarioSpec& spec,
             ? 0
             : static_cast<double>(spam_deliveries) /
                   (static_cast<double>(log.spam_published) * (n - 1)));
+
+  // Per-topic view of the honest workload (multi-topic meshes only; the
+  // single-topic layout stays exactly as before). Every node subscribes
+  // to every topic, so each topic's full-flood denominator is (n - 1).
+  if (spec.topics > 1) {
+    for (std::size_t t = 0; t < spec.topics; ++t) {
+      double t_ratio_sum = 0;
+      std::uint64_t t_published = 0;
+      for (const auto& [key, pub] : log.honest) {
+        if (pub.topic != t) continue;
+        ++t_published;
+        const auto it = receivers.find(key);
+        const double got =
+            it == receivers.end() ? 0 : static_cast<double>(it->second.size());
+        t_ratio_sum += got / (n - 1);
+      }
+      const std::string suffix = "_topic" + std::to_string(t);
+      m.set("honest_published" + suffix, static_cast<double>(t_published));
+      m.set("delivery_ratio" + suffix,
+            t_published == 0 ? 0 : t_ratio_sum / static_cast<double>(t_published));
+    }
+  }
 }
 
 struct OverRate {
@@ -533,16 +706,24 @@ void fill_over_rate_metrics(MetricSet& m, const ScenarioSpec& spec,
                      : static_cast<double>(o.by_slashed) / static_cast<double>(o.total));
 }
 
-void fill_anonymity_metrics(MetricSet& m, const TrafficLog& log,
-                            const FirstSpyObserver& spy) {
+void fill_anonymity_metrics(MetricSet& m, const ScenarioSpec& spec,
+                            const TrafficLog& log, const FirstSpyObserver& spy) {
   std::uint64_t observed = 0;
   std::uint64_t correct = 0;
+  std::uint64_t target_messages = 0;
+  std::uint64_t target_correct = 0;
   std::map<sim::NodeId, std::set<std::size_t>> confusion;
   for (const auto& [key, pub] : log.honest) {
+    const bool is_target = spec.observer.placement == ObserverPlacement::kEclipseRing &&
+                           pub.origin == spec.observer.eclipse_target;
+    if (is_target) ++target_messages;
     const auto it = spy.first_seen().find(key);
     if (it == spy.first_seen().end()) continue;
     ++observed;
-    if (it->second == pub.origin) ++correct;
+    if (it->second == pub.origin) {
+      ++correct;
+      if (is_target) ++target_correct;
+    }
     confusion[it->second].insert(pub.origin);
   }
   double set_sum = 0;
@@ -555,6 +736,24 @@ void fill_anonymity_metrics(MetricSet& m, const TrafficLog& log,
   m.set("observed_messages", denom);
   m.set("first_spy_accuracy", observed == 0 ? 0 : static_cast<double>(correct) / denom);
   m.set("anonymity_set_mean", observed == 0 ? 0 : set_sum / denom);
+  // Coalition view: how many colluding observers, and the probability the
+  // coalition deanonymises a published honest message (unobserved
+  // messages count as misses — a coalition that sees nothing learns
+  // nothing). Comparable across placement strategies at equal size.
+  m.set("coalition_size", static_cast<double>(spec.observers));
+  m.set("deanonymisation_probability",
+        log.honest.empty() ? 0
+                           : static_cast<double>(correct) /
+                                 static_cast<double>(log.honest.size()));
+  if (spec.observer.placement == ObserverPlacement::kEclipseRing) {
+    // The eclipsed publisher's traffic alone: the ring's whole purpose.
+    // A zero with zero target messages is vacuous — report the count too.
+    m.set("eclipse_target_messages", static_cast<double>(target_messages));
+    m.set("eclipse_target_deanonymisation",
+          target_messages == 0 ? 0
+                               : static_cast<double>(target_correct) /
+                                     static_cast<double>(target_messages));
+  }
 }
 
 void fill_network_metrics(MetricSet& m, const ScenarioSpec& spec,
@@ -570,32 +769,7 @@ void fill_network_metrics(MetricSet& m, const ScenarioSpec& spec,
 
 ScenarioRunner::ScenarioRunner(ScenarioSpec spec, std::uint64_t seed)
     : spec_(std::move(spec)), seed_(seed) {
-  if (spec_.nodes < 2) {
-    throw std::invalid_argument("ScenarioSpec: need at least 2 nodes");
-  }
-  if (spec_.honest_publishers() == 0) {
-    throw std::invalid_argument(
-        "ScenarioSpec: adversaries + observers leave no honest publisher");
-  }
-  if (spec_.epoch_seconds < 2) {
-    throw std::invalid_argument("ScenarioSpec: epoch_seconds must be >= 2");
-  }
-  if (spec_.traffic_epochs == 0) {
-    throw std::invalid_argument("ScenarioSpec: traffic_epochs must be >= 1");
-  }
-  if (spec_.messages_per_epoch == 0) {
-    throw std::invalid_argument("ScenarioSpec: messages_per_epoch must be >= 1");
-  }
-  if (spec_.partition.enabled &&
-      !(spec_.partition.fraction > 0.0 && spec_.partition.fraction < 1.0)) {
-    throw std::invalid_argument(
-        "ScenarioSpec: partition.fraction must be in (0, 1)");
-  }
-  if (spec_.replay.replayers > 0 && spec_.protocol == Protocol::kPow) {
-    throw std::invalid_argument(
-        "ScenarioSpec: the IWANT-replay adversary targets the RLN proof "
-        "cache; it has no PoW equivalent");
-  }
+  spec_.validate();
 }
 
 MetricSet ScenarioRunner::run() {
@@ -622,14 +796,25 @@ MetricSet ScenarioRunner::run_rln() {
   if (spec_.seen_ttl_seconds > 0) {
     cfg.gossip.seen_ttl = spec_.seen_ttl_seconds * sim::kUsPerSecond;
   }
+  if (spec_.acceptable_root_window > 0) {
+    cfg.rln.acceptable_root_window = spec_.acceptable_root_window;
+  }
+  if (spec_.observer.placement == ObserverPlacement::kSybilHighDegree) {
+    for (std::size_t o = first_observer(spec_); o < spec_.nodes; ++o) {
+      cfg.degree_boost_nodes.push_back(o);
+    }
+    cfg.degree_boost_links = spec_.observer.sybil_extra_links;
+  }
   waku::SimHarness world(cfg);
+  apply_observer_placement(spec_, world.network());
 
   const std::uint64_t payload_allocs0 = util::SharedBytes::allocation_count();
   const std::uint64_t payload_bytes0 = util::SharedBytes::allocated_bytes();
 
-  const std::string topic = "scenario/" + spec_.name;
-  world.subscribe_all(topic);
-  if (spec_.register_publishers_only) {
+  const std::vector<std::string> topics = topic_names(spec_);
+  for (const std::string& t : topics) world.subscribe_all(t);
+  if (spec_.register_publishers_only || spec_.storm.stormers > 0) {
+    // Storm worlds must leave the storm band unregistered for the waves.
     world.register_nodes(publishing_nodes(spec_));
   } else {
     world.register_all();
@@ -642,21 +827,73 @@ MetricSet ScenarioRunner::run_rln() {
                          if (!decoded) return std::nullopt;
                          return key_of(decoded->second);
                        });
-  ReplayAttacker replay(spec_, world.network(), topic);
+  ReplayAttacker replay(spec_, world.network(), topics.front());
   install_frame_tap(world.network(), spy, &replay);
 
-  const PublishFn honest = [&](std::size_t node, const std::string& key) {
-    return world.node(node).publish(topic, padded_payload(spec_, key)) ==
+  const PublishFn honest = [&](std::size_t node, std::size_t topic,
+                               const std::string& key) {
+    return world.node(node).publish(topics[topic], padded_payload(spec_, key)) ==
            waku::WakuRlnRelay::PublishOutcome::kPublished;
   };
-  const PublishFn spam = [&](std::size_t node, const std::string& key) {
-    return world.node(node).publish_unchecked(topic, padded_payload(spec_, key)) ==
+  const PublishFn spam = [&](std::size_t node, std::size_t topic,
+                             const std::string& key) {
+    return world.node(node).publish_unchecked(topics[topic],
+                                              padded_payload(spec_, key)) ==
            waku::WakuRlnRelay::PublishOutcome::kPublished;
   };
 
   // Let late frames land and slash transactions get mined before measuring.
   const std::uint64_t drain_seconds = cfg.rln.max_delay_seconds +
                                       2 * world.chain().config().block_time_seconds + 5;
+
+  // Registration storm: a periodic timer (one stored callback, re-armed
+  // by the engine) walks the storm band in waves. Each wave requests
+  // registrations; once a join has certainly confirmed (the next block
+  // boundary has passed), the member double-signals so the network
+  // slashes it — the membership tree churns in both directions while the
+  // honest workload runs. The timer cancels itself when the band is
+  // consumed (safe from inside its own callback).
+  struct StormLog {
+    std::uint64_t waves = 0;
+    std::uint64_t join_requests = 0;
+    std::uint64_t double_signal_publishes = 0;
+  };
+  StormLog storm_log;
+  if (spec_.storm.stormers > 0) {
+    const auto stormers = std::make_shared<std::vector<std::size_t>>(storm_nodes(spec_));
+    const auto next = std::make_shared<std::size_t>(0);
+    const auto handle = std::make_shared<sim::TimerHandle>();
+    sim::Scheduler& sched = world.scheduler();
+    const sim::TimeUs wave_us =
+        spec_.storm.wave_every_epochs * spec_.epoch_seconds * sim::kUsPerSecond;
+    const sim::TimeUs confirm_us =
+        (world.chain().config().block_time_seconds + 2) * sim::kUsPerSecond;
+    const sim::TimeUs first_delay = traffic_start_us(spec_, sched) - sched.now();
+    *handle = sched.schedule_periodic(first_delay, wave_us, [&world, &storm_log,
+                                                             &sched, this, stormers,
+                                                             next, handle, confirm_us,
+                                                             topics] {
+      ++storm_log.waves;
+      for (std::size_t j = 0;
+           j < spec_.storm.joins_per_wave && *next < stormers->size(); ++j, ++*next) {
+        const std::size_t node = (*stormers)[*next];
+        world.node(node).request_registration();
+        ++storm_log.join_requests;
+        if (!spec_.storm.slash_after_join) continue;
+        sched.schedule_after(confirm_us, [&world, &storm_log, this, node, topics] {
+          for (std::uint64_t j2 = 0; j2 < 2; ++j2) {
+            const std::string key = payload_key('g', node, 0, j2);
+            if (world.node(node).publish_unchecked(topics.front(),
+                                                   padded_payload(spec_, key)) ==
+                waku::WakuRlnRelay::PublishOutcome::kPublished) {
+              ++storm_log.double_signal_publishes;
+            }
+          }
+        });
+      }
+      if (*next >= stormers->size()) world.scheduler().cancel(*handle);
+    });
+  }
 
   // Sample the nullifier-map footprint once per epoch across the whole
   // run: the per-epoch GC would have pruned the records by the time the
@@ -704,8 +941,29 @@ MetricSet ScenarioRunner::run_rln() {
   m.set("nullifier_map_max_bytes", static_cast<double>(nullifier_max));
   m.set("stake_burnt_wei", static_cast<double>(world.chain().ledger().burnt_total()));
 
+  if (spec_.adversaries.adaptive_spammers > 0) {
+    m.set("adaptive_probes_attempted",
+          static_cast<double>(log.adaptive_probes_attempted));
+    m.set("adaptive_probes_published",
+          static_cast<double>(log.adaptive_probes_published));
+  }
+  if (spec_.storm.stormers > 0) {
+    m.set("storm_waves", static_cast<double>(storm_log.waves));
+    m.set("storm_join_requests", static_cast<double>(storm_log.join_requests));
+    m.set("storm_double_signal_publishes",
+          static_cast<double>(storm_log.double_signal_publishes));
+  }
+
+  // Membership-sync churn over the whole run: initial registrations plus
+  // whatever the storm (joins and the resulting slashes) added.
+  const waku::GroupSync::Stats& gs = world.group_sync().stats();
+  m.set("group_registrations", static_cast<double>(gs.registrations_applied));
+  m.set("group_slashes", static_cast<double>(gs.slashes_applied));
+  resource_.group_sync_bytes = static_cast<double>(gs.sync_bytes);
+  resource_.group_root_updates = static_cast<double>(gs.root_updates);
+
   fill_network_metrics(m, spec_, world.network().stats());
-  fill_anonymity_metrics(m, log, spy);
+  fill_anonymity_metrics(m, spec_, log, spy);
 
   // Resource metrics (all deterministic): zkSNARK verification work and
   // saved repeats, payload-buffer allocations, router byte classes.
@@ -756,17 +1014,25 @@ MetricSet ScenarioRunner::run_pow() {
     ids.push_back(net.add_node({}));
     relays.push_back(std::make_unique<waku::WakuRelay>(ids.back(), net, gossip));
   }
+  sim::DegreeBias bias;
+  if (spec_.observer.placement == ObserverPlacement::kSybilHighDegree) {
+    for (std::size_t o = first_observer(spec_); o < spec_.nodes; ++o) {
+      bias.nodes.push_back(ids[o]);
+    }
+    bias.extra_links = spec_.observer.sybil_extra_links;
+  }
   sim::build_topology(net, ids, spec_.topology, spec_.extra_links_per_node,
-                      spec_.erdos_renyi_p, rng);
+                      spec_.erdos_renyi_p, rng, bias);
   if (spec_.link_profile == sim::LinkProfile::kGeo) {
     sim::apply_geo_latency(net, ids, spec_.link);
   }
+  apply_observer_placement(spec_, net);
   for (auto& r : relays) r->start();
 
   const std::uint64_t payload_allocs0 = util::SharedBytes::allocation_count();
   const std::uint64_t payload_bytes0 = util::SharedBytes::allocated_bytes();
 
-  const std::string topic = "scenario/" + spec_.name;
+  const std::vector<std::string> topics = topic_names(spec_);
   const auto decode = [](const util::SharedBytes& data) -> std::optional<std::string> {
     const auto env = baselines::PowEnvelope::deserialize(data);
     if (!env) return std::nullopt;
@@ -775,14 +1041,16 @@ MetricSet ScenarioRunner::run_pow() {
 
   std::vector<Delivered> deliveries;
   for (std::size_t i = 0; i < spec_.nodes; ++i) {
-    relays[i]->router().set_validator(
-        topic, baselines::make_pow_validator(spec_.pow_difficulty_bits));
-    relays[i]->subscribe(topic, [&deliveries, &sched, &decode, i](
-                                    const gossipsub::TopicId&,
-                                    const util::SharedBytes& data) {
-      const auto key = decode(data);
-      if (key) deliveries.push_back({i, *key, sched.now()});
-    });
+    for (const std::string& topic : topics) {
+      relays[i]->router().set_validator(
+          topic, baselines::make_pow_validator(spec_.pow_difficulty_bits));
+      relays[i]->subscribe(topic, [&deliveries, &sched, &decode, i](
+                                      const gossipsub::TopicId&,
+                                      const util::SharedBytes& data) {
+        const auto key = decode(data);
+        if (key) deliveries.push_back({i, *key, sched.now()});
+      });
+    }
   }
   sched.run_for(5 * sim::kUsPerSecond);  // mesh warm-up
 
@@ -791,10 +1059,11 @@ MetricSet ScenarioRunner::run_pow() {
 
   // Under PoW everyone — honest phone or spam rig — pays the same hash
   // price and there is no rate to enforce: the spam path is just publish.
-  const PublishFn publish = [&](std::size_t node, const std::string& key) {
+  const PublishFn publish = [&](std::size_t node, std::size_t topic,
+                                const std::string& key) {
     const auto env =
         baselines::pow_seal(padded_payload(spec_, key), spec_.pow_difficulty_bits);
-    relays[node]->publish(topic, env.serialize());
+    relays[node]->publish(topics[topic], env.serialize());
     return true;
   };
 
@@ -814,7 +1083,7 @@ MetricSet ScenarioRunner::run_pow() {
   m.set("pow_expected_hashes_per_msg",
         baselines::expected_hashes(spec_.pow_difficulty_bits));
   fill_network_metrics(m, spec_, net.stats());
-  fill_anonymity_metrics(m, log, spy);
+  fill_anonymity_metrics(m, spec_, log, spy);
 
   std::uint64_t payload_wire = 0;
   std::uint64_t control_wire = 0;

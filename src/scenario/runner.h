@@ -1,11 +1,16 @@
 #pragma once
 // Executes one scenario: builds the simulated world a ScenarioSpec
 // describes (WAKU-RLN-RELAY via waku::SimHarness, or the PoW-baseline
-// relay stack), drives the honest workload, the adversaries, churn and
-// partitions on the discrete-event clock, and distils the run into a
-// MetricSet: delivery ratio, propagation-latency percentiles, per-node
+// relay stack), drives the honest workload, the adversaries (steady and
+// burst spammers, adaptive at-the-rate spammers and their over-rate
+// probes, registration-storm waves, IWANT replayers), churn and
+// partitions on the discrete-event clock — across one or many content
+// topics — and distils the run into a MetricSet: delivery ratio
+// (aggregate and per topic), propagation-latency percentiles, per-node
 // traffic, spam containment and slashing coverage, nullifier-map
-// footprint, and the first-spy observer's view of originator anonymity.
+// footprint, membership-sync churn, and the coalition-first-spy
+// adversary's view of originator anonymity under the configured
+// observer placement.
 //
 // A run is a pure function of (spec, seed): all randomness flows from
 // explicitly seeded Rng streams and the deterministic scheduler, so two
@@ -39,6 +44,12 @@ struct ResourceUsage {
   /// the traffic phase scheduled every event without allocating.
   double event_allocs_steady = 0;
   double event_allocs_per_sim_second = 0;
+
+  // Membership group-sync churn (waku::GroupSync::Stats), deterministic;
+  // zero for the PoW baseline, which has no membership. Registration
+  // storms are the scenarios that move these.
+  double group_sync_bytes = 0;    ///< modeled bytes to apply the event stream
+  double group_root_updates = 0;  ///< Merkle root changes over the run
 };
 
 class ScenarioRunner {

@@ -145,6 +145,116 @@ std::vector<ScenarioSpec> build_catalogue() {
   }
   {
     ScenarioSpec s = base_spec();
+    s.name = "observer_coalition";
+    s.description =
+        "A colluding first-spy coalition of six random-tail observers: the "
+        "earliest arrival across the whole coalition drives the originator "
+        "guess — the baseline the structural placements are measured "
+        "against (Bellet et al., 'Who started this rumor?').";
+    s.nodes = 32;
+    s.publishers = 8;
+    s.honest_publish_prob = 0.8;
+    s.observers = 6;
+    s.observer.placement = ObserverPlacement::kRandomTail;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s = base_spec();
+    s.name = "eclipse_publisher";
+    s.description =
+        "The same six-member coalition wired as an eclipse ring around one "
+        "target publisher: the target's honest links are severed, every "
+        "first hop out of it is observed, and its traffic is fully "
+        "deanonymised while overall delivery survives (the coalition still "
+        "relays).";
+    s.nodes = 32;
+    s.publishers = 8;
+    s.honest_publish_prob = 0.8;
+    s.observers = 6;
+    s.observer.placement = ObserverPlacement::kEclipseRing;
+    s.observer.eclipse_target = 3;  // mid-band: not ring-adjacent to the tail coalition
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s = base_spec();
+    s.name = "sybil_observers";
+    s.description =
+        "The six-member coalition as high-degree sybils: each member gets "
+        "extra random chords via the topology degree-bias hook, sitting "
+        "adjacent to many potential originators — structural advantage "
+        "without touching any single victim.";
+    s.nodes = 32;
+    s.publishers = 8;
+    s.honest_publish_prob = 0.8;
+    s.observers = 6;
+    s.observer.placement = ObserverPlacement::kSybilHighDegree;
+    s.observer.sybil_extra_links = 12;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s = base_spec();
+    s.name = "adaptive_spammer";
+    s.description =
+        "Adaptive spammers publish exactly the allowed rate every epoch "
+        "through the honest client path: the rate limiter is satisfied, "
+        "the slasher never fires (zero slashes), and the spam delivers "
+        "like honest traffic — the attack class slashing cannot touch.";
+    s.adversaries.adaptive_spammers = 3;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s = base_spec();
+    s.name = "adaptive_prober";
+    s.description =
+        "Adaptive spammers that probe the slashing boundary: exactly at "
+        "the rate most epochs, one message over it every second epoch — "
+        "each probe is a slot-reuse double signal, so the prober is "
+        "slashed on exactly its over-rate epochs.";
+    s.adversaries.adaptive_spammers = 2;
+    s.adversaries.adaptive_probe_every = 2;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s = base_spec();
+    s.name = "registration_storm";
+    s.description =
+        "Mass join/slash interleaving mid-traffic: a periodic timer joins "
+        "storm waves of new members, each of which double-signals once "
+        "confirmed and is slashed again — Merkle root churn in both "
+        "directions stressing group-sync dedup while honest traffic "
+        "flows (a widened acceptable-root window keeps in-flight proofs "
+        "valid).";
+    s.traffic_epochs = 6;
+    s.storm.stormers = 8;
+    s.storm.wave_every_epochs = 1;
+    s.storm.joins_per_wave = 4;
+    s.storm.slash_after_join = true;
+    s.acceptable_root_window = 16;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s = base_spec();
+    s.name = "multi_topic_mesh";
+    s.description =
+        "Four content topics through the per-topic router at 10k nodes: "
+        "every node subscribes to every topic, the bounded publisher set "
+        "rotates round-robin across topics, and the report carries "
+        "per-topic and aggregate delivery — the still-open multi-topic "
+        "rung of the scaling roadmap.";
+    s.nodes = 10000;
+    s.topics = 4;
+    s.extra_links_per_node = 4;
+    s.link_profile = sim::LinkProfile::kGeo;
+    s.traffic_epochs = 3;
+    s.honest_publish_prob = 1.0;
+    s.publishers = 64;
+    s.observers = 4;
+    s.register_publishers_only = true;
+    s.payload_bytes = 256;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s = base_spec();
     s.name = "pow_baseline";
     s.description =
         "The same spam wave against the PoW (EIP-627-style) baseline: spam "

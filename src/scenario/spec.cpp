@@ -1,0 +1,116 @@
+#include "scenario/spec.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace wakurln::scenario {
+
+const char* observer_placement_name(ObserverPlacement placement) {
+  switch (placement) {
+    case ObserverPlacement::kRandomTail: return "random_tail";
+    case ObserverPlacement::kEclipseRing: return "eclipse_ring";
+    case ObserverPlacement::kSybilHighDegree: return "sybil_high_degree";
+  }
+  return "unknown";
+}
+
+ObserverPlacement observer_placement_from_name(std::string_view name) {
+  if (name == "random_tail") return ObserverPlacement::kRandomTail;
+  if (name == "eclipse_ring") return ObserverPlacement::kEclipseRing;
+  if (name == "sybil_high_degree") return ObserverPlacement::kSybilHighDegree;
+  throw std::invalid_argument("unknown observer placement: " + std::string(name));
+}
+
+void ScenarioSpec::validate() const {
+  if (nodes < 2) {
+    throw std::invalid_argument("ScenarioSpec: need at least 2 nodes");
+  }
+  if (honest_publishers() == 0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: reserved bands (adversaries " +
+        std::to_string(adversaries.total()) + " + stormers " +
+        std::to_string(storm.stormers) + " + replayers " +
+        std::to_string(replay.replayers) + " + observers " +
+        std::to_string(observers) + ") leave no honest publisher in " +
+        std::to_string(nodes) + " nodes");
+  }
+  if (epoch_seconds < 2) {
+    throw std::invalid_argument("ScenarioSpec: epoch_seconds must be >= 2");
+  }
+  if (traffic_epochs == 0) {
+    throw std::invalid_argument("ScenarioSpec: traffic_epochs must be >= 1");
+  }
+  if (messages_per_epoch == 0) {
+    throw std::invalid_argument("ScenarioSpec: messages_per_epoch must be >= 1");
+  }
+  if (topics == 0) {
+    throw std::invalid_argument("ScenarioSpec: topics must be >= 1");
+  }
+  if (partition.enabled &&
+      !(partition.fraction > 0.0 && partition.fraction < 1.0)) {
+    throw std::invalid_argument(
+        "ScenarioSpec: partition.fraction must be in (0, 1)");
+  }
+
+  // Observer coalition placement.
+  if (observer.placement != ObserverPlacement::kRandomTail && observers == 0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: eclipse/sybil placement needs a non-empty observer "
+        "coalition");
+  }
+  if (observer.placement == ObserverPlacement::kEclipseRing &&
+      observer.eclipse_target >= active_publishers()) {
+    throw std::invalid_argument(
+        "ScenarioSpec: eclipse_target " + std::to_string(observer.eclipse_target) +
+        " is not an active publisher (band is [0, " +
+        std::to_string(active_publishers()) + "))");
+  }
+  if (observer.placement == ObserverPlacement::kEclipseRing &&
+      churn.leave_prob_per_epoch > 0.0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: eclipse placement does not compose with churn — a "
+        "rejoining target rewires to random peers and silently dissolves "
+        "the ring its metrics assume");
+  }
+
+  // Registration storm.
+  if (storm.stormers > 0) {
+    if (storm.wave_every_epochs == 0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: storm.wave_every_epochs must be >= 1");
+    }
+    if (storm.joins_per_wave == 0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: storm.joins_per_wave must be >= 1");
+    }
+  }
+
+  // Protocol-specific adversaries.
+  if (protocol == Protocol::kPow) {
+    if (replay.replayers > 0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: the IWANT-replay adversary targets the RLN proof "
+          "cache; it has no PoW equivalent");
+    }
+    if (adversaries.adaptive_spammers > 0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: adaptive spammers game the RLN rate; PoW has no "
+          "rate to stay under");
+    }
+    if (storm.stormers > 0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: registration storms churn the RLN membership "
+          "tree; PoW has no membership");
+    }
+  }
+
+  // Replays are keyed to the first topic; multi-topic replay worlds would
+  // silently ignore most traffic — reject instead.
+  if (replay.replayers > 0 && topics > 1) {
+    throw std::invalid_argument(
+        "ScenarioSpec: the replay adversary supports single-topic worlds "
+        "only");
+  }
+}
+
+}  // namespace wakurln::scenario

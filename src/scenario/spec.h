@@ -9,11 +9,48 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "sim/network.h"
 #include "sim/topology.h"
 
 namespace wakurln::scenario {
+
+/// Where the colluding observer coalition sits in the overlay. The
+/// coalition always occupies the tail band of node indices; placement
+/// changes its *wiring* — the structural position Bellet et al. ("Who
+/// started this rumor?") and Jin et al. show dominates deanonymisation.
+enum class ObserverPlacement {
+  /// Wired like any other node (the original isolated-observer setup).
+  kRandomTail,
+  /// A ring around one target publisher: the target's links to
+  /// non-coalition nodes are severed and every coalition member links to
+  /// the target directly, so the target's first hop is always observed.
+  kEclipseRing,
+  /// Degree-biased sybils: each coalition member receives extra random
+  /// chords through the sim::build_topology bias hook, occupying
+  /// high-degree positions adjacent to many potential originators.
+  kSybilHighDegree,
+};
+
+/// Stable identifier used in CLI flags and JSON reports.
+const char* observer_placement_name(ObserverPlacement placement);
+
+/// Parses observer_placement_name output back; throws
+/// std::invalid_argument on unknown names.
+ObserverPlacement observer_placement_from_name(std::string_view name);
+
+/// How the silent first-spy coalition (size = ScenarioSpec::observers) is
+/// placed. The coalition-first-spy metric uses the earliest arrival
+/// across the whole coalition.
+struct ObserverSpec {
+  ObserverPlacement placement = ObserverPlacement::kRandomTail;
+  /// Node index the eclipse ring wraps (kEclipseRing; must be an active
+  /// publisher so the eclipsed traffic actually exists).
+  std::size_t eclipse_target = 0;
+  /// Extra random chords per coalition member (kSybilHighDegree).
+  std::size_t sybil_extra_links = 16;
+};
 
 /// Adversary population mixed into the node set (node indices are
 /// assigned after the honest publishers, before the observers).
@@ -31,7 +68,41 @@ struct AdversaryMix {
   /// Which traffic epoch the burst lands in.
   std::uint64_t burst_at_epoch = 1;
 
-  std::size_t total() const { return spammers + burst_flooders; }
+  /// Adaptive spammers: modified clients that publish exactly
+  /// messages_per_epoch messages every epoch — at the rate, never over
+  /// it. The rate limiter cannot distinguish this traffic from a busy
+  /// honest member and the slasher never fires: the scenario separates
+  /// what rate-limiting contains from what slashing punishes.
+  std::size_t adaptive_spammers = 0;
+  /// If > 0, each adaptive spammer probes the slashing boundary on every
+  /// epoch e with (e + 1) % adaptive_probe_every == 0: one extra
+  /// unchecked message beyond the rate (slot reuse → double signal →
+  /// slash). 0 = pure under-rate mode, provably unslashed.
+  std::uint64_t adaptive_probe_every = 0;
+
+  std::size_t total() const { return spammers + burst_flooders + adaptive_spammers; }
+};
+
+/// Registration storm: a dedicated node band joins in periodic waves
+/// mid-traffic (driven by a first-class periodic timer on the event
+/// engine), and — when slash_after_join is set — each joined member
+/// immediately double-signals so the network slashes it again. Mass
+/// join/slash interleaving churns the waku::GroupSync Merkle tree in both
+/// directions while honest traffic flows; group-sync bytes and root
+/// updates land in the report's resources block. Storm scenarios register
+/// only the publishing bands up front (the storm band must start
+/// unregistered), regardless of register_publishers_only.
+struct StormSpec {
+  /// Size of the storm band (after the adaptive spammers, before the
+  /// replayers). Consumed in index order by the join waves.
+  std::size_t stormers = 0;
+  /// Wave period in traffic epochs.
+  std::uint64_t wave_every_epochs = 1;
+  /// Members requesting registration per wave.
+  std::size_t joins_per_wave = 4;
+  /// Joined members double-signal once confirmed, so each wave's joins
+  /// become the next blocks' slashes.
+  bool slash_after_join = true;
 };
 
 /// Membership churn: nodes go offline (links dropped, in-flight frames
@@ -104,14 +175,27 @@ struct ScenarioSpec {
   /// PoW difficulty for Protocol::kPow.
   int pow_difficulty_bits = 8;
 
+  /// RLN acceptable-root window override (0 = relay default): how many
+  /// recent membership Merkle roots a validator accepts a proof against.
+  /// Registration storms push many root updates per block; a wider window
+  /// keeps honest in-flight proofs acceptable through the churn.
+  std::size_t acceptable_root_window = 0;
+
   // -- workload ----------------------------------------------------------
   /// Number of traffic epochs driven after registration + mesh warm-up.
   std::uint64_t traffic_epochs = 5;
   /// Per honest publisher, per epoch probability of publishing a message.
   double honest_publish_prob = 0.6;
+  /// Content topics the mesh carries (each is an independent per-topic
+  /// GossipSub mesh over the same overlay). Publishers rotate round-robin:
+  /// node i publishes epoch e's message on topic (i + e) % topics. 1 keeps
+  /// the original single-topic workload byte-identical.
+  std::size_t topics = 1;
   /// Silent colluding first-spy observers (taken from the tail of the
   /// node range; they subscribe and relay but never publish).
   std::size_t observers = 1;
+  /// How the observer coalition is wired into the overlay.
+  ObserverSpec observer;
   /// 0 = every honest node publishes. Otherwise only the first N honest
   /// nodes publish and the rest are pure relays (they validate and route
   /// but never publish or churn) — how 10k-node worlds keep a bounded
@@ -135,11 +219,17 @@ struct ScenarioSpec {
   ChurnSpec churn;
   PartitionSpec partition;
   ReplaySpec replay;
+  StormSpec storm;
 
-  /// Honest publisher count (everything that is not adversary/replayer/
-  /// observer).
+  /// Node indices reserved for non-honest bands: adversaries (steady /
+  /// burst / adaptive), stormers, replayers and the observer coalition.
+  std::size_t reserved_nodes() const {
+    return adversaries.total() + storm.stormers + replay.replayers + observers;
+  }
+
+  /// Honest publisher count (everything that is not in a reserved band).
   std::size_t honest_publishers() const {
-    const std::size_t reserved = adversaries.total() + replay.replayers + observers;
+    const std::size_t reserved = reserved_nodes();
     return nodes > reserved ? nodes - reserved : 0;
   }
 
@@ -148,6 +238,14 @@ struct ScenarioSpec {
     const std::size_t honest = honest_publishers();
     return publishers == 0 ? honest : std::min(publishers, honest);
   }
+
+  /// Throws std::invalid_argument when the spec is infeasible: an
+  /// over-subscribed node range (reserved bands leave no honest
+  /// publisher), an eclipse target outside the active-publisher band,
+  /// adversaries that have no meaning for the selected protocol, or
+  /// out-of-range scalar parameters. ScenarioRunner validates on
+  /// construction; callers composing specs by hand may validate earlier.
+  void validate() const;
 };
 
 }  // namespace wakurln::scenario

@@ -72,6 +72,17 @@ void build_topology(Network& network, std::span<const NodeId> nodes,
   }
 }
 
+void build_topology(Network& network, std::span<const NodeId> nodes,
+                    TopologyKind kind, std::size_t extra_per_node,
+                    double edge_probability, util::Rng& rng,
+                    const DegreeBias& bias) {
+  build_topology(network, nodes, kind, extra_per_node, edge_probability, rng);
+  if (bias.empty()) return;
+  for (const NodeId boosted : bias.nodes) {
+    connect_to_random_peers(network, boosted, nodes, bias.extra_links, rng);
+  }
+}
+
 const char* link_profile_name(LinkProfile profile) {
   switch (profile) {
     case LinkProfile::kUniform: return "uniform";

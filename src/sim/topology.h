@@ -38,12 +38,31 @@ const char* topology_name(TopologyKind kind);
 /// unknown names.
 TopologyKind topology_from_name(std::string_view name);
 
+/// Degree-bias hook: after the base topology is built, each node in
+/// `nodes` receives `extra_links` additional random chords into the full
+/// node set. Sybil observer coalitions use it to occupy structurally
+/// favourable high-degree positions without changing the base family.
+/// An empty bias draws no randomness — byte-identical to the unbiased
+/// build.
+struct DegreeBias {
+  std::vector<NodeId> nodes;
+  std::size_t extra_links = 0;
+
+  bool empty() const { return nodes.empty() || extra_links == 0; }
+};
+
 /// Builds `kind` over `nodes`. `extra_per_node` applies to
 /// kRingPlusRandom, `edge_probability` to kErdosRenyi; the other parameter
 /// is ignored.
 void build_topology(Network& network, std::span<const NodeId> nodes,
                     TopologyKind kind, std::size_t extra_per_node,
                     double edge_probability, util::Rng& rng);
+
+/// Same, then applies `bias` (see DegreeBias).
+void build_topology(Network& network, std::span<const NodeId> nodes,
+                    TopologyKind kind, std::size_t extra_per_node,
+                    double edge_probability, util::Rng& rng,
+                    const DegreeBias& bias);
 
 // -- geo-latency link classes ------------------------------------------
 //

@@ -10,8 +10,16 @@ GroupSync::GroupSync(eth::Chain& chain, std::size_t tree_depth) : group_(tree_de
 void GroupSync::on_event(const eth::ContractEvent& event) {
   if (const auto* reg = std::get_if<eth::MemberRegistered>(&event)) {
     group_.add_member(reg->pk);
+    ++stats_.registrations_applied;
+    ++stats_.root_updates;
+    stats_.sync_bytes += kEventWireBytes;
   } else if (const auto* slashed = std::get_if<eth::MemberSlashed>(&event)) {
-    if (group_.is_active(slashed->index)) group_.remove_member(slashed->index);
+    ++stats_.slashes_applied;
+    stats_.sync_bytes += kEventWireBytes;
+    if (group_.is_active(slashed->index)) {
+      group_.remove_member(slashed->index);
+      ++stats_.root_updates;
+    }
   }
 }
 

@@ -9,6 +9,12 @@
 // times — the dedup that makes 10k-node campaigns tractable), while a
 // standalone WakuRlnRelay creates a private one, preserving the paper's
 // "every peer maintains the tree itself" model at the protocol level.
+//
+// The service counts what registration-storm scenarios stress: events
+// applied, root updates, and the modeled wire bytes a peer downloads to
+// stay synced (each event carries a 32-byte identity commitment plus an
+// 8-byte member index). The counters are pure functions of the chain's
+// event stream — deterministic, safe to put in campaign reports.
 
 #include <memory>
 
@@ -19,16 +25,34 @@ namespace wakurln::waku {
 
 class GroupSync {
  public:
+  /// Modeled wire size of one membership event: 32-byte pk commitment +
+  /// 8-byte index (registration), or 32-byte revealed sk + 8-byte index
+  /// (slash). Both event kinds cost the same on the wire.
+  static constexpr std::uint64_t kEventWireBytes = 40;
+
+  /// Deterministic sync-churn counters (see file comment).
+  struct Stats {
+    std::uint64_t registrations_applied = 0;
+    std::uint64_t slashes_applied = 0;
+    /// Tree mutations that changed the root (a slash of an
+    /// already-removed member applies no mutation).
+    std::uint64_t root_updates = 0;
+    /// Modeled bytes one peer downloads to apply the event stream.
+    std::uint64_t sync_bytes = 0;
+  };
+
   /// Subscribes to `chain` events immediately; construct before any relay
   /// that reads the group, so membership updates land first.
   GroupSync(eth::Chain& chain, std::size_t tree_depth);
 
   const rln::RlnGroup& group() const { return group_; }
+  const Stats& stats() const { return stats_; }
 
  private:
   void on_event(const eth::ContractEvent& event);
 
   rln::RlnGroup group_;
+  Stats stats_;
 };
 
 }  // namespace wakurln::waku

@@ -19,7 +19,8 @@ SimHarness::SimHarness(HarnessConfig config)
   // One group-sync service for the whole world: every peer's tree view is
   // deterministically identical (see group_sync.h), so each contract
   // event is hashed into the Merkle tree once instead of node_count times.
-  const auto sync = std::make_shared<GroupSync>(chain_, config_.rln.tree_depth);
+  sync_ = std::make_shared<GroupSync>(chain_, config_.rln.tree_depth);
+  const auto& sync = sync_;
 
   std::vector<sim::NodeId> ids;
   ids.reserve(config_.node_count);
@@ -32,8 +33,12 @@ SimHarness::SimHarness(HarnessConfig config)
         *relays_.back(), chain_, *contract_, crs_, account_of(i), config_.rln,
         util::Rng(rng_.next_u64()), sync));
   }
+  sim::DegreeBias bias;
+  bias.extra_links = config_.degree_boost_links;
+  bias.nodes.reserve(config_.degree_boost_nodes.size());
+  for (const std::size_t i : config_.degree_boost_nodes) bias.nodes.push_back(ids.at(i));
   sim::build_topology(network_, ids, config_.topology, config_.extra_links_per_node,
-                      config_.erdos_renyi_p, rng_);
+                      config_.erdos_renyi_p, rng_, bias);
   if (config_.link_profile == sim::LinkProfile::kGeo) {
     sim::apply_geo_latency(network_, ids, config_.link);
   }

@@ -35,6 +35,12 @@ struct HarnessConfig {
   double erdos_renyi_p = 0.3;
   /// kGeo derives per-link latency from region pairs (sim/topology.h).
   sim::LinkProfile link_profile = sim::LinkProfile::kUniform;
+  /// Node indices whose overlay degree is biased upward at build time:
+  /// each gets degree_boost_links extra random chords through the
+  /// sim::build_topology bias hook (sybil high-degree observer
+  /// placement). Empty = the unbiased build, byte-identical to before.
+  std::vector<std::size_t> degree_boost_nodes;
+  std::size_t degree_boost_links = 0;
   std::uint64_t seed = 42;
   std::uint64_t initial_balance_wei = 100'000'000;
 
@@ -67,6 +73,8 @@ class SimHarness {
 
   eth::Chain& chain() { return chain_; }
   eth::MembershipContract& contract() { return *contract_; }
+  /// The world's shared membership sync (churn counters live here).
+  const GroupSync& group_sync() const { return *sync_; }
   sim::Scheduler& scheduler() { return scheduler_; }
   sim::Network& network() { return network_; }
   util::Rng& rng() { return rng_; }
@@ -104,6 +112,7 @@ class SimHarness {
   sim::Network network_;
   eth::Chain chain_;
   std::unique_ptr<eth::RegistryListContract> contract_;
+  std::shared_ptr<GroupSync> sync_;
   zksnark::KeyPair crs_;
   std::vector<std::unique_ptr<WakuRelay>> relays_;
   std::vector<std::unique_ptr<WakuRlnRelay>> nodes_;

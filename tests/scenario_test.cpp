@@ -20,6 +20,19 @@ ScenarioSpec small(const std::string& name, std::size_t nodes = 10,
   return spec;
 }
 
+// The report-determinism probe: the deterministic (protocol-metrics)
+// report of a short campaign. Two calls with equal inputs must produce
+// byte-identical strings — shared by the pairwise determinism test and
+// the per-scenario sweep over the adversarial catalogue.
+std::string deterministic_report(const ScenarioSpec& spec, std::size_t seeds,
+                                 std::uint64_t seed0, std::size_t threads) {
+  CampaignConfig cfg;
+  cfg.seeds = seeds;
+  cfg.seed0 = seed0;
+  cfg.threads = threads;
+  return report_json(run_campaign(spec, cfg));
+}
+
 TEST(MetricSetTest, SetGetAndOverwritePreservePosition) {
   MetricSet m;
   m.set("a", 1);
@@ -52,9 +65,16 @@ TEST(MetricSetTest, AggregateRejectsMismatchedLayouts) {
   EXPECT_THROW(aggregate_runs({r1, r2}), std::invalid_argument);
 }
 
-TEST(RegistryTest, HasAtLeastSixUniquelyNamedScenarios) {
+TEST(RegistryTest, HasAtLeastSixteenUniquelyNamedScenarios) {
   const auto& catalogue = registered_scenarios();
-  EXPECT_GE(catalogue.size(), 6u);
+  EXPECT_GE(catalogue.size(), 16u);
+  // The adversarial wave is registered.
+  for (const char* name :
+       {"observer_coalition", "eclipse_publisher", "sybil_observers",
+        "adaptive_spammer", "adaptive_prober", "registration_storm",
+        "multi_topic_mesh"}) {
+    EXPECT_EQ(find_scenario(name).name, name);
+  }
   std::set<std::string> names;
   for (const ScenarioSpec& s : catalogue) {
     EXPECT_FALSE(s.name.empty());
@@ -70,6 +90,7 @@ TEST(RegistryTest, SpecValidationRejectsInfeasibleSpecs) {
   spec.nodes = 3;
   spec.observers = 3;  // leaves no honest publisher
   EXPECT_THROW(ScenarioRunner(spec, 1), std::invalid_argument);
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
   spec = find_scenario("baseline_relay");
   spec.traffic_epochs = 0;
   EXPECT_THROW(ScenarioRunner(spec, 1), std::invalid_argument);
@@ -78,15 +99,79 @@ TEST(RegistryTest, SpecValidationRejectsInfeasibleSpecs) {
   EXPECT_THROW(ScenarioRunner(spec, 1), std::invalid_argument);
 }
 
+TEST(RegistryTest, ValidationRejectsOverSubscribedBands) {
+  // The reserved-band math must count every band: steady + burst +
+  // adaptive adversaries, stormers, replayers AND observers together
+  // over-subscribe a 10-node range here even though each band fits alone.
+  ScenarioSpec spec = find_scenario("baseline_relay");
+  spec.nodes = 10;
+  spec.observers = 4;
+  spec.storm.stormers = 4;
+  spec.adversaries.adaptive_spammers = 3;
+  EXPECT_EQ(spec.honest_publishers(), 0u);
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  EXPECT_THROW(ScenarioRunner(spec, 1), std::invalid_argument);
+  // Two fewer reserved nodes leave exactly one honest publisher: valid.
+  spec.adversaries.adaptive_spammers = 1;
+  EXPECT_EQ(spec.honest_publishers(), 1u);
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(RegistryTest, ValidationRejectsMisplacedObserverBands) {
+  // An eclipse target outside the active-publisher band.
+  ScenarioSpec spec = find_scenario("eclipse_publisher");
+  spec.nodes = 12;
+  spec.publishers = 4;
+  spec.observer.eclipse_target = 4;  // band is [0, 4)
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.observer.eclipse_target = 3;
+  EXPECT_NO_THROW(spec.validate());
+  // Churn would silently dissolve the ring once the target rejoins on
+  // random links — reject the combination instead of reporting a
+  // meaningless eclipse metric.
+  spec.churn.leave_prob_per_epoch = 0.1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.churn.leave_prob_per_epoch = 0.0;
+  // Eclipse/sybil placement without any observer to place.
+  spec.observers = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(RegistryTest, ValidationRejectsProtocolMismatchedAdversaries) {
+  ScenarioSpec spec = find_scenario("adaptive_spammer");
+  spec.protocol = Protocol::kPow;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = find_scenario("registration_storm");
+  spec.protocol = Protocol::kPow;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = find_scenario("multi_topic_mesh");
+  spec.replay.replayers = 2;  // replay is single-topic only
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = find_scenario("multi_topic_mesh");
+  spec.topics = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
 TEST(DeterminismTest, SameSeedSameMetricsByteIdentical) {
   const ScenarioSpec spec = small("spam_wave");
-  CampaignConfig cfg;
-  cfg.seeds = 2;
-  cfg.seed0 = 7;
-  cfg.threads = 2;
-  const std::string a = report_json(run_campaign(spec, cfg));
-  const std::string b = report_json(run_campaign(spec, cfg));
-  EXPECT_EQ(a, b);
+  EXPECT_EQ(deterministic_report(spec, 2, 7, 2), deterministic_report(spec, 2, 7, 2));
+}
+
+TEST(DeterminismTest, EveryAdversarialScenarioIsByteDeterministic) {
+  // The new-wave catalogue, shrunk: run each twice at a fixed seed and
+  // require the protocol-metrics block byte-identical (observer
+  // placement wiring, adaptive probes, storm timers and per-topic
+  // accounting must all stay pure functions of (spec, seed)).
+  for (const char* name :
+       {"observer_coalition", "eclipse_publisher", "sybil_observers",
+        "adaptive_spammer", "adaptive_prober", "registration_storm",
+        "multi_topic_mesh"}) {
+    ScenarioSpec spec = small(name, 14, 3);
+    spec.observers = std::min<std::size_t>(spec.observers, 3);
+    spec.publishers = std::min<std::size_t>(spec.publishers, 4);
+    EXPECT_EQ(deterministic_report(spec, 2, 5, 2), deterministic_report(spec, 2, 5, 2))
+        << name;
+  }
 }
 
 TEST(DeterminismTest, ThreadCountDoesNotChangeTheReport) {
@@ -313,6 +398,99 @@ TEST(IwantReplayTest, ReplayedMessagesHitTheProofVerdictCache) {
   // Replays are duplicates at the RLN layer: contained, not re-forwarded.
   EXPECT_GE(m.at("rln_duplicates"), m.at("verifications_saved"));
   EXPECT_GE(m.at("delivery_ratio"), 0.9);  // honest traffic unharmed
+}
+
+TEST(AdaptiveSpammerTest, UnderRateSpamIsNeverSlashedAndDeliversFully) {
+  // The adaptive spammer publishes exactly the allowed rate through the
+  // honest client path: zero over-rate signals, zero slashes anywhere,
+  // and its spam delivers like honest traffic — rate-limiting contains
+  // volume, but slashing never fires on rate-compliant abuse.
+  const MetricSet m = ScenarioRunner(small("adaptive_spammer", 12, 3), 42).run();
+  EXPECT_EQ(m.at("adversaries"), 3);
+  EXPECT_EQ(m.at("adversaries_slashed"), 0);
+  EXPECT_EQ(m.at("rln_slashes_submitted"), 0);
+  EXPECT_EQ(m.at("rln_double_signals"), 0);
+  EXPECT_EQ(m.at("over_rate_signals"), 0);
+  EXPECT_EQ(m.at("group_slashes"), 0);
+  EXPECT_EQ(m.at("stake_burnt_wei"), 0);
+  // 3 spammers x 3 epochs x rate 1: every message accepted and flooded.
+  EXPECT_EQ(m.at("spam_published"), 9);
+  EXPECT_DOUBLE_EQ(m.at("spam_delivery_ratio"), 1.0);
+  EXPECT_DOUBLE_EQ(m.at("delivery_ratio"), 1.0);
+}
+
+TEST(AdaptiveSpammerTest, ProberIsSlashedOnExactlyItsOverRateEpochs) {
+  // Probe only on the last epoch ((e + 1) % 4 == 0 with 4 epochs), so
+  // each of the two probers sends exactly one over-rate message — and
+  // the slash count must equal the probe count.
+  ScenarioSpec spec = small("adaptive_prober", 12, 4);
+  spec.adversaries.adaptive_probe_every = 4;
+  const MetricSet m = ScenarioRunner(spec, 42).run();
+  EXPECT_EQ(m.at("adaptive_probes_attempted"), 2);
+  EXPECT_EQ(m.at("adaptive_probes_published"), 2);
+  EXPECT_EQ(m.at("over_rate_signals"), 2);
+  EXPECT_EQ(m.at("adversaries_slashed"), m.at("adaptive_probes_published"));
+  EXPECT_EQ(m.at("group_slashes"), m.at("adaptive_probes_published"));
+  EXPECT_DOUBLE_EQ(m.at("over_rate_slashed_ratio"), 1.0);
+  EXPECT_GT(m.at("stake_burnt_wei"), 0);
+  // Under-rate traffic before the probe epoch delivered unharmed.
+  EXPECT_GE(m.at("delivery_ratio"), 0.9);
+}
+
+TEST(RegistrationStormTest, WavesJoinAndSlashThroughTheSharedGroupSync) {
+  // 8 stormers joining 4 per wave: two waves, every join confirmed and
+  // then slashed again (slash_after_join), so the Merkle tree churns in
+  // both directions while honest traffic keeps delivering.
+  const MetricSet m = ScenarioRunner(small("registration_storm", 14, 4), 3).run();
+  EXPECT_EQ(m.at("storm_waves"), 2);
+  EXPECT_EQ(m.at("storm_join_requests"), 8);
+  EXPECT_EQ(m.at("storm_double_signal_publishes"), 16);
+  // Initial registrations cover only the publishing bands (5 honest
+  // publishers here — the storm band must start unregistered).
+  EXPECT_EQ(m.at("group_registrations"), 5 + 8);
+  EXPECT_EQ(m.at("group_slashes"), 8);
+  EXPECT_GT(m.at("stake_burnt_wei"), 0);
+  EXPECT_GE(m.at("delivery_ratio"), 0.9);
+}
+
+TEST(RegistrationStormTest, GroupSyncChurnLandsInTheResourcesBlock) {
+  CampaignConfig cfg;
+  cfg.seeds = 1;
+  cfg.seed0 = 3;
+  const CampaignResult result = run_campaign(small("registration_storm", 14, 4), cfg);
+  const ResourceUsage& r = result.resources[0];
+  // 13 registrations + 8 slash removals, 40 modeled bytes per event.
+  EXPECT_EQ(r.group_root_updates, 13 + 8);
+  EXPECT_EQ(r.group_sync_bytes, (13.0 + 8.0) * 40.0);
+  const std::string full = report_json(result, /*include_resources=*/true);
+  EXPECT_NE(full.find("\"group_sync\": {\"deterministic\": true"), std::string::npos);
+  EXPECT_NE(full.find("\"root_updates\""), std::string::npos);
+}
+
+TEST(MultiTopicTest, FourTopicsDeliverFullyWithPerTopicMetrics) {
+  const ScenarioSpec full = find_scenario("multi_topic_mesh");
+  EXPECT_EQ(full.nodes, 10000u);
+  EXPECT_EQ(full.topics, 4u);
+  EXPECT_TRUE(full.register_publishers_only);
+
+  // Shrunk: 4 publishers rotating over 4 topics, 2 epochs — every topic
+  // carries exactly 2 messages and floods the whole (subscribed-to-all)
+  // world.
+  ScenarioSpec spec = small("multi_topic_mesh", 16, 2);
+  spec.publishers = 4;
+  const MetricSet m = ScenarioRunner(spec, 5).run();
+  EXPECT_EQ(m.at("honest_published"), 8);
+  EXPECT_DOUBLE_EQ(m.at("delivery_ratio"), 1.0);
+  for (int t = 0; t < 4; ++t) {
+    const std::string suffix = "_topic" + std::to_string(t);
+    EXPECT_EQ(m.at("honest_published" + suffix), 2) << t;
+    EXPECT_DOUBLE_EQ(m.at("delivery_ratio" + suffix), 1.0) << t;
+  }
+}
+
+TEST(MultiTopicTest, SingleTopicWorldsCarryNoPerTopicMetrics) {
+  const MetricSet m = ScenarioRunner(small("baseline_relay", 10, 2), 4).run();
+  EXPECT_FALSE(m.get("delivery_ratio_topic0").has_value());
 }
 
 TEST(IwantReplayTest, ReplayAdversaryRejectedForPow) {
