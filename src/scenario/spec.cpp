@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/check.h"
+
 namespace wakurln::scenario {
 
 const char* observer_placement_name(ObserverPlacement placement) {
@@ -11,7 +13,10 @@ const char* observer_placement_name(ObserverPlacement placement) {
     case ObserverPlacement::kEclipseRing: return "eclipse_ring";
     case ObserverPlacement::kSybilHighDegree: return "sybil_high_degree";
   }
-  return "unknown";
+  // Previously fell through to a silent "unknown" — an out-of-range enum
+  // (memory corruption, an unhandled new member) would flow into the
+  // report's spec block as a plausible-looking string. Abort instead.
+  WAKURLN_UNREACHABLE("invalid ObserverPlacement value");
 }
 
 ObserverPlacement observer_placement_from_name(std::string_view name) {

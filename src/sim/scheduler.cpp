@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/check.h"
+
 namespace wakurln::sim {
 
 namespace {
@@ -33,6 +35,9 @@ Scheduler::EventNode* Scheduler::acquire() {
 }
 
 void Scheduler::release(EventNode* node) {
+  // A free-listed node holds monostate; releasing one again would thread
+  // it into the free list twice and hand the same node to two callers.
+  DCHECK(!std::holds_alternative<std::monostate>(node->payload));
   // Drop captured state and frame refcounts eagerly: a pooled node must
   // not keep payloads alive while it waits on the free list.
   node->payload = std::monostate{};
@@ -104,6 +109,7 @@ Scheduler::EventNode* Scheduler::pop_earliest(TimeUs limit) {
     // global (time, seq) minimum (overflow events are all beyond the
     // horizon, hence later).
     EventNode* top = bucket.front();
+    DCHECK((top->time >> kSlotShift) == cursor_slot_);
     if (top->time > limit) return nullptr;
     std::pop_heap(bucket.begin(), bucket.end(), LaterPtr{});
     bucket.pop_back();
@@ -114,7 +120,9 @@ Scheduler::EventNode* Scheduler::pop_earliest(TimeUs limit) {
 
 bool Scheduler::is_tombstone(const EventNode* node) const {
   const TimerRef* ref = std::get_if<TimerRef>(&node->payload);
-  return ref != nullptr && timers_[ref->index].generation != ref->generation;
+  if (ref == nullptr) return false;
+  DCHECK(ref->index < timers_.size());
+  return timers_[ref->index].generation != ref->generation;
 }
 
 // -- scheduling ---------------------------------------------------------
@@ -199,6 +207,7 @@ bool Scheduler::cancel(const TimerHandle& handle) {
     // on the stack — execute() finishes the slot teardown on return.
     return true;
   }
+  DCHECK(live_ > 0);  // the armed occurrence must still be queued
   --live_;  // the queued occurrence no longer counts as pending
   free_timer_slot(handle.index_);
   return true;
@@ -211,6 +220,7 @@ bool Scheduler::timer_active(const TimerHandle& handle) const {
 
 void Scheduler::free_timer_slot(std::uint32_t index) {
   TimerSlot& slot = timers_[index];
+  DCHECK(!slot.active);  // cancel() must have retired the slot first
   slot.fn = nullptr;
   slot.firing = false;
   slot.next_free = timer_free_;
@@ -220,6 +230,8 @@ void Scheduler::free_timer_slot(std::uint32_t index) {
 // -- execution ----------------------------------------------------------
 
 void Scheduler::execute(EventNode* node) {
+  DCHECK(node->time >= now_);  // pop order is the clock's monotonicity
+  DCHECK(live_ > 0);
   now_ = node->time;
   --live_;
   ++stats_.executed;
@@ -234,7 +246,12 @@ void Scheduler::execute(EventNode* node) {
     release(node);
     if (sink_ != nullptr) sink_->on_delivery(ev);
   } else {
-    const TimerRef ref = std::get<TimerRef>(node->payload);
+    // Previously a bare std::get — a corrupted node died as an opaque
+    // std::bad_variant_access with no location. CHECK names the site.
+    const TimerRef* refp = std::get_if<TimerRef>(&node->payload);
+    CHECK_MSG(refp != nullptr, "pooled event node carries no payload");
+    const TimerRef ref = *refp;
+    CHECK_MSG(ref.index < timers_.size(), "timer occurrence outlived its table slot");
     TimerSlot& slot = timers_[ref.index];
     ++stats_.timer_fires;
     slot.firing = true;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/check.h"
+
 namespace wakurln::sim {
 
 void connect_ring_plus_random(Network& network, std::span<const NodeId> nodes,
@@ -50,7 +52,9 @@ const char* topology_name(TopologyKind kind) {
     case TopologyKind::kRingPlusRandom: return "ring_plus_random";
     case TopologyKind::kErdosRenyi: return "erdos_renyi";
   }
-  return "unknown";
+  // These names land verbatim in SCENARIO_*.json spec blocks: an invalid
+  // enum must abort here, not serialize as a plausible "unknown".
+  WAKURLN_UNREACHABLE("invalid TopologyKind value");
 }
 
 TopologyKind topology_from_name(std::string_view name) {
@@ -88,7 +92,7 @@ const char* link_profile_name(LinkProfile profile) {
     case LinkProfile::kUniform: return "uniform";
     case LinkProfile::kGeo: return "geo";
   }
-  return "unknown";
+  WAKURLN_UNREACHABLE("invalid LinkProfile value");
 }
 
 LinkProfile link_profile_from_name(std::string_view name) {

@@ -1,0 +1,17 @@
+#include "util/check.h"
+
+#include <cstdio>
+
+namespace wakurln::util {
+
+void check_failed(const char* expr, const char* file, int line, const char* msg) {
+  if (msg != nullptr) {
+    std::fprintf(stderr, "CHECK failed: %s (%s) at %s:%d\n", expr, msg, file, line);
+  } else {
+    std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace wakurln::util

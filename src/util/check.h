@@ -1,0 +1,66 @@
+#pragma once
+// CHECK() / DCHECK(): internal-invariant macros for conditions that are
+// programmer errors, never user input. On failure they print the failed
+// expression with file:line to stderr and abort() — loud, unconditional,
+// and sanitizer-friendly (ASan/TSan report the abort with a stack).
+//
+// Policy (see README "Correctness tooling"):
+//   * Validation of caller-supplied data (specs, CLI flags, wire bytes)
+//     throws std::invalid_argument and friends — callers can recover.
+//   * Broken *internal* invariants (pool double-release, a calendar-queue
+//     bucket holding a foreign slot, an impossible enum value) CHECK:
+//     there is no meaningful recovery and unwinding would only smear the
+//     corrupted state further before anyone notices.
+//   * CHECK is always on, including Release: an aborted campaign is
+//     cheaper than a silently wrong SCENARIO_*.json.
+//   * DCHECK compiles away under NDEBUG — use it on hot paths (the
+//     scheduler's per-event invariants) where the Release build must not
+//     pay for the branch. The expression is parsed but never evaluated,
+//     so variables it mentions do not become "unused".
+
+#include <cstdlib>
+
+namespace wakurln::util {
+
+/// Prints "CHECK failed: <expr> (<msg>) at <file>:<line>" and aborts.
+/// Out-of-line so the macro expands to a single call on the cold path.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const char* msg);
+
+}  // namespace wakurln::util
+
+#define WAKURLN_CHECK(cond)                                             \
+  (static_cast<bool>(cond)                                              \
+       ? static_cast<void>(0)                                           \
+       : ::wakurln::util::check_failed(#cond, __FILE__, __LINE__, nullptr))
+
+#define WAKURLN_CHECK_MSG(cond, msg)                                    \
+  (static_cast<bool>(cond)                                              \
+       ? static_cast<void>(0)                                           \
+       : ::wakurln::util::check_failed(#cond, __FILE__, __LINE__, (msg)))
+
+#ifdef NDEBUG
+// Parsed, type-checked, never evaluated: no codegen in Release.
+#define WAKURLN_DCHECK(cond) static_cast<void>(sizeof(!(cond)))
+#else
+#define WAKURLN_DCHECK(cond) WAKURLN_CHECK(cond)
+#endif
+
+// Marks a path the surrounding logic has proven impossible (e.g. the
+// default arm of an exhaustive enum switch). [[noreturn]] through
+// check_failed, so no dummy return value is needed after it.
+#define WAKURLN_UNREACHABLE(msg) \
+  ::wakurln::util::check_failed("unreachable", __FILE__, __LINE__, (msg))
+
+// Unprefixed aliases for in-repo use. Guarded: translation units that
+// pull in another library's CHECK keep that one and use the WAKURLN_
+// spellings explicitly.
+#ifndef CHECK
+#define CHECK(cond) WAKURLN_CHECK(cond)
+#endif
+#ifndef CHECK_MSG
+#define CHECK_MSG(cond, msg) WAKURLN_CHECK_MSG(cond, msg)
+#endif
+#ifndef DCHECK
+#define DCHECK(cond) WAKURLN_DCHECK(cond)
+#endif

@@ -12,6 +12,21 @@
 // allocated_bytes). A simulated world runs on one thread, so the deltas
 // around a run are a deterministic measure of how many payload copies the
 // hot path really made — the scenario reports quote them.
+//
+// Thread-safety contract (pinned by SharedBytesThreads in util_test and
+// exercised under TSan by the campaign stress job):
+//   * The ref count lives in the shared_ptr control block, which the
+//     standard requires to be atomic: copying / slicing / destroying
+//     views of one buffer from different threads is race-free, and the
+//     last release (wherever it runs) synchronizes-with every prior
+//     decrement before freeing the bytes.
+//   * The payload bytes are immutable after construction, so concurrent
+//     readers need no further synchronization.
+//   * The counters are intentionally thread-local, NOT process-global
+//     atomics: each campaign worker runs whole worlds, so its own deltas
+//     stay exact and deterministic. Corollary: a buffer allocated on one
+//     thread and released on another stays counted where it was
+//     allocated — don't difference counters across threads.
 
 #include <cstdint>
 #include <memory>

@@ -1,0 +1,80 @@
+// CHECK()/DCHECK() contract: a failed invariant prints the expression
+// with file:line and aborts (the death tests), a passing one is free,
+// and DCHECK disappears — unevaluated, not just non-fatal — in NDEBUG
+// builds. Also pins the report-path enum-name guards converted from
+// silent "unknown" fallbacks to WAKURLN_UNREACHABLE.
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "scenario/spec.h"
+#include "sim/topology.h"
+
+namespace wakurln {
+namespace {
+
+TEST(CheckDeathTest, FailedCheckPrintsExpressionAndLocation) {
+  EXPECT_DEATH(CHECK(1 == 2), "CHECK failed: 1 == 2 at .*check_test\\.cpp:[0-9]+");
+}
+
+TEST(CheckDeathTest, FailedCheckMsgCarriesTheJustification) {
+  EXPECT_DEATH(CHECK_MSG(false, "event pool corrupted"),
+               "CHECK failed: false \\(event pool corrupted\\) at");
+}
+
+TEST(CheckDeathTest, UnreachableAborts) {
+  EXPECT_DEATH(WAKURLN_UNREACHABLE("switch was exhaustive"),
+               "unreachable \\(switch was exhaustive\\)");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  CHECK(true);
+  CHECK_MSG(2 > 1, "arithmetic still works");
+  DCHECK(true);
+}
+
+TEST(CheckTest, DcheckEvaluationMatchesBuildMode) {
+  int evaluations = 0;
+  const auto bump = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+#ifdef NDEBUG
+  // Parsed but never evaluated: hot-path DCHECKs cost nothing in Release.
+  DCHECK(bump());
+  EXPECT_EQ(evaluations, 0);
+#else
+  DCHECK(bump());
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckIsFatalInDebugBuilds) {
+  EXPECT_DEATH(DCHECK(false), "CHECK failed: false at");
+}
+#endif
+
+// The enum->name helpers feed SCENARIO_*.json spec blocks. An impossible
+// enum value used to serialize as a plausible-looking "unknown"; it must
+// abort instead. (enum class: any int is a representable value, so the
+// casts below are well-defined probes, not UB.)
+TEST(CheckDeathTest, InvalidObserverPlacementAbortsInsteadOfSerializingUnknown) {
+  EXPECT_DEATH(
+      scenario::observer_placement_name(static_cast<scenario::ObserverPlacement>(99)),
+      "invalid ObserverPlacement value");
+}
+
+TEST(CheckDeathTest, InvalidTopologyKindAborts) {
+  EXPECT_DEATH(sim::topology_name(static_cast<sim::TopologyKind>(99)),
+               "invalid TopologyKind value");
+}
+
+TEST(CheckDeathTest, InvalidLinkProfileAborts) {
+  EXPECT_DEATH(sim::link_profile_name(static_cast<sim::LinkProfile>(99)),
+               "invalid LinkProfile value");
+}
+
+}  // namespace
+}  // namespace wakurln

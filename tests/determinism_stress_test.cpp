@@ -1,0 +1,129 @@
+// Concurrency stress suite — the TSan job's primary workload (label:
+// "concurrency"; the tsan CMake test preset selects exactly this label).
+//
+// Two claims are under test:
+//   1. The threaded campaign sweep is embarrassingly parallel for real:
+//      a multi-seed sweep at maximum (oversubscribed) thread fan-out
+//      produces the byte-identical report of the single-threaded run —
+//      worlds share nothing but immutable config, and the per-seed slots
+//      they write are disjoint.
+//   2. util::SharedBytes is safe to copy/slice/destroy across threads
+//      (shared_ptr's atomic control block carries the refcount) while
+//      its allocation counters stay exact per thread.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/campaign.h"
+#include "scenario/scenarios.h"
+#include "scenario/spec.h"
+#include "util/bytes.h"
+#include "util/shared_bytes.h"
+
+namespace wakurln::scenario {
+namespace {
+
+// Shrinks a registered scenario so the stress sweep stays fast enough to
+// run under TSan's ~10x slowdown in CI.
+ScenarioSpec small(const std::string& name, std::size_t nodes = 14,
+                   std::uint64_t epochs = 3) {
+  ScenarioSpec spec = find_scenario(name);
+  spec.nodes = nodes;
+  spec.traffic_epochs = epochs;
+  spec.observers = std::min<std::size_t>(spec.observers, 3);
+  spec.publishers = std::min<std::size_t>(spec.publishers, 4);
+  return spec;
+}
+
+// Enough workers that a single-core CI box still interleaves them, and a
+// multi-core box oversubscribes: run_campaign clamps to the seed count,
+// so kSeeds is the real fan-out ceiling.
+constexpr std::size_t kSeeds = 8;
+
+std::string sweep(const ScenarioSpec& spec, std::size_t threads) {
+  CampaignConfig cfg;
+  cfg.seeds = kSeeds;
+  cfg.seed0 = 3;
+  cfg.threads = threads;
+  return report_json(run_campaign(spec, cfg));
+}
+
+TEST(CampaignStressTest, MaxFanOutSweepIsByteIdenticalToSerialRun) {
+  const ScenarioSpec spec = small("spam_wave");
+  const std::size_t fan_out =
+      std::max<std::size_t>(kSeeds, 2 * std::thread::hardware_concurrency());
+  EXPECT_EQ(sweep(spec, 1), sweep(spec, fan_out));
+}
+
+TEST(CampaignStressTest, StormSweepWithSharedGroupSyncIsByteIdentical) {
+  // registration_storm churns the per-world shared GroupSync from a
+  // periodic timer while traffic runs — the closest thing the campaign
+  // has to cross-component mutable state, one instance per worker.
+  const ScenarioSpec spec = small("registration_storm");
+  EXPECT_EQ(sweep(spec, 1), sweep(spec, kSeeds));
+}
+
+TEST(CampaignStressTest, ObserverSweepWithFrameTapIsByteIdentical) {
+  // The frame tap (FirstSpyObserver) hangs a callback off every delivery;
+  // under fan-out each world's tap must stay confined to its thread.
+  const ScenarioSpec spec = small("observer_coalition");
+  EXPECT_EQ(sweep(spec, 1), sweep(spec, kSeeds));
+}
+
+TEST(SharedBytesStressTest, CrossThreadCopySliceDestroyIsRaceFree) {
+  util::Bytes data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  util::SharedBytes root{std::move(data)};
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  const std::uint64_t main_allocs0 = util::SharedBytes::allocation_count();
+
+  // Per-worker results land in disjoint slots and are asserted after the
+  // join: no gtest machinery runs on the workers (its internals are not
+  // TSan-instrumented in CI and would read as false races).
+  std::vector<std::uint64_t> sums(kThreads, 0);
+  std::vector<std::uint64_t> own_alloc_delta(kThreads, 0);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&root, &sums, &own_alloc_delta, t] {
+      // Copies and slices churn the shared refcount from every thread;
+      // the reads prove the bytes stay immutable and visible.
+      std::uint64_t local = 0;
+      for (int i = 0; i < kIters; ++i) {
+        const util::SharedBytes copy = root;  // +1 / -1 across threads
+        const util::SharedBytes view =
+            copy.slice(static_cast<std::size_t>((t * kIters + i) % 4080), 16);
+        local += view[0];
+      }
+      // A worker's own allocation lands in its own thread-local counter.
+      const std::uint64_t before = util::SharedBytes::allocation_count();
+      const util::SharedBytes mine =
+          util::SharedBytes::copy_of(root.slice(0, 64).span());
+      local += mine[63];
+      own_alloc_delta[t] = util::SharedBytes::allocation_count() - before;
+      sums[t] = local;
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(own_alloc_delta[t], 1u) << "worker " << t;
+    EXPECT_NE(sums[t], 0u) << "worker " << t;
+  }
+
+  // Every cross-thread owner is gone: the root view owns alone again.
+  EXPECT_EQ(root.use_count(), 1);
+  // The workers' allocations never bled into this thread's counter —
+  // per-world payload_allocs deltas stay exact under campaign fan-out.
+  EXPECT_EQ(util::SharedBytes::allocation_count(), main_allocs0);
+}
+
+}  // namespace
+}  // namespace wakurln::scenario

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# clang-tidy gate: runs the project .clang-tidy over every library source
+# under src/ using the compile database of an existing build directory.
+#
+#   tools/run_clang_tidy.sh [build-dir]   (default: build)
+#
+# Exits non-zero on any warning (WarningsAsErrors: '*' in .clang-tidy).
+# Gated, not required: machines without clang-tidy (the dev container
+# ships only GCC) get a clear skip message and exit 0 so local tier-1
+# loops keep working — CI installs clang-tidy and enforces the gate.
+# Set WAKURLN_TIDY_STRICT=1 to turn the missing-binary skip into a
+# failure (what the CI job does).
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "$tidy_bin" ]]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      tidy_bin="$cand"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy_bin" ]]; then
+  if [[ "${WAKURLN_TIDY_STRICT:-0}" == "1" ]]; then
+    echo "run_clang_tidy: clang-tidy not found and WAKURLN_TIDY_STRICT=1" >&2
+    exit 1
+  fi
+  echo "run_clang_tidy: clang-tidy not found; skipping (CI enforces this gate)"
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing —" >&2
+  echo "  configure first: cmake --preset default" >&2
+  exit 1
+fi
+
+# run-clang-tidy parallelises across the database; fall back to a plain
+# loop when the wrapper is not installed next to the binary.
+runner=""
+for cand in run-clang-tidy run-clang-tidy-18 run-clang-tidy-17 run-clang-tidy-16 run-clang-tidy-15 run-clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    runner="$cand"
+    break
+  fi
+done
+
+cd "$repo_root"
+echo "run_clang_tidy: $tidy_bin over src/ (database: $build_dir)"
+if [[ -n "$runner" ]]; then
+  "$runner" -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet "src/.*\.cpp$"
+else
+  mapfile -t sources < <(find src -name '*.cpp' | sort)
+  "$tidy_bin" -p "$build_dir" --quiet "${sources[@]}"
+fi
+status=$?
+if [[ $status -eq 0 ]]; then
+  echo "run_clang_tidy: clean"
+fi
+exit $status
