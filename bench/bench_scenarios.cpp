@@ -4,6 +4,7 @@
 // simulated metrics — the numbers future scaling PRs diff against.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "harness.h"
@@ -55,6 +56,56 @@ int main() {
 
     std::printf("%-16s %14.3f %14.3f %14.3f %12.0f\n", spec.name.c_str(), delivery,
                 spam_delivery, slash_ratio, bytes_per_node);
+  }
+
+  // Observability overhead on baseline_relay: the same campaign with the
+  // metrics registry + time-series sampler off vs on. Two invariants the
+  // CI gate reads off this report: the protocol metrics must be
+  // byte-identical either way (obs_protocol_metrics_identical == 1), and
+  // the enabled run must stay within sampling noise of the disabled one
+  // (obs_overhead_ratio; the registry's disabled mode is a pointer
+  // null-check, the enabled mode a handful of probes per epoch).
+  {
+    scenario::ScenarioSpec spec = scenario::find_scenario("baseline_relay");
+    spec.nodes = std::min<std::size_t>(spec.nodes, 16);
+    spec.traffic_epochs = 3;
+    scenario::CampaignConfig cfg;
+    cfg.seeds = 2;
+    cfg.seed0 = 1;
+    cfg.threads = 2;
+
+    const auto wall_ms = [](const auto& fn) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+
+    scenario::CampaignResult off;
+    scenario::CampaignResult on;
+    const double disabled_ms =
+        wall_ms([&] { off = scenario::run_campaign(spec, cfg); });
+    spec.observability = true;
+    const double enabled_ms =
+        wall_ms([&] { on = scenario::run_campaign(spec, cfg); });
+
+    const bool identical = scenario::report_json(off, /*include_resources=*/false) ==
+                           scenario::report_json(on, /*include_resources=*/false);
+    runner.metric("obs_disabled_ms", disabled_ms, "ms");
+    runner.metric("obs_enabled_ms", enabled_ms, "ms");
+    runner.metric("obs_overhead_ratio",
+                  disabled_ms <= 0 ? 0 : enabled_ms / disabled_ms);
+    runner.metric("obs_protocol_metrics_identical", identical ? 1 : 0);
+    runner.metric("obs_timeseries_rows",
+                  on.series.empty()
+                      ? 0
+                      : static_cast<double>(on.series.front().rows().size()));
+    std::printf("\nobservability overhead (baseline_relay): off %.1f ms, on %.1f ms "
+                "(x%.3f), protocol metrics identical: %s\n",
+                disabled_ms, enabled_ms,
+                disabled_ms <= 0 ? 0 : enabled_ms / disabled_ms,
+                identical ? "yes" : "NO");
   }
 
   std::printf("\nshape check: RLN keeps honest delivery ~1.0 while spam delivery\n"

@@ -17,6 +17,11 @@
 //   --payload-bytes P   pad published payloads to P bytes (0 = bare key)
 //   --topics K          carry K content topics (round-robin publishers)
 //   --link-profile L    uniform | geo (per-link latency from region pairs)
+//   --obs               sample the per-epoch time series (TIMESERIES_*.json)
+//   --trace             record the seed0 message-lifecycle trace
+//                       (TRACE_*.json, Chrome trace-event format; load it
+//                       in ui.perfetto.dev or chrome://tracing)
+//   --trace-capacity C  tracer ring size in events (default 65536)
 //   --out DIR           directory for SCENARIO_<name>.json (default CWD)
 
 #include <cstdio>
@@ -49,6 +54,10 @@ void run_one(scenario::ScenarioSpec spec, const util::CliArgs& args) {
   if (args.has("link-profile")) {
     spec.link_profile = sim::link_profile_from_name(args.get("link-profile", ""));
   }
+  if (args.has("obs")) spec.observability = true;
+  if (args.has("trace")) spec.trace = true;
+  spec.trace_capacity =
+      static_cast<std::size_t>(args.get_u64("trace-capacity", spec.trace_capacity));
 
   scenario::CampaignConfig cfg;
   cfg.seeds = static_cast<std::size_t>(args.get_u64("seeds", 3));
@@ -64,9 +73,14 @@ void run_one(scenario::ScenarioSpec spec, const util::CliArgs& args) {
   for (const scenario::AggregateMetric& a : result.aggregate) {
     std::printf("%-28s %14.3f %14.3f %14.3f\n", a.name.c_str(), a.mean, a.min, a.max);
   }
-  const std::string path =
-      scenario::write_report(result, args.get("out", std::string()));
-  std::printf("wrote %s\n\n", path.c_str());
+  const std::string out_dir = args.get("out", std::string());
+  const std::string path = scenario::write_report(result, out_dir);
+  std::printf("wrote %s\n", path.c_str());
+  const std::string ts_path = scenario::write_timeseries(result, out_dir);
+  if (!ts_path.empty()) std::printf("wrote %s\n", ts_path.c_str());
+  const std::string trace_path = scenario::write_trace(result, out_dir);
+  if (!trace_path.empty()) std::printf("wrote %s\n", trace_path.c_str());
+  std::printf("\n");
 }
 
 }  // namespace
@@ -92,7 +106,7 @@ int main(int argc, char** argv) {
     std::printf("usage: %s --list | --scenario NAME | --all "
                 "[--seeds K] [--seed0 S] [--threads T] [--nodes N] [--epochs E] "
                 "[--payload-bytes P] [--topics K] [--link-profile uniform|geo] "
-                "[--out DIR]\n\n",
+                "[--obs] [--trace] [--trace-capacity C] [--out DIR]\n\n",
                 args.program().c_str());
     print_catalogue();
     return 0;

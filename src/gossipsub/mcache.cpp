@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/memory.h"
+
 namespace wakurln::gossipsub {
 
 MessageCache::MessageCache(std::size_t history_len, std::size_t gossip_len)
@@ -32,6 +34,19 @@ std::vector<MessageId> MessageCache::gossip_ids(const TopicId& topic) const {
     }
   }
   return out;
+}
+
+std::size_t MessageCache::memory_bytes() const {
+  std::size_t total = sizeof(MessageCache);
+  for (const std::vector<Entry>& window : windows_) {
+    total += sizeof(std::vector<Entry>) + window.size() * sizeof(Entry);
+    for (const Entry& e : window) total += obs::string_heap_bytes(e.topic);
+  }
+  total += by_id_.bucket_count() * sizeof(void*);
+  total += by_id_.size() *
+           (obs::kUnorderedNodeBytes +
+            sizeof(std::pair<const MessageId, std::shared_ptr<const GsMessage>>));
+  return total;
 }
 
 void MessageCache::shift() {

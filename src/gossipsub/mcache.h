@@ -32,6 +32,12 @@ class MessageCache {
 
   std::size_t size() const { return by_id_.size(); }
 
+  /// Modeled resident bytes of the cache bookkeeping: the window entries
+  /// plus the by-id index (libstdc++ layouts, constants in obs/memory.h).
+  /// Message payloads are shared frame buffers owned by the fabric and
+  /// are not charged here.
+  std::size_t memory_bytes() const;
+
  private:
   struct Entry {
     MessageId id;

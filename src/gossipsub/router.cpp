@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/memory.h"
+#include "obs/tracer.h"
+
 namespace wakurln::gossipsub {
 
 using sim::NodeId;
@@ -346,8 +349,13 @@ void GossipSubRouter::forward(const GsMessagePtr& msg, std::optional<NodeId> exc
   }
   Rpc rpc;
   rpc.publish.push_back(msg);
-  stats_.forwarded +=
+  const std::size_t sent =
       send_rpc_shared(targets, std::move(rpc), std::numeric_limits<double>::lowest());
+  stats_.forwarded += sent;
+  if (tracer_ != nullptr && sent > 0) {
+    tracer_->instant("forward", network_.scheduler().now(), self_,
+                     obs::short_id(msg->id));
+  }
 }
 
 void GossipSubRouter::heartbeat() {
@@ -533,6 +541,65 @@ std::vector<NodeId> GossipSubRouter::known_peers() const {
 
 double GossipSubRouter::peer_score(NodeId peer) const {
   return score_of(peer);
+}
+
+std::size_t GossipSubRouter::memory_bytes() const {
+  // Modeled libstdc++ resident bytes (constants in obs/memory.h).
+  // Summing over unordered containers is order-independent, so the value
+  // is deterministic for a fixed workload.
+  std::size_t total = sizeof(GossipSubRouter);
+
+  total += peers_.bucket_count() * sizeof(void*);
+  for (const auto& [peer, state] : peers_) {
+    (void)peer;
+    total += obs::kUnorderedNodeBytes +
+             sizeof(std::pair<const sim::NodeId, PeerState>);
+    for (const TopicId& topic : state.topics) {
+      total += obs::kTreeNodeBytes + sizeof(TopicId) +
+               obs::string_heap_bytes(topic);
+    }
+  }
+
+  for (const TopicId& topic : topics_) {
+    total += obs::kTreeNodeBytes + sizeof(TopicId) + obs::string_heap_bytes(topic);
+  }
+
+  for (const auto& [topic, mesh] : mesh_) {
+    total += obs::kTreeNodeBytes +
+             sizeof(std::pair<const TopicId, std::set<sim::NodeId>>) +
+             obs::string_heap_bytes(topic);
+    total += mesh.size() * (obs::kTreeNodeBytes + sizeof(sim::NodeId));
+  }
+
+  for (const auto& [topic, fanout] : fanout_) {
+    total += obs::kTreeNodeBytes + sizeof(std::pair<const TopicId, FanoutState>) +
+             obs::string_heap_bytes(topic);
+    total += fanout.peers.size() * (obs::kTreeNodeBytes + sizeof(sim::NodeId));
+  }
+
+  for (const auto& [topic, peers] : backoff_) {
+    total += obs::kTreeNodeBytes +
+             sizeof(std::pair<const TopicId,
+                              std::unordered_map<sim::NodeId, sim::TimeUs>>) +
+             obs::string_heap_bytes(topic);
+    total += peers.bucket_count() * sizeof(void*);
+    total += peers.size() * (obs::kUnorderedNodeBytes +
+                             sizeof(std::pair<const sim::NodeId, sim::TimeUs>));
+  }
+
+  total += seen_.bucket_count() * sizeof(void*);
+  total += seen_.size() * (obs::kUnorderedNodeBytes +
+                           sizeof(std::pair<const MessageId, sim::TimeUs>));
+
+  total += validators_.bucket_count() * sizeof(void*);
+  for (const auto& [topic, validator] : validators_) {
+    (void)validator;
+    total += obs::kUnorderedNodeBytes +
+             sizeof(std::pair<const TopicId, Validator>) +
+             obs::string_heap_bytes(topic);
+  }
+
+  return total;
 }
 
 }  // namespace wakurln::gossipsub

@@ -18,6 +18,10 @@
 #include "gossipsub/score.h"
 #include "sim/network.h"
 
+namespace wakurln::obs {
+class Tracer;
+}
+
 namespace wakurln::gossipsub {
 
 struct GossipSubParams {
@@ -109,6 +113,21 @@ class GossipSubRouter {
   /// Declares the IP a peer is observed on (defaults to its node id).
   void set_peer_ip(sim::NodeId peer, std::uint32_t ip);
 
+  /// Read access to the message cache (IWANT service window) for
+  /// memory accounting.
+  const MessageCache& mcache() const { return mcache_; }
+
+  /// Modeled resident bytes of the router's bookkeeping — peer map, mesh
+  /// and fanout sets, backoff and seen caches, validators (libstdc++
+  /// layouts, constants in obs/memory.h). The mcache is accounted
+  /// separately via mcache().memory_bytes(); message payloads belong to
+  /// the shared frame fabric.
+  std::size_t memory_bytes() const;
+
+  /// Attaches the message-lifecycle tracer (nullptr detaches): forward
+  /// events land on this router's node-id track.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct PeerState {
     std::set<TopicId> topics;  ///< peer's announced subscriptions
@@ -169,6 +188,7 @@ class GossipSubRouter {
   std::unordered_map<TopicId, Validator> validators_;
   MessageHandler message_handler_;
   PeerScoreTracker score_tracker_;
+  obs::Tracer* tracer_ = nullptr;
   Stats stats_;
   sim::TimerHandle heartbeat_timer_;
   bool started_ = false;

@@ -122,6 +122,14 @@ std::size_t MerkleTree::storage_bytes() const {
   return nodes * field::Fr::kByteSize;
 }
 
+std::size_t MerkleTree::memory_bytes() const {
+  std::size_t total = sizeof(MerkleTree);
+  for (const auto& lvl : levels_) {
+    total += sizeof(std::vector<field::Fr>) + lvl.capacity() * sizeof(field::Fr);
+  }
+  return total;
+}
+
 std::uint64_t MerkleTree::full_storage_bytes(std::size_t depth) {
   // Sum over levels l=0..depth of 2^(depth-l) nodes = 2^(depth+1) - 1.
   return ((std::uint64_t{1} << (depth + 1)) - 1) * field::Fr::kByteSize;

@@ -63,6 +63,12 @@ class MerkleTree {
   /// Bytes of node storage currently allocated (levels_ content).
   std::size_t storage_bytes() const;
 
+  /// Resident bytes of the whole tree object: the node storage plus the
+  /// per-level vector headers and the object itself (the observability
+  /// layer's memory-accounting view; storage_bytes() is the paper-facing
+  /// node-storage figure).
+  std::size_t memory_bytes() const;
+
   /// Bytes a fully materialised tree of `depth` would occupy
   /// (2^(depth+1) - 1 nodes of 32 bytes) — the paper's 67 MB figure at
   /// depth 20.

@@ -1,0 +1,33 @@
+#pragma once
+// Shared constants for the per-subsystem resident-memory models
+// (memory_bytes() on the router, mcache, nullifier ring, Merkle group
+// and event pool). The models follow the libstdc++ layouts the way
+// rln::NullifierMap::memory_bytes established: node-based containers pay
+// a per-node header on top of the stored element, unordered containers
+// additionally pay their bucket array. The numbers are a model of
+// resident bytes, not a malloc audit — but a model applied consistently,
+// so per-epoch deltas and cross-scenario comparisons are meaningful.
+
+#include <cstddef>
+#include <string>
+
+namespace wakurln::obs {
+
+/// Per-node overhead of libstdc++ unordered containers: the forward
+/// pointer plus the cached hash.
+inline constexpr std::size_t kUnorderedNodeBytes = 8 + 8;
+
+/// Per-node overhead of libstdc++ ordered containers (std::map/std::set):
+/// the _Rb_tree_node_base header (color + three pointers, padded).
+inline constexpr std::size_t kTreeNodeBytes = 32;
+
+/// libstdc++ std::string keeps up to this many chars inline (SSO).
+inline constexpr std::size_t kStringSsoCapacity = 15;
+
+/// Heap bytes behind a std::string beyond its inline buffer (0 when the
+/// small-string optimisation holds the content).
+inline std::size_t string_heap_bytes(const std::string& s) {
+  return s.capacity() > kStringSsoCapacity ? s.capacity() + 1 : 0;
+}
+
+}  // namespace wakurln::obs

@@ -1,0 +1,147 @@
+#include "obs/registry.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace wakurln::obs {
+namespace {
+
+double hist_percentile(const HistogramState& s, double q) {
+  if (s.total == 0) return 0;
+  const auto n = static_cast<std::size_t>(s.total);
+  // The k-th order statistic, reconstructed from the buckets: walk to the
+  // bucket containing rank k, then place the rank at the midpoint of its
+  // 1/count_b sub-interval. The overflow bucket has no upper edge, so it
+  // clamps to the last finite edge.
+  const auto value_at = [&s](std::size_t k) {
+    std::uint64_t before = 0;
+    std::size_t b = 0;
+    while (b + 1 < s.counts.size() && before + s.counts[b] <= k) {
+      before += s.counts[b];
+      ++b;
+    }
+    const double lower = b == 0 ? 0.0 : s.upper_edges[b - 1];
+    const double upper =
+        b < s.upper_edges.size() ? s.upper_edges[b] : s.upper_edges.back();
+    const double pos = (static_cast<double>(k - before) + 0.5) /
+                       static_cast<double>(s.counts[b]);
+    return lower + (upper - lower) * pos;
+  };
+  return util::percentile_at_rank(n, util::percentile_rank(n, q), value_at);
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  if (state_ == nullptr) return;
+  std::size_t b = 0;
+  while (b < state_->upper_edges.size() && v > state_->upper_edges[b]) ++b;
+  ++state_->counts[b];
+  ++state_->total;
+}
+
+double Histogram::percentile(double q) const {
+  return state_ == nullptr ? 0 : hist_percentile(*state_, q);
+}
+
+void Registry::check_name(const std::string& name) const {
+  if (name.empty()) {
+    throw std::invalid_argument("obs::Registry: instrument name must not be empty");
+  }
+  for (const Instrument& inst : order_) {
+    if (inst.name == name) {
+      throw std::invalid_argument("obs::Registry: duplicate instrument name '" +
+                                  name + "'");
+    }
+  }
+}
+
+Counter Registry::counter(const std::string& name) {
+  if (!enabled_) return Counter{};
+  check_name(name);
+  counters_.push_back(0);
+  order_.push_back({Kind::kCounter, name, counters_.size() - 1});
+  return Counter{&counters_.back()};
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  if (!enabled_) return Gauge{};
+  check_name(name);
+  gauges_.push_back(0.0);
+  order_.push_back({Kind::kGauge, name, gauges_.size() - 1});
+  return Gauge{&gauges_.back()};
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              std::vector<double> upper_edges) {
+  if (upper_edges.empty()) {
+    throw std::invalid_argument("obs::Registry: histogram needs >= 1 bucket edge");
+  }
+  for (std::size_t i = 1; i < upper_edges.size(); ++i) {
+    if (upper_edges[i] <= upper_edges[i - 1]) {
+      throw std::invalid_argument(
+          "obs::Registry: histogram edges must be strictly ascending");
+    }
+  }
+  if (!enabled_) return Histogram{};
+  check_name(name);
+  HistogramState state;
+  state.counts.assign(upper_edges.size() + 1, 0);
+  state.upper_edges = std::move(upper_edges);
+  histograms_.push_back(std::move(state));
+  order_.push_back({Kind::kHistogram, name, histograms_.size() - 1});
+  return Histogram{&histograms_.back()};
+}
+
+void Registry::probe(const std::string& name, std::function<double()> fn) {
+  if (!enabled_) return;
+  check_name(name);
+  probes_.push_back(std::move(fn));
+  order_.push_back({Kind::kProbe, name, probes_.size() - 1});
+}
+
+std::vector<std::string> Registry::columns() const {
+  std::vector<std::string> cols;
+  cols.reserve(order_.size());
+  for (const Instrument& inst : order_) {
+    if (inst.kind == Kind::kHistogram) {
+      cols.push_back(inst.name + "_count");
+      cols.push_back(inst.name + "_p50");
+      cols.push_back(inst.name + "_p90");
+      cols.push_back(inst.name + "_p99");
+    } else {
+      cols.push_back(inst.name);
+    }
+  }
+  return cols;
+}
+
+std::vector<double> Registry::sample_row() const {
+  std::vector<double> row;
+  row.reserve(order_.size());
+  for (const Instrument& inst : order_) {
+    switch (inst.kind) {
+      case Kind::kCounter:
+        row.push_back(static_cast<double>(counters_[inst.index]));
+        break;
+      case Kind::kGauge:
+        row.push_back(gauges_[inst.index]);
+        break;
+      case Kind::kHistogram: {
+        const HistogramState& h = histograms_[inst.index];
+        row.push_back(static_cast<double>(h.total));
+        row.push_back(hist_percentile(h, 0.50));
+        row.push_back(hist_percentile(h, 0.90));
+        row.push_back(hist_percentile(h, 0.99));
+        break;
+      }
+      case Kind::kProbe:
+        row.push_back(probes_[inst.index]());
+        break;
+    }
+  }
+  return row;
+}
+
+}  // namespace wakurln::obs

@@ -1,0 +1,145 @@
+#pragma once
+// Central metrics registry: the observability substrate subsystems
+// instrument through typed handles (Counter, Gauge, Histogram) and pull
+// probes. Two properties carry the whole design:
+//
+//   * Deterministic registration order. The registry never iterates an
+//     unordered container: instruments are recorded in the order code
+//     registered them, and that order IS the column order of every
+//     time-series sample — so TIMESERIES_<scenario>.json is a pure
+//     function of (spec, seed), byte-identical across thread counts.
+//     Register instruments from deterministic code paths only.
+//
+//   * Zero cost when disabled. A disabled registry issues null handles:
+//     an instrumented hot path pays one pointer null-check per operation
+//     and allocates nothing; probes are dropped at registration. The
+//     instrumentation can therefore stay permanently wired into the
+//     sim/gossipsub/waku/rln layers without perturbing uninstrumented
+//     runs.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wakurln::obs {
+
+class Registry;
+
+/// Monotonic counter. Default-constructed (or disabled-registry) handles
+/// are inert no-ops.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) {
+    if (cell_ != nullptr) *cell_ += n;
+  }
+  std::uint64_t value() const { return cell_ == nullptr ? 0 : *cell_; }
+  bool enabled() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint64_t* cell) : cell_(cell) {}
+  std::uint64_t* cell_ = nullptr;
+};
+
+/// Last-value gauge. Default-constructed handles are inert no-ops.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) {
+    if (cell_ != nullptr) *cell_ = v;
+  }
+  double value() const { return cell_ == nullptr ? 0 : *cell_; }
+  bool enabled() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(double* cell) : cell_(cell) {}
+  double* cell_ = nullptr;
+};
+
+/// Backing state of one fixed-bucket histogram: `upper_edges.size() + 1`
+/// buckets — bucket b covers (edge[b-1], edge[b]] with an implicit lower
+/// bound of 0 for b == 0, and the final bucket collects everything past
+/// the last edge.
+struct HistogramState {
+  std::vector<double> upper_edges;      ///< strictly ascending
+  std::vector<std::uint64_t> counts;    ///< upper_edges.size() + 1 entries
+  std::uint64_t total = 0;
+};
+
+/// Fixed-bucket histogram. Default-constructed handles are inert no-ops.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v);
+  std::uint64_t count() const { return state_ == nullptr ? 0 : state_->total; }
+  /// Percentile of the bucketed distribution, by the same fractional-rank
+  /// definition as util::percentile (one shared implementation): the k-th
+  /// order statistic is placed at the midpoint of its sub-interval inside
+  /// the containing bucket, and ranks interpolate linearly. Values past
+  /// the last edge clamp to it. Returns 0 with no observations.
+  double percentile(double q) const;
+  bool enabled() const { return state_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(HistogramState* state) : state_(state) {}
+  HistogramState* state_ = nullptr;
+};
+
+class Registry {
+ public:
+  /// A disabled registry issues null handles and drops probes; columns()
+  /// and sample_row() are empty. See the file comment.
+  explicit Registry(bool enabled = true) : enabled_(enabled) {}
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  // -- instrument factories ---------------------------------------------
+  // Names must be unique per registry (std::invalid_argument otherwise).
+  // REGISTRATION ORDER IS COLUMN ORDER: only register from deterministic
+  // code order, never while iterating an unordered container.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  /// `upper_edges` must be non-empty and strictly ascending
+  /// (std::invalid_argument otherwise).
+  Histogram histogram(const std::string& name, std::vector<double> upper_edges);
+  /// Pull probe, evaluated at every sample_row(). `fn` must be read-only
+  /// and deterministic — it runs on the simulated clock and its values
+  /// land in the byte-deterministic time series.
+  void probe(const std::string& name, std::function<double()> fn);
+
+  // -- sampling ----------------------------------------------------------
+  /// Column names in registration order. A scalar instrument contributes
+  /// one column; a histogram H contributes H_count, H_p50, H_p90, H_p99.
+  std::vector<std::string> columns() const;
+  /// Current value of every column, in columns() order.
+  std::vector<double> sample_row() const;
+
+  std::size_t instrument_count() const { return order_.size(); }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kProbe };
+  struct Instrument {
+    Kind kind;
+    std::string name;
+    std::size_t index;  ///< into the kind's storage below
+  };
+
+  void check_name(const std::string& name) const;
+
+  bool enabled_;
+  std::vector<Instrument> order_;
+  // Deques: handles point at cells, so storage must never relocate.
+  std::deque<std::uint64_t> counters_;
+  std::deque<double> gauges_;
+  std::deque<HistogramState> histograms_;
+  std::vector<std::function<double()>> probes_;
+};
+
+}  // namespace wakurln::obs

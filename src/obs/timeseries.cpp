@@ -1,0 +1,27 @@
+#include "obs/timeseries.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wakurln::obs {
+
+void TimeSeries::sample(const Registry& registry, double sim_seconds) {
+  if (columns_.empty()) {
+    columns_.push_back("t_s");
+    std::vector<std::string> cols = registry.columns();
+    columns_.insert(columns_.end(), std::make_move_iterator(cols.begin()),
+                    std::make_move_iterator(cols.end()));
+  }
+  std::vector<double> row;
+  row.reserve(columns_.size());
+  row.push_back(sim_seconds);
+  std::vector<double> values = registry.sample_row();
+  row.insert(row.end(), values.begin(), values.end());
+  if (row.size() != columns_.size()) {
+    throw std::logic_error(
+        "obs::TimeSeries: registry shape changed between samples");
+  }
+  rows_.push_back(std::move(row));
+}
+
+}  // namespace wakurln::obs

@@ -1,0 +1,36 @@
+#pragma once
+// Per-epoch time series: rows sampled from a Registry on the simulated
+// clock. The scenario runner drives sampling from a scheduler periodic
+// timer (one row per RLN epoch), and the campaign layer serializes every
+// run's series into TIMESERIES_<scenario>.json. The column layout
+// freezes at the first sample — the registration order of the registry —
+// so every run of one spec emits identical columns and the file is
+// byte-comparable across repeats and thread counts.
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace wakurln::obs {
+
+class TimeSeries {
+ public:
+  /// Appends one row: simulated time plus every registry column. The
+  /// first sample freezes the column layout; a later sample seeing a
+  /// different registry shape throws std::logic_error (instruments must
+  /// not be registered mid-run).
+  void sample(const Registry& registry, double sim_seconds);
+
+  bool empty() const { return rows_.empty(); }
+  /// "t_s" followed by the registry's columns.
+  const std::vector<std::string>& columns() const { return columns_; }
+  /// One row per sample, each columns().size() values, t_s first.
+  const std::vector<std::vector<double>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace wakurln::obs

@@ -1,0 +1,148 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/memory.h"
+#include "util/json.h"
+
+namespace wakurln::obs {
+
+std::string short_id(std::span<const std::uint8_t> id) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const std::size_t n = std::min<std::size_t>(id.size(), 8);
+  std::string out;
+  out.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out += kHex[id[i] >> 4];
+    out += kHex[id[i] & 0x0f];
+  }
+  return out;
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("obs::Tracer: capacity must be >= 1");
+  }
+  // Reserve the whole ring up front: capacity() stays constant, so
+  // memory_bytes() is exact from the first event to the last.
+  ring_.reserve(capacity_);
+}
+
+void Tracer::set_arg(std::string_view arg, std::array<char, kMaxArgBytes>& dst,
+                     std::uint8_t& len) {
+  const std::size_t n = std::min(arg.size(), kMaxArgBytes);
+  std::copy_n(arg.data(), n, dst.data());
+  len = static_cast<std::uint8_t>(n);
+}
+
+std::uint32_t Tracer::intern(std::string_view name) {
+  const auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+void Tracer::record(const Event& ev) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[next_] = ev;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+void Tracer::instant(std::string_view name, std::uint64_t ts_us,
+                     std::uint32_t track, std::string_view arg) {
+  Event ev;
+  ev.ts = ts_us;
+  ev.name_id = intern(name);
+  ev.track = track;
+  ev.complete = 0;
+  set_arg(arg, ev.arg, ev.arg_len);
+  record(ev);
+}
+
+void Tracer::begin(std::string_view name, std::uint64_t ts_us,
+                   std::uint32_t track, std::string_view arg) {
+  OpenSpan span;
+  span.name_id = intern(name);
+  span.ts = ts_us;
+  set_arg(arg, span.arg, span.arg_len);
+  open_[track].push_back(span);
+}
+
+void Tracer::end(std::uint64_t ts_us, std::uint32_t track) {
+  const auto it = open_.find(track);
+  if (it == open_.end() || it->second.empty()) return;
+  const OpenSpan span = it->second.back();
+  it->second.pop_back();
+  Event ev;
+  ev.ts = span.ts;
+  ev.dur = ts_us >= span.ts ? ts_us - span.ts : 0;
+  ev.name_id = span.name_id;
+  ev.track = track;
+  ev.complete = 1;
+  ev.arg = span.arg;
+  ev.arg_len = span.arg_len;
+  record(ev);
+}
+
+std::size_t Tracer::memory_bytes() const {
+  std::size_t total = sizeof(Tracer);
+  total += ring_.capacity() * sizeof(Event);
+  total += names_.capacity() * sizeof(std::string);
+  for (const std::string& name : names_) total += string_heap_bytes(name);
+  for (const auto& [name, id] : name_ids_) {
+    (void)id;
+    total += kTreeNodeBytes + sizeof(std::pair<const std::string, std::uint32_t>) +
+             string_heap_bytes(name);
+  }
+  for (const auto& [track, stack] : open_) {
+    (void)track;
+    total += kTreeNodeBytes +
+             sizeof(std::pair<const std::uint32_t, std::vector<OpenSpan>>) +
+             stack.capacity() * sizeof(OpenSpan);
+  }
+  return total;
+}
+
+std::string Tracer::json() const {
+  // Built with operator+= only (see campaign.cpp: GCC 12 -Wrestrict,
+  // PR105651). Oldest retained event first: once the ring has wrapped,
+  // next_ is both the write cursor and the oldest slot.
+  std::string out = "{\"traceEvents\": [";
+  const std::size_t count = ring_.size();
+  const std::size_t start = recorded_ <= capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Event& ev = ring_[(start + i) % count];
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"name\": \"";
+    out += util::json_escape(names_[ev.name_id]);
+    out += "\", \"ph\": \"";
+    out += ev.complete != 0 ? "X" : "i";
+    out += "\", \"ts\": ";
+    out += std::to_string(ev.ts);
+    if (ev.complete != 0) {
+      out += ", \"dur\": ";
+      out += std::to_string(ev.dur);
+    } else {
+      out += ", \"s\": \"t\"";
+    }
+    out += ", \"pid\": 0, \"tid\": ";
+    out += std::to_string(ev.track);
+    if (ev.arg_len != 0) {
+      out += ", \"args\": {\"msg\": \"";
+      out += util::json_escape(std::string(ev.arg.data(), ev.arg_len));
+      out += "\"}";
+    }
+    out += "}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+}  // namespace wakurln::obs

@@ -1,0 +1,110 @@
+#pragma once
+// Message-lifecycle tracer: records publish → forward → verify /
+// cache-hit → deliver / drop events into a bounded ring buffer and
+// serializes them as Chrome trace-event JSON (TRACE_<scenario>.json),
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Timestamps
+// are simulated microseconds, tracks (tid) are node indices — the
+// resulting timeline shows one message fan out across the mesh.
+//
+// Determinism and bounds:
+//   * Timestamps come from the caller (the simulated clock); the tracer
+//     itself never reads wall time, thread ids or addresses — its JSON is
+//     a pure function of the recorded event sequence, which for a
+//     scenario run is a pure function of (spec, seed).
+//   * The ring buffer overwrites the oldest events once `capacity` is
+//     reached (dropped() counts the overwritten ones), and every event is
+//     a fixed-size POD with an inline argument buffer — memory stays
+//     bounded no matter how long the run is (memory_bytes() is exact).
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wakurln::obs {
+
+/// 16-hex-char digest prefix of a message id — the correlation key
+/// attached to trace events of one message's lifecycle.
+std::string short_id(std::span<const std::uint8_t> id);
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+  /// Longest argument stored per event (longer args are truncated).
+  static constexpr std::size_t kMaxArgBytes = 22;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// Records an instant event ("i" phase) on `track` at simulated time
+  /// `ts_us`. `arg` lands in the event's "args" object (truncated to
+  /// kMaxArgBytes).
+  void instant(std::string_view name, std::uint64_t ts_us, std::uint32_t track,
+               std::string_view arg = {});
+
+  /// Opens a span on `track`; close it with end(). Spans on one track
+  /// nest LIFO (end() closes the innermost open span) and serialize as
+  /// complete "X" events with begin timestamp + duration.
+  void begin(std::string_view name, std::uint64_t ts_us, std::uint32_t track,
+             std::string_view arg = {});
+
+  /// Closes the innermost open span on `track`; no-op if none is open.
+  void end(std::uint64_t ts_us, std::uint32_t track);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events ever recorded (instants + closed spans).
+  std::size_t recorded() const { return recorded_; }
+  /// Events currently retained in the ring.
+  std::size_t retained() const {
+    return recorded_ < capacity_ ? recorded_ : capacity_;
+  }
+  /// Events overwritten by ring wrap-around.
+  std::size_t dropped() const { return recorded_ - retained(); }
+
+  /// Exact resident bytes of the tracer (ring + name table + open-span
+  /// stacks), by the obs/memory.h container model.
+  std::size_t memory_bytes() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}), oldest retained
+  /// event first. Open (never-ended) spans are not emitted.
+  std::string json() const;
+
+ private:
+  struct Event {
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;
+    std::uint32_t name_id = 0;
+    std::uint32_t track = 0;
+    std::uint8_t complete = 0;  ///< 0 = instant "i", 1 = complete "X"
+    std::uint8_t arg_len = 0;
+    std::array<char, kMaxArgBytes> arg{};
+  };
+  struct OpenSpan {
+    std::uint32_t name_id = 0;
+    std::uint64_t ts = 0;
+    std::uint8_t arg_len = 0;
+    std::array<char, kMaxArgBytes> arg{};
+  };
+
+  std::uint32_t intern(std::string_view name);
+  void record(const Event& ev);
+  static void set_arg(std::string_view arg, std::array<char, kMaxArgBytes>& dst,
+                      std::uint8_t& len);
+
+  std::size_t capacity_;
+  std::vector<Event> ring_;   ///< reserved to capacity_ up front
+  std::size_t next_ = 0;      ///< ring write index once full
+  std::size_t recorded_ = 0;  ///< total events ever recorded
+
+  // Name interning. Ordered map: the tracer feeds a byte-deterministic
+  // report, so no unordered container anywhere near it.
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t, std::less<>> name_ids_;
+
+  /// Per-track stacks of spans opened but not yet ended.
+  std::map<std::uint32_t, std::vector<OpenSpan>> open_;
+};
+
+}  // namespace wakurln::obs

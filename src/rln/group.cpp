@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/memory.h"
+
 namespace wakurln::rln {
 
 RlnGroup::RlnGroup(std::size_t tree_depth) : tree_(tree_depth) {}
@@ -41,6 +43,16 @@ merkle::MerkleProof RlnGroup::membership_proof(std::uint64_t index) const {
     throw std::out_of_range("RlnGroup: no active member at index");
   }
   return tree_.prove(index);
+}
+
+std::size_t RlnGroup::memory_bytes() const {
+  std::size_t total = sizeof(RlnGroup) - sizeof(merkle::MerkleTree);
+  total += tree_.memory_bytes();
+  total += index_by_pk_.bucket_count() * sizeof(void*);
+  total += index_by_pk_.size() *
+           (obs::kUnorderedNodeBytes +
+            sizeof(std::pair<const field::Fr, std::uint64_t>));
+  return total;
 }
 
 }  // namespace wakurln::rln

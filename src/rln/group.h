@@ -40,6 +40,10 @@ class RlnGroup {
   /// Direct tree access for storage experiments.
   const merkle::MerkleTree& tree() const { return tree_; }
 
+  /// Modeled resident bytes of the group view: the Merkle tree plus the
+  /// pk → index lookup (libstdc++ layout, constants in obs/memory.h).
+  std::size_t memory_bytes() const;
+
  private:
   merkle::MerkleTree tree_;
   std::unordered_map<field::Fr, std::uint64_t, field::FrHash> index_by_pk_;

@@ -117,6 +117,7 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& conf
   }
   result.runs.resize(config.seeds);
   result.resources.resize(config.seeds);
+  result.series.resize(config.seeds);
 
   std::size_t threads = config.threads;
   if (threads == 0) {
@@ -132,9 +133,15 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& conf
       const std::size_t idx = next.fetch_add(1);
       if (idx >= result.seeds.size()) return;
       try {
-        ScenarioRunner runner(spec, result.seeds[idx]);
+        ScenarioSpec run_spec = spec;
+        // The campaign keeps seed0's trace only (see CampaignResult), so
+        // the other seeds skip the tracer entirely.
+        if (idx != 0) run_spec.trace = false;
+        ScenarioRunner runner(run_spec, result.seeds[idx]);
         result.runs[idx] = runner.run();
         result.resources[idx] = runner.resource();
+        result.series[idx] = runner.take_timeseries();
+        if (idx == 0) result.trace_json = runner.take_trace_json();
       } catch (...) {
         errors[idx] = std::current_exception();
       }
@@ -255,6 +262,16 @@ std::string report_json(const CampaignResult& result, bool include_resources) {
       out += json_number(r.group_sync_bytes);
       out += ", \"root_updates\": ";
       out += json_number(r.group_root_updates);
+      out += "},\n     \"memory\": {\"deterministic\": true, \"router_bytes\": ";
+      out += json_number(r.mem_router_bytes);
+      out += ", \"mcache_bytes\": ";
+      out += json_number(r.mem_mcache_bytes);
+      out += ", \"nullifier_bytes\": ";
+      out += json_number(r.mem_nullifier_bytes);
+      out += ", \"merkle_bytes\": ";
+      out += json_number(r.mem_merkle_bytes);
+      out += ", \"event_pool_bytes\": ";
+      out += json_number(r.mem_event_pool_bytes);
       out += "}}";
     }
     out += "\n  ], \"wall_ms_per_sim_second_mean\": ";
@@ -266,17 +283,89 @@ std::string report_json(const CampaignResult& result, bool include_resources) {
   return out;
 }
 
-std::string write_report(const CampaignResult& result, const std::string& out_dir) {
-  const std::string file = "SCENARIO_" + result.spec.name + ".json";
+namespace {
+
+std::string write_text(const std::string& file, const std::string& out_dir,
+                       const std::string& content) {
   const std::string path = out_dir.empty() ? file : out_dir + "/" + file;
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     throw std::runtime_error("cannot open " + path + " for writing");
   }
-  const std::string json = report_json(result, /*include_resources=*/true);
-  std::fwrite(json.data(), 1, json.size(), f);
+  std::fwrite(content.data(), 1, content.size(), f);
   std::fclose(f);
   return path;
+}
+
+}  // namespace
+
+std::string write_report(const CampaignResult& result, const std::string& out_dir) {
+  return write_text("SCENARIO_" + result.spec.name + ".json", out_dir,
+                    report_json(result, /*include_resources=*/true));
+}
+
+std::string timeseries_json(const CampaignResult& result) {
+  // Every run of one spec samples the same columns (registration order is
+  // code order); the first non-empty series provides the header.
+  const obs::TimeSeries* first = nullptr;
+  for (const obs::TimeSeries& s : result.series) {
+    if (!s.empty()) {
+      first = &s;
+      break;
+    }
+  }
+  if (first == nullptr) return "";
+
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"kind\": \"timeseries\",\n";
+  out += "  \"scenario\": \"";
+  out += json_escape(result.spec.name);
+  out += "\",\n";
+  out += "  \"epoch_seconds\": ";
+  out += std::to_string(result.spec.epoch_seconds);
+  out += ",\n";
+  out += "  \"columns\": [";
+  const std::vector<std::string>& cols = first->columns();
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += '"';
+    out += json_escape(cols[i]);
+    out += '"';
+  }
+  out += "],\n";
+  out += "  \"runs\": [";
+  for (std::size_t i = 0; i < result.series.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"seed\": ";
+    out += std::to_string(result.seeds[i]);
+    out += ", \"rows\": [";
+    const auto& rows = result.series[i].rows();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      out += r == 0 ? "\n" : ",\n";
+      out += "      [";
+      for (std::size_t c = 0; c < rows[r].size(); ++c) {
+        if (c != 0) out += ", ";
+        out += json_number(rows[r][c]);
+      }
+      out += "]";
+    }
+    out += rows.empty() ? "]}" : "\n    ]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string write_timeseries(const CampaignResult& result, const std::string& out_dir) {
+  const std::string json = timeseries_json(result);
+  if (json.empty()) return "";
+  return write_text("TIMESERIES_" + result.spec.name + ".json", out_dir, json);
+}
+
+std::string write_trace(const CampaignResult& result, const std::string& out_dir) {
+  if (result.trace_json.empty()) return "";
+  return write_text("TRACE_" + result.spec.name + ".json", out_dir,
+                    result.trace_json);
 }
 
 }  // namespace wakurln::scenario

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeseries.h"
 #include "scenario/metrics.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
@@ -33,6 +34,14 @@ struct CampaignResult {
   std::vector<MetricSet> runs;  ///< ordered by seed, not by completion
   std::vector<ResourceUsage> resources;  ///< host cost per run (same order)
   std::vector<AggregateMetric> aggregate;
+  /// Per-epoch metric samples per run (same order; empty series unless
+  /// spec.observability).
+  std::vector<obs::TimeSeries> series;
+  /// Chrome trace-event JSON of the seed0 run ("" unless spec.trace).
+  /// Seed0 only: the trace is a timeline artifact for one run, and
+  /// keeping it single-seed leaves TRACE_* independent of the seed count
+  /// and the thread pool.
+  std::string trace_json;
 };
 
 /// Runs the sweep; rethrows the first per-run exception (by seed order).
@@ -47,5 +56,20 @@ std::string report_json(const CampaignResult& result, bool include_resources = f
 /// Writes the full report (resources included) to
 /// "<out_dir>/SCENARIO_<name>.json" ("" = CWD); returns the path written.
 std::string write_report(const CampaignResult& result, const std::string& out_dir = "");
+
+/// Deterministic JSON serialization of the per-epoch time series across
+/// all runs — a pure function of (spec, cfg.seeds, cfg.seed0), like
+/// report_json. Returns "" when no run sampled anything (observability
+/// off).
+std::string timeseries_json(const CampaignResult& result);
+
+/// Writes timeseries_json to "<out_dir>/TIMESERIES_<name>.json"; returns
+/// the path written, or "" when there was nothing to write.
+std::string write_timeseries(const CampaignResult& result,
+                             const std::string& out_dir = "");
+
+/// Writes the seed0 trace to "<out_dir>/TRACE_<name>.json"; returns the
+/// path written, or "" when tracing was off.
+std::string write_trace(const CampaignResult& result, const std::string& out_dir = "");
 
 }  // namespace wakurln::scenario

@@ -15,6 +15,8 @@
 
 #include "baselines/pow.h"
 #include "gossipsub/message.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "sim/topology.h"
 #include "util/bytes.h"
 #include "util/shared_bytes.h"
@@ -234,14 +236,15 @@ sim::TimeUs traffic_start_us(const ScenarioSpec& spec, const sim::Scheduler& sch
 
 /// Schedules the honest workload, the adversaries, churn and the partition
 /// onto the world clock, runs the traffic phase plus `drain_seconds`, and
-/// returns what happened. All workload randomness is pre-drawn from a
-/// dedicated stream in a fixed (epoch-major, node-minor) order, so the
-/// decision sequence is a function of the seed alone.
-TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
-                         sim::Scheduler& sched, sim::Network& net,
-                         const PublishFn& publish_honest, const PublishFn& publish_spam,
-                         std::uint64_t drain_seconds) {
-  TrafficLog log;
+/// records what happened into `log` (an out-param so observability probes
+/// registered before the traffic phase can read the counters live). All
+/// workload randomness is pre-drawn from a dedicated stream in a fixed
+/// (epoch-major, node-minor) order, so the decision sequence is a
+/// function of the seed alone.
+void drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
+                   sim::Scheduler& sched, sim::Network& net,
+                   const PublishFn& publish_honest, const PublishFn& publish_spam,
+                   std::uint64_t drain_seconds, TrafficLog& log) {
   const sim::TimeUs t_us = spec.epoch_seconds * sim::kUsPerSecond;
   util::Rng traffic_rng(seed ^ 0x7472616666696331ULL);
   util::Rng rewire_rng(seed ^ 0x72656a6f696e3031ULL);
@@ -414,7 +417,37 @@ TrafficLog drive_traffic(const ScenarioSpec& spec, std::uint64_t seed,
 
   sched.run_until(start_us + spec.traffic_epochs * t_us +
                   drain_seconds * sim::kUsPerSecond);
-  return log;
+}
+
+/// Registers the workload counters as registry probes (no-op when the
+/// registry is disabled). `log` must outlive the sampling run.
+void register_workload_probes(obs::Registry& reg, const TrafficLog& log) {
+  if (!reg.enabled()) return;
+  reg.probe("honest_attempted",
+            [&log] { return static_cast<double>(log.honest_attempted); });
+  reg.probe("honest_published",
+            [&log] { return static_cast<double>(log.honest_published); });
+  reg.probe("spam_attempted",
+            [&log] { return static_cast<double>(log.spam_attempted); });
+  reg.probe("spam_published",
+            [&log] { return static_cast<double>(log.spam_published); });
+}
+
+/// Per-subsystem resident-memory maxima over the per-epoch samples.
+struct MemoryPeaks {
+  std::size_t router = 0;
+  std::size_t mcache = 0;
+  std::size_t nullifier = 0;
+  std::size_t merkle = 0;
+  std::size_t event_pool = 0;
+};
+
+void fill_memory_resources(const MemoryPeaks& peaks, ResourceUsage& resource) {
+  resource.mem_router_bytes = static_cast<double>(peaks.router);
+  resource.mem_mcache_bytes = static_cast<double>(peaks.mcache);
+  resource.mem_nullifier_bytes = static_cast<double>(peaks.nullifier);
+  resource.mem_merkle_bytes = static_cast<double>(peaks.merkle);
+  resource.mem_event_pool_bytes = static_cast<double>(peaks.event_pool);
 }
 
 /// The coalition-first-spy adversary: colluding silent observer nodes
@@ -774,6 +807,8 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec, std::uint64_t seed)
 
 MetricSet ScenarioRunner::run() {
   const auto t0 = std::chrono::steady_clock::now();
+  series_ = obs::TimeSeries();
+  trace_json_.clear();
   MetricSet m = spec_.protocol == Protocol::kPow ? run_pow() : run_rln();
   resource_.wall_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
@@ -805,8 +840,15 @@ MetricSet ScenarioRunner::run_rln() {
     }
     cfg.degree_boost_links = spec_.observer.sybil_extra_links;
   }
+  obs::Registry reg(spec_.observability);
+  std::optional<obs::Tracer> tracer;
+  if (spec_.trace) tracer.emplace(spec_.trace_capacity);
+
   waku::SimHarness world(cfg);
   apply_observer_placement(spec_, world.network());
+  world.attach_observability(reg, tracer ? &*tracer : nullptr);
+  TrafficLog log;
+  register_workload_probes(reg, log);
 
   const std::uint64_t payload_allocs0 = util::SharedBytes::allocation_count();
   const std::uint64_t payload_bytes0 = util::SharedBytes::allocated_bytes();
@@ -895,30 +937,65 @@ MetricSet ScenarioRunner::run_rln() {
     });
   }
 
-  // Sample the nullifier-map footprint once per epoch across the whole
-  // run: the per-epoch GC would have pruned the records by the time the
-  // drain ends, so an end-of-run reading misses the peak.
+  // Sample the nullifier-map footprint — and every other subsystem's
+  // resident bytes — once per epoch across the whole run: the per-epoch
+  // GC would have pruned the records by the time the drain ends, so an
+  // end-of-run reading misses the peak. The memory peaks are reported
+  // whether or not the observability layer is on (the sampling lambda is
+  // read-only, so its position among same-timestamp events is inert).
   std::size_t nullifier_max = 0;
+  MemoryPeaks mem_peaks;
   {
     const std::uint64_t now_s = world.scheduler().now() / sim::kUsPerSecond;
     const std::uint64_t horizon_s =
         now_s + (spec_.traffic_epochs + 2) * spec_.epoch_seconds + drain_seconds;
     for (std::uint64_t t = now_s + 1; t <= horizon_s; t += spec_.epoch_seconds) {
-      world.scheduler().schedule_at(t * sim::kUsPerSecond, [&world, &nullifier_max] {
-        for (std::size_t i = 0; i < world.size(); ++i) {
-          nullifier_max = std::max(nullifier_max, world.node(i).nullifier_map_bytes());
-        }
-      });
+      world.scheduler().schedule_at(
+          t * sim::kUsPerSecond, [&world, &nullifier_max, &mem_peaks] {
+            std::size_t routers = 0;
+            std::size_t mcaches = 0;
+            std::size_t nullifiers = 0;
+            for (std::size_t i = 0; i < world.size(); ++i) {
+              const std::size_t nb = world.node(i).nullifier_map_bytes();
+              nullifier_max = std::max(nullifier_max, nb);
+              nullifiers += nb;
+              routers += world.relay(i).router().memory_bytes();
+              mcaches += world.relay(i).router().mcache().memory_bytes();
+            }
+            mem_peaks.router = std::max(mem_peaks.router, routers);
+            mem_peaks.mcache = std::max(mem_peaks.mcache, mcaches);
+            mem_peaks.nullifier = std::max(mem_peaks.nullifier, nullifiers);
+            mem_peaks.merkle =
+                std::max(mem_peaks.merkle, world.group_sync().memory_bytes());
+            mem_peaks.event_pool =
+                std::max(mem_peaks.event_pool, world.scheduler().memory_bytes());
+          });
     }
+  }
+
+  // Per-epoch time series: one row at every protocol epoch boundary from
+  // the traffic start through the drain (the registration order of the
+  // probes above is the column order of TIMESERIES_<scenario>.json).
+  sim::TimerHandle sample_timer;
+  if (reg.enabled()) {
+    sim::Scheduler& sched = world.scheduler();
+    const sim::TimeUs period = spec_.epoch_seconds * sim::kUsPerSecond;
+    sample_timer = sched.schedule_periodic(
+        traffic_start_us(spec_, sched) - sched.now(), period, [this, &reg, &world] {
+          series_.sample(reg, static_cast<double>(world.scheduler().now()) /
+                                  static_cast<double>(sim::kUsPerSecond));
+        });
   }
 
   SteadyProbe probe;
   arm_steady_probe(world.scheduler(), spec_.epoch_seconds, probe);
 
-  const TrafficLog log = drive_traffic(spec_, seed_, world.scheduler(),
-                                       world.network(), honest, spam, drain_seconds);
+  drive_traffic(spec_, seed_, world.scheduler(), world.network(), honest, spam,
+                drain_seconds, log);
 
   capture_scheduler_stats(world.scheduler(), probe, resource_);
+  fill_memory_resources(mem_peaks, resource_);
+  if (tracer) trace_json_ = tracer->json();
 
   std::vector<Delivered> deliveries;
   deliveries.reserve(world.deliveries().size());
@@ -1029,6 +1106,13 @@ MetricSet ScenarioRunner::run_pow() {
   apply_observer_placement(spec_, net);
   for (auto& r : relays) r->start();
 
+  obs::Registry reg(spec_.observability);
+  std::optional<obs::Tracer> tracer;
+  if (spec_.trace) tracer.emplace(spec_.trace_capacity);
+  obs::Tracer* const tr = tracer ? &*tracer : nullptr;
+  for (auto& r : relays) r->router().set_tracer(tr);
+  net.instrument(reg);
+
   const std::uint64_t payload_allocs0 = util::SharedBytes::allocation_count();
   const std::uint64_t payload_bytes0 = util::SharedBytes::allocated_bytes();
 
@@ -1044,14 +1128,50 @@ MetricSet ScenarioRunner::run_pow() {
     for (const std::string& topic : topics) {
       relays[i]->router().set_validator(
           topic, baselines::make_pow_validator(spec_.pow_difficulty_bits));
-      relays[i]->subscribe(topic, [&deliveries, &sched, &decode, i](
+      relays[i]->subscribe(topic, [&deliveries, &sched, &decode, tr, i](
                                       const gossipsub::TopicId&,
                                       const util::SharedBytes& data) {
         const auto key = decode(data);
-        if (key) deliveries.push_back({i, *key, sched.now()});
+        if (key) {
+          deliveries.push_back({i, *key, sched.now()});
+          if (tr != nullptr) {
+            tr->instant("deliver", sched.now(), static_cast<std::uint32_t>(i));
+          }
+        }
       });
     }
   }
+
+  // The PoW world has no harness, so the pull probes are registered here
+  // (same fixed-order rule; no membership or nullifier state to report).
+  if (reg.enabled()) {
+    reg.probe("delivered_total",
+              [&deliveries] { return static_cast<double>(deliveries.size()); });
+    reg.probe("scheduler_queue",
+              [&sched] { return static_cast<double>(sched.pending()); });
+    reg.probe("scheduler_queue_peak", [&sched] {
+      return static_cast<double>(sched.stats().peak_pending);
+    });
+    reg.probe("mem_router_bytes", [&relays] {
+      std::size_t total = 0;
+      for (const auto& r : relays) total += r->router().memory_bytes();
+      return static_cast<double>(total);
+    });
+    reg.probe("mem_mcache_bytes", [&relays] {
+      std::size_t total = 0;
+      for (const auto& r : relays) total += r->router().mcache().memory_bytes();
+      return static_cast<double>(total);
+    });
+    reg.probe("mem_event_pool_bytes",
+              [&sched] { return static_cast<double>(sched.memory_bytes()); });
+    reg.probe("net_frames_sent", [&net] {
+      return static_cast<double>(net.stats().frames_sent);
+    });
+    reg.probe("net_bytes_sent",
+              [&net] { return static_cast<double>(net.stats().bytes_sent); });
+  }
+  TrafficLog log;
+  register_workload_probes(reg, log);
   sched.run_for(5 * sim::kUsPerSecond);  // mesh warm-up
 
   FirstSpyObserver spy(spec_, decode);
@@ -1064,16 +1184,52 @@ MetricSet ScenarioRunner::run_pow() {
     const auto env =
         baselines::pow_seal(padded_payload(spec_, key), spec_.pow_difficulty_bits);
     relays[node]->publish(topics[topic], env.serialize());
+    if (tr != nullptr) {
+      tr->instant("publish", sched.now(), static_cast<std::uint32_t>(node), key);
+    }
     return true;
   };
+
+  // Per-epoch memory sampling (always on — the peaks land in the
+  // resources block) and, with observability enabled, the time series.
+  constexpr std::uint64_t kPowDrainSeconds = 10;
+  MemoryPeaks mem_peaks;
+  {
+    const std::uint64_t now_s = sched.now() / sim::kUsPerSecond;
+    const std::uint64_t horizon_s =
+        now_s + (spec_.traffic_epochs + 2) * spec_.epoch_seconds + kPowDrainSeconds;
+    for (std::uint64_t t = now_s + 1; t <= horizon_s; t += spec_.epoch_seconds) {
+      sched.schedule_at(t * sim::kUsPerSecond, [&relays, &sched, &mem_peaks] {
+        std::size_t routers = 0;
+        std::size_t mcaches = 0;
+        for (const auto& r : relays) {
+          routers += r->router().memory_bytes();
+          mcaches += r->router().mcache().memory_bytes();
+        }
+        mem_peaks.router = std::max(mem_peaks.router, routers);
+        mem_peaks.mcache = std::max(mem_peaks.mcache, mcaches);
+        mem_peaks.event_pool = std::max(mem_peaks.event_pool, sched.memory_bytes());
+      });
+    }
+  }
+  sim::TimerHandle sample_timer;
+  if (reg.enabled()) {
+    const sim::TimeUs period = spec_.epoch_seconds * sim::kUsPerSecond;
+    sample_timer = sched.schedule_periodic(
+        traffic_start_us(spec_, sched) - sched.now(), period, [this, &reg, &sched] {
+          series_.sample(reg, static_cast<double>(sched.now()) /
+                                  static_cast<double>(sim::kUsPerSecond));
+        });
+  }
 
   SteadyProbe probe;
   arm_steady_probe(sched, spec_.epoch_seconds, probe);
 
-  const TrafficLog log =
-      drive_traffic(spec_, seed_, sched, net, publish, publish, /*drain_seconds=*/10);
+  drive_traffic(spec_, seed_, sched, net, publish, publish, kPowDrainSeconds, log);
 
   capture_scheduler_stats(sched, probe, resource_);
+  fill_memory_resources(mem_peaks, resource_);
+  if (tracer) trace_json_ = tracer->json();
 
   MetricSet m;
   m.set("nodes", static_cast<double>(spec_.nodes));

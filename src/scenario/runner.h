@@ -17,7 +17,9 @@
 // runs with equal inputs produce identical metrics, byte for byte.
 
 #include <cstdint>
+#include <string>
 
+#include "obs/timeseries.h"
 #include "scenario/metrics.h"
 #include "scenario/spec.h"
 
@@ -50,6 +52,16 @@ struct ResourceUsage {
   // storms are the scenarios that move these.
   double group_sync_bytes = 0;    ///< modeled bytes to apply the event stream
   double group_root_updates = 0;  ///< Merkle root changes over the run
+
+  // Per-subsystem resident-memory peaks, sampled once per epoch over the
+  // whole run (modeled bytes — see obs/memory.h; deterministic, reported
+  // whether or not the observability layer is enabled). Sums across all
+  // nodes of the world except the shared merkle view and the event pool.
+  double mem_router_bytes = 0;      ///< gossipsub peer/mesh/seen state
+  double mem_mcache_bytes = 0;      ///< gossip message caches
+  double mem_nullifier_bytes = 0;   ///< RLN nullifier rings
+  double mem_merkle_bytes = 0;      ///< shared membership Merkle view
+  double mem_event_pool_bytes = 0;  ///< scheduler calendar + event pool
 };
 
 class ScenarioRunner {
@@ -64,6 +76,13 @@ class ScenarioRunner {
   /// Host cost of the last run() call.
   const ResourceUsage& resource() const { return resource_; }
 
+  /// Per-epoch metric samples of the last run() — empty unless
+  /// spec.observability. Moves the series out (one run per runner).
+  obs::TimeSeries take_timeseries() { return std::move(series_); }
+
+  /// Chrome trace-event JSON of the last run() — empty unless spec.trace.
+  std::string take_trace_json() { return std::move(trace_json_); }
+
   const ScenarioSpec& spec() const { return spec_; }
   std::uint64_t seed() const { return seed_; }
 
@@ -74,6 +93,8 @@ class ScenarioRunner {
   ScenarioSpec spec_;
   std::uint64_t seed_;
   ResourceUsage resource_;
+  obs::TimeSeries series_;
+  std::string trace_json_;
 };
 
 }  // namespace wakurln::scenario

@@ -51,6 +51,10 @@ void ScenarioSpec::validate() const {
   if (topics == 0) {
     throw std::invalid_argument("ScenarioSpec: topics must be >= 1");
   }
+  if (trace && trace_capacity == 0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: trace_capacity must be >= 1 when tracing");
+  }
   if (partition.enabled &&
       !(partition.fraction > 0.0 && partition.fraction < 1.0)) {
     throw std::invalid_argument(

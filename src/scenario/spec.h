@@ -215,6 +215,18 @@ struct ScenarioSpec {
   /// Short TTLs open the window the iwant_replay adversary exploits.
   std::uint64_t seen_ttl_seconds = 0;
 
+  // -- observability -----------------------------------------------------
+  /// Enables the metrics registry and the per-epoch time-series sampler
+  /// (src/obs). Off by default: a disabled registry hands out inert
+  /// handles and the protocol metrics stay byte-identical either way —
+  /// the bench suite asserts both properties. Not part of the spec's
+  /// serialized identity (reports are comparable across obs settings).
+  bool observability = false;
+  /// Enables the message-lifecycle tracer (Chrome trace-event JSON).
+  bool trace = false;
+  /// Tracer ring capacity in events (oldest events overwritten beyond it).
+  std::size_t trace_capacity = 1 << 16;
+
   AdversaryMix adversaries;
   ChurnSpec churn;
   PartitionSpec partition;

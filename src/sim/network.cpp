@@ -76,6 +76,7 @@ void Network::send(NodeId from, NodeId to, Frame frame, std::size_t bytes) {
   stats_.frames_sent += 1;
   stats_.bytes_sent += bytes;
   nodes_[from].bytes_sent += bytes;
+  frame_bytes_hist_.observe(static_cast<double>(bytes));
 
   const LinkParams& link = params_for(from, to);
   if (rng_.chance(link.loss_rate)) {
@@ -117,6 +118,14 @@ void Network::on_delivery(const DeliveryEvent& ev) {
 
 void Network::drop_in_flight(NodeId node) {
   nodes_.at(node).generation += 1;
+}
+
+void Network::instrument(obs::Registry& reg) {
+  // Wire-frame sizes: the edges straddle the control/payload split (bare
+  // control RPCs sit in the low buckets, padded payload fan-out in the
+  // high ones). A disabled registry hands back an inert handle.
+  frame_bytes_hist_ = reg.histogram(
+      "net_frame_bytes", {64, 256, 1024, 4096, 16384, 65536});
 }
 
 std::uint64_t Network::bytes_sent_by(NodeId node) const {

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/registry.h"
 #include "sim/frame.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
@@ -92,6 +93,12 @@ class Network : public DeliverySink {
   /// Installs (or clears, with nullptr) the global delivery wiretap.
   void set_frame_tap(FrameTap tap) { frame_tap_ = std::move(tap); }
 
+  /// Registers the network's push instruments on `reg` (no-op handles
+  /// when the registry is disabled): a wire-frame size histogram observed
+  /// on every send. Fixed registration order — part of the deterministic
+  /// time-series column contract.
+  void instrument(obs::Registry& reg);
+
   const Stats& stats() const { return stats_; }
   std::uint64_t bytes_sent_by(NodeId node) const;
   std::uint64_t bytes_received_by(NodeId node) const;
@@ -123,6 +130,7 @@ class Network : public DeliverySink {
   std::vector<NodeState> nodes_;
   std::unordered_map<std::uint64_t, LinkParams> link_overrides_;
   FrameTap frame_tap_;
+  obs::Histogram frame_bytes_hist_;
   Stats stats_;
 };
 

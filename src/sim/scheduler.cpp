@@ -322,4 +322,18 @@ void Scheduler::run_all() {
   }
 }
 
+std::size_t Scheduler::memory_bytes() const {
+  std::size_t total = sizeof(Scheduler);
+  // Pool blocks are the dominant term: kBlockSize nodes each, never freed.
+  total += blocks_.size() *
+           (sizeof(std::unique_ptr<EventNode[]>) + kBlockSize * sizeof(EventNode));
+  // Calendar ring: the slot headers plus the live node pointers parked in
+  // the wheel and the overflow heap.
+  total += buckets_.size() * sizeof(std::vector<EventNode*>);
+  total += (wheel_count_ + overflow_.size()) * sizeof(EventNode*);
+  // Timer table slots (the deque never shrinks; cancelled slots recycle).
+  total += timers_.size() * sizeof(TimerSlot);
+  return total;
+}
+
 }  // namespace wakurln::sim

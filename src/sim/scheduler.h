@@ -166,6 +166,13 @@ class Scheduler {
 
   const Stats& stats() const { return stats_; }
 
+  /// Resident bytes of the event engine: the pooled node blocks (the pool
+  /// never shrinks — this is the high-water mark of event concurrency),
+  /// the calendar ring, the overflow heap and the timer table. Exact for
+  /// the engine's own structures (live content, not allocator slack in
+  /// the per-slot vectors); deterministic for a fixed workload.
+  std::size_t memory_bytes() const;
+
  private:
   // Calendar-queue geometry: one slot covers 2^kSlotShift us (~1 ms), the
   // ring spans kNumBuckets slots (~8.4 s). Near-future events — link

@@ -5,16 +5,30 @@
 
 namespace wakurln::util {
 
+double percentile_rank(std::size_t n, double q) {
+  if (n == 0) return 0;
+  if (q <= 0) return 0;
+  if (q >= 1) return static_cast<double>(n - 1);
+  return q * static_cast<double>(n - 1);
+}
+
+double percentile_at_rank(std::size_t n, double h,
+                          const std::function<double(std::size_t)>& value_at) {
+  if (n == 0) return 0;
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= n) return value_at(n - 1);
+  const double frac = h - static_cast<double>(lo);
+  const double a = value_at(lo);
+  const double b = value_at(lo + 1);
+  return a + frac * (b - a);
+}
+
 double percentile(std::vector<double> samples, double q) {
   if (samples.empty()) return 0;
   std::sort(samples.begin(), samples.end());
-  if (q <= 0) return samples.front();
-  if (q >= 1) return samples.back();
-  const double pos = q * static_cast<double>(samples.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= samples.size()) return samples.back();
-  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+  return percentile_at_rank(
+      samples.size(), percentile_rank(samples.size(), q),
+      [&samples](std::size_t k) { return samples[k]; });
 }
 
 }  // namespace wakurln::util

@@ -1,11 +1,26 @@
 #pragma once
-// Small numeric helpers shared by the bench harness and the scenario
-// metrics pipeline, so timing percentiles and simulated-latency
-// percentiles are computed by one definition.
+// Small numeric helpers shared by the bench harness, the scenario
+// metrics pipeline and the observability histograms, so timing
+// percentiles, simulated-latency percentiles and bucketed-distribution
+// percentiles are all computed by one definition.
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 namespace wakurln::util {
+
+/// The fractional order-statistic rank the linear-interpolation
+/// percentile sits at: h = q * (n - 1), clamped to [0, n - 1]. Every
+/// percentile consumer (sample sets, histograms) derives its rank here,
+/// so "p90" means the same thing everywhere. Returns 0 for n == 0.
+double percentile_rank(std::size_t n, double q);
+
+/// Evaluates the linear-interpolation percentile at fractional rank `h`
+/// over `n` order statistics accessed through `value_at(k)`, k in
+/// [0, n - 1]. Returns 0 for n == 0.
+double percentile_at_rank(std::size_t n, double h,
+                          const std::function<double(std::size_t)>& value_at);
 
 /// Linear-interpolation percentile over an unsorted sample set; `q` is in
 /// [0, 1]. Returns 0 for an empty sample set.

@@ -48,6 +48,10 @@ class GroupSync {
   const rln::RlnGroup& group() const { return group_; }
   const Stats& stats() const { return stats_; }
 
+  /// Resident bytes of the synced membership view (the Merkle tree and
+  /// its pk index dominate; see rln::RlnGroup::memory_bytes).
+  std::size_t memory_bytes() const { return group_.memory_bytes() + sizeof(Stats); }
+
  private:
   void on_event(const eth::ContractEvent& event);
 

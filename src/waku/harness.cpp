@@ -1,5 +1,6 @@
 #include "waku/harness.h"
 
+#include "obs/tracer.h"
 #include "sim/topology.h"
 
 namespace wakurln::waku {
@@ -57,6 +58,10 @@ void SimHarness::subscribe_all(const gossipsub::TopicId& topic) {
     nodes_[i]->subscribe(topic, [this, i](const gossipsub::TopicId&,
                                           const util::SharedBytes& payload) {
       deliveries_.push_back(Delivery{i, payload, scheduler_.now()});
+      if (tracer_ != nullptr) {
+        tracer_->instant("deliver", scheduler_.now(),
+                         static_cast<std::uint32_t>(i));
+      }
     });
   }
 }
@@ -89,6 +94,84 @@ std::size_t SimHarness::nodes_delivered(const util::Bytes& payload) const {
     }
   }
   return count;
+}
+
+void SimHarness::attach_observability(obs::Registry& reg, obs::Tracer* tracer) {
+  tracer_ = tracer;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->set_tracer(tracer, static_cast<std::uint32_t>(i));
+    relays_[i]->router().set_tracer(tracer);
+  }
+  network_.instrument(reg);
+  if (!reg.enabled()) return;
+
+  // Pull probes, registered in a fixed order (= time-series column order).
+  // Every value below is a pure function of the simulated workload, so the
+  // sampled rows stay byte-identical across seeds-in-parallel runs.
+  reg.probe("delivered_total",
+            [this] { return static_cast<double>(deliveries_.size()); });
+  reg.probe("rln_accepted", [this] {
+    return static_cast<double>(aggregate_stats().accepted);
+  });
+  reg.probe("rln_double_signals", [this] {
+    return static_cast<double>(aggregate_stats().double_signals);
+  });
+  reg.probe("rln_slashes_submitted", [this] {
+    return static_cast<double>(aggregate_stats().slashes_submitted);
+  });
+  reg.probe("proof_verifications", [this] {
+    return static_cast<double>(aggregate_stats().proof_verifications);
+  });
+  reg.probe("proof_cache_hits", [this] {
+    return static_cast<double>(aggregate_stats().proof_cache_hits);
+  });
+  reg.probe("proof_cache_hit_rate", [this] {
+    const auto s = aggregate_stats();
+    const std::uint64_t lookups = s.proof_verifications + s.proof_cache_hits;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(s.proof_cache_hits) /
+                              static_cast<double>(lookups);
+  });
+  reg.probe("group_root_updates", [this] {
+    return static_cast<double>(sync_->stats().root_updates);
+  });
+  reg.probe("group_sync_bytes", [this] {
+    return static_cast<double>(sync_->stats().sync_bytes);
+  });
+  reg.probe("eth_stake_burnt_wei", [this] {
+    return static_cast<double>(chain_.ledger().burnt_total());
+  });
+  reg.probe("scheduler_queue",
+            [this] { return static_cast<double>(scheduler_.pending()); });
+  reg.probe("scheduler_queue_peak", [this] {
+    return static_cast<double>(scheduler_.stats().peak_pending);
+  });
+  reg.probe("nullifier_bytes_total", [this] {
+    std::size_t total = 0;
+    for (const auto& n : nodes_) total += n->nullifier_map_bytes();
+    return static_cast<double>(total);
+  });
+  reg.probe("mem_router_bytes", [this] {
+    std::size_t total = 0;
+    for (const auto& r : relays_) total += r->router().memory_bytes();
+    return static_cast<double>(total);
+  });
+  reg.probe("mem_mcache_bytes", [this] {
+    std::size_t total = 0;
+    for (const auto& r : relays_) total += r->router().mcache().memory_bytes();
+    return static_cast<double>(total);
+  });
+  reg.probe("mem_merkle_bytes",
+            [this] { return static_cast<double>(sync_->memory_bytes()); });
+  reg.probe("mem_event_pool_bytes", [this] {
+    return static_cast<double>(scheduler_.memory_bytes());
+  });
+  reg.probe("net_frames_sent", [this] {
+    return static_cast<double>(network_.stats().frames_sent);
+  });
+  reg.probe("net_bytes_sent", [this] {
+    return static_cast<double>(network_.stats().bytes_sent);
+  });
 }
 
 WakuRlnRelay::Stats SimHarness::aggregate_stats() const {

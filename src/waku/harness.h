@@ -10,11 +10,16 @@
 #include <vector>
 
 #include "eth/membership_contract.h"
+#include "obs/registry.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
 #include "sim/topology.h"
 #include "waku/relay.h"
 #include "waku/rln_relay.h"
+
+namespace wakurln::obs {
+class Tracer;
+}
 
 namespace wakurln::waku {
 
@@ -105,6 +110,16 @@ class SimHarness {
   /// Aggregated stats across all nodes.
   WakuRlnRelay::Stats aggregate_stats() const;
 
+  /// Wires the observability layer into the world: registers the
+  /// network's push instruments and the harness pull probes (delivery,
+  /// RLN acceptance/slashing, proof-cache hit rate, group-sync churn,
+  /// scheduler queue, per-subsystem memory) on `reg` in a fixed order,
+  /// and attaches `tracer` (may be nullptr) to every relay and router so
+  /// publish/forward/verify/cache-hit/deliver/drop events are recorded.
+  /// A disabled registry keeps everything inert. Call once, after
+  /// construction and before driving traffic.
+  void attach_observability(obs::Registry& reg, obs::Tracer* tracer);
+
  private:
   HarnessConfig config_;
   util::Rng rng_;
@@ -118,6 +133,7 @@ class SimHarness {
   std::vector<std::unique_ptr<WakuRlnRelay>> nodes_;
   std::vector<Delivery> deliveries_;
   sim::TimerHandle mine_timer_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace wakurln::waku

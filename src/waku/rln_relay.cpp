@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hash/poseidon.h"
+#include "obs/tracer.h"
 #include "util/serde.h"
 
 namespace wakurln::waku {
@@ -42,6 +43,16 @@ WakuRlnRelay::WakuRlnRelay(WakuRelay& relay, eth::Chain& chain,
 
 std::uint64_t WakuRlnRelay::now_seconds() const {
   return relay_.router().network().scheduler().now() / sim::kUsPerSecond;
+}
+
+sim::TimeUs WakuRlnRelay::now_us() const {
+  return relay_.router().network().scheduler().now();
+}
+
+void WakuRlnRelay::trace_drop(const char* reason) {
+  if (tracer_ != nullptr) {
+    tracer_->instant("drop", now_us(), trace_track_, reason);
+  }
 }
 
 std::uint64_t WakuRlnRelay::current_epoch() const {
@@ -110,8 +121,12 @@ WakuRlnRelay::PublishOutcome WakuRlnRelay::do_publish(const gossipsub::TopicId& 
   // Honest clients run their own validator on publish (recording their
   // share in the local nullifier map); the unchecked path models a
   // modified client that bypasses its own checks.
-  relay_.publish(topic, encode_envelope(*signal, payload),
-                 /*apply_validator=*/enforce_rate_limit);
+  const gossipsub::MessageId id =
+      relay_.publish(topic, encode_envelope(*signal, payload),
+                     /*apply_validator=*/enforce_rate_limit);
+  if (tracer_ != nullptr) {
+    tracer_->instant("publish", now_us(), trace_track_, obs::short_id(id));
+  }
   return PublishOutcome::kPublished;
 }
 
@@ -120,14 +135,27 @@ bool WakuRlnRelay::verify_proof_cached(const gossipsub::MessageId& id,
                                        const rln::RlnSignal& signal) {
   if (config_.proof_cache_entries == 0) {
     ++stats_.proof_verifications;
+    if (tracer_ != nullptr) {
+      tracer_->begin("verify", now_us(), trace_track_, obs::short_id(id));
+      const bool ok = verifier_.verify(payload, signal);
+      tracer_->end(now_us(), trace_track_);
+      return ok;
+    }
     return verifier_.verify(payload, signal);
   }
   if (const auto it = proof_cache_.find(id); it != proof_cache_.end()) {
     ++stats_.proof_cache_hits;
+    if (tracer_ != nullptr) {
+      tracer_->instant("cache_hit", now_us(), trace_track_, obs::short_id(id));
+    }
     return it->second;
   }
   ++stats_.proof_verifications;
+  if (tracer_ != nullptr) {
+    tracer_->begin("verify", now_us(), trace_track_, obs::short_id(id));
+  }
   const bool ok = verifier_.verify(payload, signal);
+  if (tracer_ != nullptr) tracer_->end(now_us(), trace_track_);
   if (proof_cache_order_.size() >= config_.proof_cache_entries) {
     proof_cache_.erase(proof_cache_order_.front());
     proof_cache_order_.pop_front();
@@ -143,6 +171,7 @@ gossipsub::Validation WakuRlnRelay::validate(sim::NodeId /*source*/,
   const auto decoded = decode_envelope(msg.data);
   if (!decoded) {
     ++stats_.invalid_envelope;
+    trace_drop("envelope");
     return Validation::kReject;
   }
   const rln::RlnSignal& signal = decoded->first;
@@ -151,6 +180,7 @@ gossipsub::Validation WakuRlnRelay::validate(sim::NodeId /*source*/,
   // 2. Epoch window: |msg.epoch - local| <= Thr (§III).
   if (!epochs_.within_threshold(signal.epoch, current_epoch())) {
     ++stats_.invalid_epoch;
+    trace_drop("epoch");
     return Validation::kReject;
   }
 
@@ -158,12 +188,14 @@ gossipsub::Validation WakuRlnRelay::validate(sim::NodeId /*source*/,
   // one-per-epoch scheme).
   if (signal.message_index >= config_.messages_per_epoch) {
     ++stats_.invalid_slot;
+    trace_drop("slot");
     return Validation::kReject;
   }
 
   // 3. Acceptable-root window (group-sync tolerance).
   if (!root_acceptable(signal.root)) {
     ++stats_.unknown_root;
+    trace_drop("root");
     return Validation::kIgnore;  // possibly our own stale view: don't punish
   }
 
@@ -171,6 +203,7 @@ gossipsub::Validation WakuRlnRelay::validate(sim::NodeId /*source*/,
   // verdict cache, so a re-delivered message costs a map lookup.
   if (!verify_proof_cached(msg.id, payload, signal)) {
     ++stats_.invalid_proof;
+    trace_drop("proof");
     return Validation::kReject;
   }
 
@@ -184,6 +217,7 @@ gossipsub::Validation WakuRlnRelay::validate(sim::NodeId /*source*/,
       return Validation::kIgnore;
     case rln::NullifierMap::Outcome::kDoubleSignal:
       ++stats_.double_signals;
+      trace_drop("double_signal");
       if (check.breached_sk && config_.auto_slash) {
         submit_slash(*check.breached_sk);
       }

@@ -31,6 +31,10 @@
 #include "waku/group_sync.h"
 #include "waku/relay.h"
 
+namespace wakurln::obs {
+class Tracer;
+}
+
 namespace wakurln::waku {
 
 struct WakuRlnConfig {
@@ -120,6 +124,14 @@ class WakuRlnRelay {
   const rln::EpochScheme& epoch_scheme() const { return epochs_; }
   std::size_t nullifier_map_bytes() const { return nullifier_map_.memory_bytes(); }
 
+  /// Attaches the message-lifecycle tracer (nullptr detaches). `track` is
+  /// the trace track (= node index) this relay's publish / verify /
+  /// cache-hit / drop events land on.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
   /// The RLN wire envelope: var(signal) || var(payload).
   static util::Bytes encode_envelope(const rln::RlnSignal& signal,
                                      const util::Bytes& payload);
@@ -132,6 +144,9 @@ class WakuRlnRelay {
 
  private:
   std::uint64_t now_seconds() const;
+  sim::TimeUs now_us() const;
+  /// Records a validation-drop instant ("drop", args.msg = reason).
+  void trace_drop(const char* reason);
   PublishOutcome do_publish(const gossipsub::TopicId& topic,
                             const util::Bytes& payload, bool enforce_rate_limit);
   gossipsub::Validation validate(sim::NodeId source, const gossipsub::GsMessage& msg);
@@ -170,6 +185,8 @@ class WakuRlnRelay {
   PayloadHandler handler_;
   Stats stats_;
   sim::TimerHandle gc_timer_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_track_ = 0;
 };
 
 }  // namespace wakurln::waku

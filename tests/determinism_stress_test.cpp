@@ -74,6 +74,46 @@ TEST(CampaignStressTest, ObserverSweepWithFrameTapIsByteIdentical) {
   EXPECT_EQ(sweep(spec, 1), sweep(spec, kSeeds));
 }
 
+TEST(CampaignStressTest, ObsTimeSeriesAndTraceAreByteIdenticalAcrossThreads) {
+  // The observability layer rides the same determinism contract as the
+  // report: per-epoch samples are pure functions of (spec, seed), and the
+  // seed0 trace is recorded by exactly one worker regardless of fan-out.
+  ScenarioSpec spec = small("observer_coalition");
+  spec.observability = true;
+  spec.trace = true;
+
+  CampaignConfig cfg;
+  cfg.seeds = kSeeds;
+  cfg.seed0 = 3;
+  cfg.threads = 1;
+  const CampaignResult serial = run_campaign(spec, cfg);
+  cfg.threads = kSeeds;
+  const CampaignResult fanned = run_campaign(spec, cfg);
+
+  const std::string serial_ts = timeseries_json(serial);
+  ASSERT_FALSE(serial_ts.empty());
+  EXPECT_EQ(serial_ts, timeseries_json(fanned));
+  ASSERT_FALSE(serial.trace_json.empty());
+  EXPECT_EQ(serial.trace_json, fanned.trace_json);
+}
+
+TEST(CampaignStressTest, ObsOnLeavesProtocolMetricsByteIdentical) {
+  // Enabling the registry, sampler and tracer must be pure observation:
+  // the protocol portion of the report (everything but resources) stays
+  // byte-identical to the obs-off run.
+  ScenarioSpec spec = small("registration_storm");
+  CampaignConfig cfg;
+  cfg.seeds = 4;
+  cfg.seed0 = 3;
+  cfg.threads = 4;
+  const CampaignResult off = run_campaign(spec, cfg);
+  spec.observability = true;
+  spec.trace = true;
+  const CampaignResult on = run_campaign(spec, cfg);
+  EXPECT_EQ(report_json(off, /*include_resources=*/false),
+            report_json(on, /*include_resources=*/false));
+}
+
 TEST(SharedBytesStressTest, CrossThreadCopySliceDestroyIsRaceFree) {
   util::Bytes data(4096);
   for (std::size_t i = 0; i < data.size(); ++i) {

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "field/fr.h"
+#include "obs/registry.h"
+#include "obs/timeseries.h"
+#include "obs/tracer.h"
+#include "rln/nullifier_map.h"
+#include "scenario/metrics.h"
+#include "sim/scheduler.h"
+#include "util/stats.h"
+
+namespace wakurln {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared percentile definition (util::stats): hand-computed pins. These
+// exact values are the contract the scenario latency metrics, the bench
+// harness and the obs histograms all share.
+
+TEST(PercentileTest, OddCountHandComputed) {
+  const std::vector<double> odd{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(util::percentile(odd, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(util::percentile(odd, 0.9), 4.6);
+  EXPECT_DOUBLE_EQ(util::percentile(odd, 0.99), 4.96);
+}
+
+TEST(PercentileTest, EvenCountHandComputed) {
+  const std::vector<double> even{4, 3, 2, 1};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(util::percentile(even, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(util::percentile(even, 0.9), 3.7);
+  EXPECT_DOUBLE_EQ(util::percentile(even, 0.99), 3.97);
+}
+
+TEST(PercentileTest, EdgeRanksAndEmpty) {
+  const std::vector<double> v{10, 20, 30};
+  EXPECT_DOUBLE_EQ(util::percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(util::percentile(v, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(util::percentile({}, 0.5), 0.0);
+}
+
+TEST(PercentileTest, ScenarioMetricsShareTheImplementation) {
+  const std::vector<double> samples{7, 1, 5, 3, 9, 2, 8};
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(scenario::percentile(samples, q), util::percentile(samples, q))
+        << "q=" << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(RegistryTest, RegistrationOrderIsColumnOrder) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("alpha");
+  obs::Gauge g = reg.gauge("beta");
+  reg.probe("gamma", [] { return 7.0; });
+  obs::Histogram h = reg.histogram("delta", {1, 2});
+
+  const std::vector<std::string> expect{"alpha", "beta",     "gamma",
+                                        "delta_count", "delta_p50", "delta_p90",
+                                        "delta_p99"};
+  EXPECT_EQ(reg.columns(), expect);
+
+  c.inc(3);
+  g.set(2.5);
+  h.observe(1.5);
+  const std::vector<double> row = reg.sample_row();
+  ASSERT_EQ(row.size(), expect.size());
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 2.5);
+  EXPECT_DOUBLE_EQ(row[2], 7.0);
+  EXPECT_DOUBLE_EQ(row[3], 1.0);  // delta_count
+}
+
+TEST(RegistryTest, DisabledRegistryIsInert) {
+  obs::Registry reg(/*enabled=*/false);
+  obs::Counter c = reg.counter("a");
+  obs::Gauge g = reg.gauge("b");
+  obs::Histogram h = reg.histogram("c", {1, 2});
+  reg.probe("d", [] { return 1.0; });
+
+  EXPECT_FALSE(reg.enabled());
+  EXPECT_FALSE(c.enabled());
+  EXPECT_FALSE(g.enabled());
+  EXPECT_FALSE(h.enabled());
+  c.inc();
+  g.set(5);
+  h.observe(1);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(reg.columns().empty());
+  EXPECT_TRUE(reg.sample_row().empty());
+  EXPECT_EQ(reg.instrument_count(), 0u);
+}
+
+TEST(RegistryTest, DuplicateAndEmptyNamesThrow) {
+  obs::Registry reg;
+  (void)reg.counter("x");
+  EXPECT_THROW((void)reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW((void)reg.counter(""), std::invalid_argument);
+}
+
+TEST(RegistryTest, HistogramEdgeValidationHoldsEvenWhenDisabled) {
+  obs::Registry reg(/*enabled=*/false);
+  EXPECT_THROW((void)reg.histogram("h", {}), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("h", {2, 1}), std::invalid_argument);
+}
+
+TEST(RegistryTest, HistogramPercentilesHandComputed) {
+  obs::Registry reg;
+  // One observation per unit bucket: the k-th order statistic sits at the
+  // midpoint of its bucket, so the bucketed samples are {0.5 .. 4.5}.
+  obs::Histogram h = reg.histogram("lat", {1, 2, 3, 4, 5});
+  for (const double v : {0.5, 1.5, 2.5, 3.5, 4.5}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.9), 4.1);   // 3.5 + 0.6 * (4.5 - 3.5)
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 4.46); // 3.5 + 0.96
+}
+
+TEST(RegistryTest, HistogramOverflowClampsToLastEdge) {
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("big", {1, 2, 5});
+  h.observe(1000);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Time series.
+
+TEST(TimeSeriesTest, FreezesColumnsAtFirstSample) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("events");
+  obs::TimeSeries series;
+  c.inc(2);
+  series.sample(reg, 1.0);
+  c.inc(3);
+  series.sample(reg, 2.0);
+
+  const std::vector<std::string> expect{"t_s", "events"};
+  EXPECT_EQ(series.columns(), expect);
+  ASSERT_EQ(series.rows().size(), 2u);
+  EXPECT_DOUBLE_EQ(series.rows()[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(series.rows()[0][1], 2.0);
+  EXPECT_DOUBLE_EQ(series.rows()[1][1], 5.0);
+
+  // Registering mid-run changes the registry's shape: the next sample
+  // must fail loudly instead of emitting ragged rows.
+  (void)reg.counter("late");
+  EXPECT_THROW(series.sample(reg, 3.0), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer.
+
+TEST(TracerTest, RingWrapAroundKeepsNewestEvents) {
+  obs::Tracer tracer(/*capacity=*/4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    tracer.instant("tick", /*ts_us=*/100 + i, /*track=*/0);
+  }
+  EXPECT_EQ(tracer.recorded(), 6u);
+  EXPECT_EQ(tracer.retained(), 4u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const std::string json = tracer.json();
+  // Oldest retained event first: ts 102..105; 100 and 101 overwritten.
+  EXPECT_EQ(json.find("\"ts\": 100"), std::string::npos);
+  EXPECT_EQ(json.find("\"ts\": 101"), std::string::npos);
+  const auto p102 = json.find("\"ts\": 102");
+  const auto p105 = json.find("\"ts\": 105");
+  EXPECT_NE(p102, std::string::npos);
+  EXPECT_NE(p105, std::string::npos);
+  EXPECT_LT(p102, p105);
+}
+
+TEST(TracerTest, MemoryStaysBoundedPastCapacity) {
+  obs::Tracer tracer(/*capacity=*/64);
+  tracer.instant("warm", 0, 0, "0123456789abcdef");
+  const std::size_t warm = tracer.memory_bytes();
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    tracer.instant("warm", i, 0, "0123456789abcdef");
+  }
+  // Same name, same arg shape: the ring was reserved up front and the
+  // name is interned, so 10k more events cost zero additional bytes.
+  EXPECT_EQ(tracer.memory_bytes(), warm);
+  EXPECT_EQ(tracer.retained(), 64u);
+}
+
+TEST(TracerTest, SpansNestLifoPerTrack) {
+  obs::Tracer tracer(16);
+  tracer.begin("outer", 10, /*track=*/1);
+  tracer.begin("inner", 20, /*track=*/1);
+  tracer.end(30, /*track=*/1);  // closes inner
+  tracer.end(40, /*track=*/1);  // closes outer
+  tracer.end(50, /*track=*/1);  // no open span: no-op
+  EXPECT_EQ(tracer.recorded(), 2u);
+
+  const std::string json = tracer.json();
+  // Inner closes first, so it serializes first; both are complete events
+  // anchored at their begin timestamps.
+  const auto inner = json.find("\"inner\"");
+  const auto outer = json.find("\"outer\"");
+  ASSERT_NE(inner, std::string::npos);
+  ASSERT_NE(outer, std::string::npos);
+  EXPECT_LT(inner, outer);
+  EXPECT_NE(json.find("\"ts\": 20, \"dur\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 10, \"dur\": 30"), std::string::npos);
+}
+
+TEST(TracerTest, JsonShapeAndArgs) {
+  obs::Tracer tracer(8);
+  tracer.instant("publish", 5, 3, "deadbeefdeadbeef");
+  const std::string json = tracer.json();
+  EXPECT_EQ(json.find("{\"traceEvents\": ["), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"msg\": \"deadbeefdeadbeef\"}"),
+            std::string::npos);
+}
+
+TEST(TracerTest, ShortIdIsStableHexPrefix) {
+  const std::vector<std::uint8_t> id{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02,
+                                     0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  EXPECT_EQ(obs::short_id(id), "deadbeef01020304");
+}
+
+// ---------------------------------------------------------------------------
+// memory_bytes() exactness on the two churn-heavy subsystems.
+
+TEST(MemoryAccountingTest, NullifierMapTracksRecordAndBucketGrowth) {
+  rln::NullifierMap map;
+  EXPECT_EQ(map.memory_bytes(), sizeof(rln::NullifierMap));
+
+  // Reference container with the same growth policy as one shard: the
+  // map's model must track records AND rehashed bucket arrays exactly.
+  constexpr std::size_t kRecordNodeBytes = 8 + 8 + 32 + 64;
+  std::unordered_map<field::Fr, int, field::FrHash> ref;
+  std::size_t prev_mem = map.memory_bytes();
+  std::size_t prev_buckets = ref.bucket_count();
+  std::size_t shard_overhead = 0;  // set on the first record
+
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    const field::Fr n = field::Fr::from_u64(i);
+    map.observe(/*epoch=*/7, n, field::Fr::from_u64(2 * i),
+                field::Fr::from_u64(2 * i + 1));
+    ref.emplace(n, 0);
+    const std::size_t mem = map.memory_bytes();
+    const std::size_t bucket_delta =
+        (ref.bucket_count() - prev_buckets) * sizeof(void*);
+    if (i == 1) {
+      // First record also materializes the shard itself.
+      shard_overhead = mem - prev_mem - kRecordNodeBytes - bucket_delta;
+      EXPECT_GT(shard_overhead, 0u);
+    } else {
+      EXPECT_EQ(mem - prev_mem, kRecordNodeBytes + bucket_delta) << "record " << i;
+    }
+    prev_mem = mem;
+    prev_buckets = ref.bucket_count();
+  }
+  EXPECT_EQ(map.record_count(), 200u);
+
+  // Churn: pruning every shard returns the model to the empty footprint.
+  map.prune_before(1000);
+  EXPECT_EQ(map.record_count(), 0u);
+  EXPECT_EQ(map.memory_bytes(), sizeof(rln::NullifierMap));
+}
+
+TEST(MemoryAccountingTest, SchedulerPoolGrowsInBlocksAndNeverShrinks) {
+  sim::Scheduler sched;
+  const std::size_t empty = sched.memory_bytes();
+
+  // One pending event: exactly one pool block plus one wheel slot.
+  sched.schedule_at(1, [] {});
+  const std::size_t one_block = sched.memory_bytes() - empty - sizeof(void*);
+  EXPECT_GT(one_block, 0u);
+  sched.run_all();
+  // The wheel drained but the pool block is retained for reuse.
+  EXPECT_EQ(sched.memory_bytes(), empty + one_block);
+
+  // 600 simultaneous events: 1 recycled node + 599 fresh ones carved from
+  // ceil(600 / 256) = 3 blocks, 600 wheel slots while pending.
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    sched.schedule_at(100 + i, [] {});
+  }
+  EXPECT_EQ(sched.memory_bytes(), empty + 3 * one_block + 600 * sizeof(void*));
+  sched.run_all();
+  EXPECT_EQ(sched.memory_bytes(), empty + 3 * one_block);
+  EXPECT_EQ(sched.stats().node_allocs, 600u);
+  EXPECT_EQ(sched.stats().pool_reuses, 1u);
+}
+
+}  // namespace
+}  // namespace wakurln

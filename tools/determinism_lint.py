@@ -42,10 +42,13 @@ import re
 import sys
 from pathlib import Path
 
-# Files whose bytes (transitively) become SCENARIO_*.json / BENCH_*.json.
+# Files whose bytes (transitively) become SCENARIO_*.json / BENCH_*.json
+# (and, since the observability layer, TIMESERIES_*/TRACE_*.json).
 SCAN_GLOBS = [
     "src/scenario/*.h",
     "src/scenario/*.cpp",
+    "src/obs/*.h",
+    "src/obs/*.cpp",
     "src/util/json.h",
     "src/util/json.cpp",
     "src/util/stats.h",
