@@ -1,0 +1,87 @@
+// Per-node resident-memory density of a full WAKU-RLN-RELAY world. The
+// struct-of-arrays node state, interned link/peer sets and world-shared
+// validator state exist to push bytes/node down far enough that a
+// 250k-node world fits one machine; this bench measures that density on
+// settled worlds of 1k / 10k / 50k nodes (mesh formed, heartbeats
+// running, no registration — the pure-relay state the big worlds are
+// made of) using the same modeled memory_bytes() ledger the scenario
+// reports publish.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "waku/harness.h"
+
+using namespace wakurln;
+
+namespace {
+
+struct Ledger {
+  std::size_t router = 0;
+  std::size_t mcache = 0;
+  std::size_t nullifier = 0;
+  std::size_t merkle = 0;
+  std::size_t event_pool = 0;
+  std::size_t network = 0;
+
+  std::size_t total() const {
+    return router + mcache + nullifier + merkle + event_pool + network;
+  }
+};
+
+Ledger measure(waku::SimHarness& world) {
+  Ledger ledger;
+  // Shared blocks once per world, per-node views summed on top — the
+  // same accounting the campaign memory resources block uses.
+  ledger.router = world.router_shared_bytes();
+  ledger.nullifier = world.validator_context()->memory_bytes();
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    ledger.router += world.relay(i).router().memory_bytes();
+    ledger.mcache += world.relay(i).router().mcache().memory_bytes();
+    ledger.nullifier += world.node(i).nullifier_map_bytes();
+  }
+  ledger.merkle = world.group_sync().memory_bytes();
+  ledger.event_pool = world.scheduler().memory_bytes();
+  ledger.network = world.network().memory_bytes();
+  return ledger;
+}
+
+}  // namespace
+
+int main() {
+  bench::Runner runner("node_memory");
+  std::printf("per-node resident memory of settled relay worlds\n\n");
+  std::printf("%10s %14s %14s\n", "nodes", "tracked total", "bytes/node");
+
+  for (const std::size_t n : {1000u, 10000u, 50000u}) {
+    waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
+    cfg.node_count = n;
+    cfg.extra_links_per_node = 4;
+    cfg.link_profile = sim::LinkProfile::kGeo;
+
+    std::unique_ptr<waku::SimHarness> world;
+    const std::string tag = bench::cat(n / 1000, "k");
+    runner.run(
+        "build_" + tag,
+        [&] {
+          world = std::make_unique<waku::SimHarness>(cfg);
+          world->subscribe_all("bench");
+          world->run_seconds(10);  // mesh formation + heartbeats
+        },
+        /*reps=*/1, /*warmup=*/0, /*batch=*/n);
+
+    const Ledger ledger = measure(*world);
+    const double per_node =
+        static_cast<double>(ledger.total()) / static_cast<double>(n);
+    runner.metric("tracked_total_bytes_" + tag,
+                  static_cast<double>(ledger.total()), "bytes");
+    runner.metric("bytes_per_node_" + tag, per_node, "bytes");
+    std::printf("%10zu %11.1f MB %11.1f B\n", n,
+                static_cast<double>(ledger.total()) / (1024.0 * 1024.0), per_node);
+  }
+
+  std::printf("\nshared-once state (params, topic table, CRS + verifier,\n"
+              "nullifier record store, Merkle view) is charged once per\n"
+              "world, so bytes/node falls as the world grows.\n");
+  return 0;
+}

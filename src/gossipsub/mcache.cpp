@@ -1,5 +1,6 @@
 #include "gossipsub/mcache.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/memory.h"
@@ -7,15 +8,20 @@
 namespace wakurln::gossipsub {
 
 MessageCache::MessageCache(std::size_t history_len, std::size_t gossip_len)
-    : history_len_(history_len), gossip_len_(gossip_len) {
+    : MessageCache(history_len, gossip_len, std::make_shared<TopicTable>()) {}
+
+MessageCache::MessageCache(std::size_t history_len, std::size_t gossip_len,
+                           std::shared_ptr<TopicTable> table)
+    : history_len_(history_len), gossip_len_(gossip_len), table_(std::move(table)) {
   if (history_len == 0 || gossip_len > history_len) {
     throw std::invalid_argument("MessageCache: need 0 < gossip_len <= history_len");
   }
-  windows_.emplace_back();
 }
 
 void MessageCache::put(std::shared_ptr<const GsMessage> msg) {
-  windows_.back().push_back(Entry{msg->id, msg->topic});
+  if (slots_.empty()) slots_.resize(history_len_);
+  const std::uint32_t topic = table_->intern(msg->topic);
+  slots_[slot(count_ - 1)].push_back(Entry{msg->id, topic});
   by_id_[msg->id] = std::move(msg);
 }
 
@@ -26,35 +32,50 @@ std::shared_ptr<const GsMessage> MessageCache::get(const MessageId& id) const {
 
 std::vector<MessageId> MessageCache::gossip_ids(const TopicId& topic) const {
   std::vector<MessageId> out;
-  const std::size_t start =
-      windows_.size() > gossip_len_ ? windows_.size() - gossip_len_ : 0;
-  for (std::size_t w = start; w < windows_.size(); ++w) {
-    for (const Entry& e : windows_[w]) {
-      if (e.topic == topic) out.push_back(e.id);
+  if (slots_.empty()) return out;
+  const std::uint32_t topic_idx = table_->find(topic);
+  if (topic_idx == TopicTable::kNotFound) return out;
+  // Oldest-to-newest over the last gossip_len_ windows — the exact order
+  // the window deque produced, which downstream IHAVE/IWANT traffic (and
+  // thus the deterministic reports) depends on.
+  const std::size_t n = std::min(gossip_len_, count_);
+  for (std::size_t w = count_ - n; w < count_; ++w) {
+    for (const Entry& e : slots_[slot(w)]) {
+      if (e.topic == topic_idx) out.push_back(e.id);
     }
   }
   return out;
 }
 
+void MessageCache::shift() {
+  if (count_ < history_len_) {
+    // The slot the new window lands in has never been written (slots past
+    // count_ stay untouched until the ring starts sliding), so opening
+    // the window is just bumping the count.
+    ++count_;
+    return;
+  }
+  // Ring is full: retire the oldest window and reuse its slot (capacity
+  // intact) as the new current window.
+  if (!slots_.empty()) {
+    std::vector<Entry>& oldest = slots_[head_];
+    for (const Entry& e : oldest) by_id_.erase(e.id);
+    oldest.clear();
+  }
+  head_ = (head_ + 1) % history_len_;
+}
+
 std::size_t MessageCache::memory_bytes() const {
   std::size_t total = sizeof(MessageCache);
-  for (const std::vector<Entry>& window : windows_) {
-    total += sizeof(std::vector<Entry>) + window.size() * sizeof(Entry);
-    for (const Entry& e : window) total += obs::string_heap_bytes(e.topic);
+  total += slots_.capacity() * sizeof(std::vector<Entry>);
+  for (const std::vector<Entry>& window : slots_) {
+    total += window.capacity() * sizeof(Entry);
   }
   total += by_id_.bucket_count() * sizeof(void*);
   total += by_id_.size() *
            (obs::kUnorderedNodeBytes +
             sizeof(std::pair<const MessageId, std::shared_ptr<const GsMessage>>));
   return total;
-}
-
-void MessageCache::shift() {
-  windows_.emplace_back();
-  while (windows_.size() > history_len_) {
-    for (const Entry& e : windows_.front()) by_id_.erase(e.id);
-    windows_.pop_front();
-  }
 }
 
 }  // namespace wakurln::gossipsub

@@ -2,21 +2,33 @@
 // Message cache ("mcache") from GossipSub: retains recent full messages in
 // sliding heartbeat windows so IWANT requests can be served, and exposes
 // the ids of the most recent windows for IHAVE gossip.
+//
+// Window entries carry an interned topic index (a world-shared TopicTable)
+// instead of a topic string, and the window deque is a lazily allocated
+// ring of `history_len` slots: a node that never caches a message owns no
+// window storage at all, and a busy node reuses the same slot vectors
+// forever instead of reallocating one per heartbeat.
 
-#include <deque>
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "gossipsub/message.h"
+#include "gossipsub/topic_table.h"
 
 namespace wakurln::gossipsub {
 
 class MessageCache {
  public:
   /// `history_len` windows retained; ids from the newest `gossip_len`
-  /// windows are advertised.
+  /// windows are advertised. This overload creates a private topic table
+  /// (standalone caches in tests/benches).
   MessageCache(std::size_t history_len, std::size_t gossip_len);
+
+  /// World-shared topic table (what routers of a simulated world use).
+  MessageCache(std::size_t history_len, std::size_t gossip_len,
+               std::shared_ptr<TopicTable> table);
 
   void put(std::shared_ptr<const GsMessage> msg);
 
@@ -32,21 +44,29 @@ class MessageCache {
 
   std::size_t size() const { return by_id_.size(); }
 
-  /// Modeled resident bytes of the cache bookkeeping: the window entries
-  /// plus the by-id index (libstdc++ layouts, constants in obs/memory.h).
-  /// Message payloads are shared frame buffers owned by the fabric and
-  /// are not charged here.
+  /// Modeled resident bytes of the cache bookkeeping: the ring slot
+  /// capacities plus the by-id index (libstdc++ layouts, constants in
+  /// obs/memory.h). Message payloads are shared frame buffers owned by
+  /// the fabric; the topic table is world-shared and accounted once by
+  /// the harness. Neither is charged here.
   std::size_t memory_bytes() const;
 
  private:
   struct Entry {
     MessageId id;
-    TopicId topic;
+    std::uint32_t topic;  ///< TopicTable index
   };
+
+  /// Ring slot of logical window `w` (0 = oldest retained window).
+  std::size_t slot(std::size_t w) const { return (head_ + w) % history_len_; }
 
   std::size_t history_len_;
   std::size_t gossip_len_;
-  std::deque<std::vector<Entry>> windows_;
+  std::shared_ptr<TopicTable> table_;
+  /// Ring of history_len window vectors; empty until the first put().
+  std::vector<std::vector<Entry>> slots_;
+  std::size_t head_ = 0;   ///< slot of the oldest logical window
+  std::size_t count_ = 1;  ///< logical windows in use (starts with one)
   std::unordered_map<MessageId, std::shared_ptr<const GsMessage>, MessageIdHash> by_id_;
 };
 

@@ -1,6 +1,7 @@
 #include "gossipsub/router.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
 
 #include "obs/memory.h"
@@ -10,14 +11,52 @@ namespace wakurln::gossipsub {
 
 using sim::NodeId;
 
+namespace {
+
+// Sorted-vector set operations for mesh/fanout membership. The sorted
+// order reproduces std::set iteration, which the deterministic send
+// sequence (and hence the byte-identity pins) depends on.
+
+bool sorted_contains(const std::vector<NodeId>& v, NodeId x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+bool sorted_insert(std::vector<NodeId>& v, NodeId x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) return false;
+  v.insert(it, x);
+  return true;
+}
+
+bool sorted_erase(std::vector<NodeId>& v, NodeId x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) return false;
+  v.erase(it);
+  return true;
+}
+
+std::uint64_t topic_bit(std::uint32_t idx) { return std::uint64_t{1} << idx; }
+
+}  // namespace
+
 GossipSubRouter::GossipSubRouter(NodeId self, sim::Network& network,
-                                 GossipSubParams params)
+                                 std::shared_ptr<const GossipSubParams> params,
+                                 std::shared_ptr<TopicTable> table)
     : self_(self),
       network_(network),
-      params_(params),
+      params_(std::move(params)),
+      table_(std::move(table)),
       rng_(network.rng().next_u64() ^ (0x9e3779b97f4a7c15ULL * (self + 1))),
-      mcache_(params.mcache_len, params.mcache_gossip),
-      score_tracker_(params.score) {}
+      mcache_(params_->mcache_len, params_->mcache_gossip, table_),
+      score_tracker_(params_->enable_scoring
+                         ? std::make_unique<PeerScoreTracker>(params_->score)
+                         : nullptr) {}
+
+GossipSubRouter::GossipSubRouter(NodeId self, sim::Network& network,
+                                 GossipSubParams params)
+    : GossipSubRouter(self, network,
+                      std::make_shared<const GossipSubParams>(std::move(params)),
+                      std::make_shared<TopicTable>()) {}
 
 void GossipSubRouter::start() {
   if (started_) return;
@@ -36,15 +75,15 @@ void GossipSubRouter::start() {
   // First-class periodic timer: the heartbeat callback is stored once in
   // the scheduler's timer table and re-armed by the engine after every
   // tick — no lambda re-capture, no allocation per heartbeat.
-  const sim::TimeUs stagger = rng_.uniform(0, params_.heartbeat_interval - 1);
+  const sim::TimeUs stagger = rng_.uniform(0, params().heartbeat_interval - 1);
   heartbeat_timer_ = network_.scheduler().schedule_periodic(
-      stagger, params_.heartbeat_interval, [this] { heartbeat(); });
+      stagger, params().heartbeat_interval, [this] { heartbeat(); });
 }
 
 void GossipSubRouter::on_peer_connected(NodeId peer) {
   if (peers_.contains(peer)) return;
-  peers_.emplace(peer, PeerState{});
-  score_tracker_.set_peer_ip(peer, peer);  // default: unique IP per node
+  peers_.emplace(peer, std::uint64_t{0});
+  if (score_tracker_) score_tracker_->set_peer_ip(peer, peer);  // default: unique IP
   // Announce our subscriptions to the new peer.
   if (!topics_.empty()) {
     Rpc rpc;
@@ -56,14 +95,16 @@ void GossipSubRouter::on_peer_connected(NodeId peer) {
 void GossipSubRouter::on_peer_disconnected(NodeId peer) {
   peers_.erase(peer);
   for (auto& [topic, mesh] : mesh_) {
-    if (mesh.erase(peer) > 0) score_tracker_.on_leave_mesh(peer, topic);
+    if (sorted_erase(mesh, peer) && score_tracker_) {
+      score_tracker_->on_leave_mesh(peer, topic);
+    }
   }
-  for (auto& [topic, fanout] : fanout_) fanout.peers.erase(peer);
-  score_tracker_.remove_peer(peer);
+  for (auto& [topic, fanout] : fanout_) sorted_erase(fanout.peers, peer);
+  if (score_tracker_) score_tracker_->remove_peer(peer);
 }
 
 void GossipSubRouter::set_peer_ip(NodeId peer, std::uint32_t ip) {
-  score_tracker_.set_peer_ip(peer, ip);
+  if (score_tracker_) score_tracker_->set_peer_ip(peer, ip);
 }
 
 void GossipSubRouter::on_frame(NodeId from, const sim::Frame& frame) {
@@ -78,9 +119,11 @@ void GossipSubRouter::subscribe(const TopicId& topic) {
   // Move fanout peers into the mesh seed set, as in libp2p.
   if (const auto it = fanout_.find(topic); it != fanout_.end()) {
     for (NodeId p : it->second.peers) {
-      if (mesh_[topic].size() < static_cast<std::size_t>(params_.d)) {
-        mesh_[topic].insert(p);
-        score_tracker_.on_join_mesh(p, topic, network_.scheduler().now());
+      if (mesh_[topic].size() < static_cast<std::size_t>(params().d)) {
+        sorted_insert(mesh_[topic], p);
+        if (score_tracker_) {
+          score_tracker_->on_join_mesh(p, topic, network_.scheduler().now());
+        }
       }
     }
     fanout_.erase(it);
@@ -91,7 +134,7 @@ void GossipSubRouter::subscribe(const TopicId& topic) {
   // sends is unchanged by the shared-frame fan-out.
   std::vector<NodeId> announce_to;
   announce_to.reserve(peers_.size());
-  for (const auto& [peer, st] : peers_) announce_to.push_back(peer);
+  for (const auto& [peer, mask] : peers_) announce_to.push_back(peer);
   send_rpc_shared(announce_to, std::move(announce),
                   std::numeric_limits<double>::lowest());
   // Graft eagerly where possible; the heartbeat tops the mesh up later.
@@ -107,7 +150,7 @@ void GossipSubRouter::unsubscribe(const TopicId& topic) {
       rpc.prune.push_back(make_prune(topic, peer));
       rpc.subscriptions.push_back({topic, false});
       send_rpc(peer, std::move(rpc));
-      score_tracker_.on_leave_mesh(peer, topic);
+      if (score_tracker_) score_tracker_->on_leave_mesh(peer, topic);
     }
     mesh_.erase(it);
   }
@@ -115,7 +158,7 @@ void GossipSubRouter::unsubscribe(const TopicId& topic) {
   announce.subscriptions.push_back({topic, false});
   std::vector<NodeId> announce_to;
   announce_to.reserve(peers_.size());
-  for (const auto& [peer, st] : peers_) announce_to.push_back(peer);
+  for (const auto& [peer, mask] : peers_) announce_to.push_back(peer);
   send_rpc_shared(announce_to, std::move(announce),
                   std::numeric_limits<double>::lowest());
 }
@@ -142,7 +185,7 @@ MessageId GossipSubRouter::publish(const TopicId& topic, util::Bytes payload,
 
   const auto shared = std::make_shared<const GsMessage>(std::move(msg));
 
-  seen_[id] = network_.scheduler().now();
+  seen_.insert(id, network_.scheduler().now());
   mcache_.put(shared);
 
   std::vector<NodeId> targets;
@@ -150,25 +193,22 @@ MessageId GossipSubRouter::publish(const TopicId& topic, util::Bytes payload,
     // Own-topic publish: deliver locally and send to the mesh.
     if (message_handler_) message_handler_(*shared);
     ++stats_.delivered;
-    const auto& mesh = mesh_.at(topic);
-    targets.assign(mesh.begin(), mesh.end());
+    targets = mesh_.at(topic);
   } else {
     // Fanout publish.
     FanoutState& fanout = fanout_[topic];
     fanout.last_publish = network_.scheduler().now();
     if (fanout.peers.empty()) {
-      for (NodeId p :
-           sample(topic_peers(topic, params_.score.publish_threshold),
-                  static_cast<std::size_t>(params_.d))) {
-        fanout.peers.insert(p);
-      }
+      fanout.peers = sample(topic_peers(topic, params().score.publish_threshold),
+                            static_cast<std::size_t>(params().d));
+      std::sort(fanout.peers.begin(), fanout.peers.end());
     }
-    targets.assign(fanout.peers.begin(), fanout.peers.end());
+    targets = fanout.peers;
   }
 
   Rpc rpc;
   rpc.publish.push_back(shared);
-  send_rpc_shared(targets, std::move(rpc), params_.score.publish_threshold);
+  send_rpc_shared(targets, std::move(rpc), params().score.publish_threshold);
   return id;
 }
 
@@ -183,22 +223,27 @@ void GossipSubRouter::set_validator(const TopicId& topic, Validator validator) {
 void GossipSubRouter::handle_rpc(NodeId from, const Rpc& rpc) {
   if (!peers_.contains(from)) {
     // Frame from a peer whose connect notification raced this frame.
-    peers_.emplace(from, PeerState{});
-    score_tracker_.set_peer_ip(from, from);
+    peers_.emplace(from, std::uint64_t{0});
+    if (score_tracker_) score_tracker_->set_peer_ip(from, from);
   }
-  if (params_.enable_scoring &&
-      score_of(from) < params_.score.graylist_threshold) {
+  if (params().enable_scoring &&
+      score_of(from) < params().score.graylist_threshold) {
     ++stats_.graylisted_frames;
     return;
   }
 
   for (const SubscriptionChange& sub : rpc.subscriptions) {
     if (sub.subscribe) {
-      peers_[from].topics.insert(sub.topic);
+      peers_[from] |= topic_bit(table_->intern(sub.topic));
     } else {
-      peers_[from].topics.erase(sub.topic);
+      if (const std::uint32_t idx = table_->find(sub.topic);
+          idx != TopicTable::kNotFound) {
+        peers_[from] &= ~topic_bit(idx);
+      }
       if (const auto it = mesh_.find(sub.topic); it != mesh_.end()) {
-        if (it->second.erase(from) > 0) score_tracker_.on_leave_mesh(from, sub.topic);
+        if (sorted_erase(it->second, from) && score_tracker_) {
+          score_tracker_->on_leave_mesh(from, sub.topic);
+        }
       }
     }
   }
@@ -212,12 +257,13 @@ void GossipSubRouter::handle_rpc(NodeId from, const Rpc& rpc) {
   }
 
   // IHAVE: request unseen ids, respecting the gossip score threshold.
-  if (!(params_.enable_scoring && score_of(from) < params_.score.gossip_threshold)) {
+  if (!(params().enable_scoring &&
+        score_of(from) < params().score.gossip_threshold)) {
     ControlIWant iwant;
     for (const ControlIHave& ihave : rpc.ihave) {
       if (!topics_.contains(ihave.topic)) continue;
       for (const MessageId& id : ihave.ids) {
-        if (!seen_.contains(id) && iwant.ids.size() < params_.max_iwant_ids) {
+        if (!seen_.contains(id) && iwant.ids.size() < params().max_iwant_ids) {
           iwant.ids.push_back(id);
         }
       }
@@ -238,15 +284,17 @@ void GossipSubRouter::handle_rpc(NodeId from, const Rpc& rpc) {
 void GossipSubRouter::handle_message(NodeId from, const GsMessagePtr& msg_ptr) {
   const GsMessage& msg = *msg_ptr;
   // P3 bookkeeping: deliveries (first or duplicate) from mesh members.
-  if (const auto mesh_it = mesh_.find(msg.topic);
-      mesh_it != mesh_.end() && mesh_it->second.contains(from)) {
-    score_tracker_.on_mesh_delivery(from, msg.topic);
+  if (score_tracker_) {
+    if (const auto mesh_it = mesh_.find(msg.topic);
+        mesh_it != mesh_.end() && sorted_contains(mesh_it->second, from)) {
+      score_tracker_->on_mesh_delivery(from, msg.topic);
+    }
   }
   if (seen_.contains(msg.id)) {
     ++stats_.duplicates;
     return;
   }
-  seen_[msg.id] = network_.scheduler().now();
+  seen_.insert(msg.id, network_.scheduler().now());
 
   // Application validation (the WAKU-RLN-RELAY hook).
   Validation verdict = Validation::kAccept;
@@ -256,7 +304,7 @@ void GossipSubRouter::handle_message(NodeId from, const GsMessagePtr& msg_ptr) {
   switch (verdict) {
     case Validation::kReject:
       ++stats_.rejected;
-      score_tracker_.on_invalid_message(from, msg.topic);
+      if (score_tracker_) score_tracker_->on_invalid_message(from, msg.topic);
       return;
     case Validation::kIgnore:
       ++stats_.ignored;
@@ -265,7 +313,7 @@ void GossipSubRouter::handle_message(NodeId from, const GsMessagePtr& msg_ptr) {
       break;
   }
 
-  score_tracker_.on_first_delivery(from, msg.topic);
+  if (score_tracker_) score_tracker_->on_first_delivery(from, msg.topic);
   mcache_.put(msg_ptr);  // shares the sender's allocation
 
   if (topics_.contains(msg.topic)) {
@@ -277,34 +325,37 @@ void GossipSubRouter::handle_message(NodeId from, const GsMessagePtr& msg_ptr) {
 
 void GossipSubRouter::handle_graft(NodeId from, const TopicId& topic, Rpc& reply) {
   if (!topics_.contains(topic) || in_backoff(topic, from) ||
-      (params_.enable_scoring && score_of(from) < params_.score.mesh_threshold)) {
+      (params().enable_scoring &&
+       score_of(from) < params().score.mesh_threshold)) {
     reply.prune.push_back(make_prune(topic, from));
     set_backoff(topic, from);
     return;
   }
   auto& mesh = mesh_[topic];
-  if (mesh.insert(from).second) {
-    score_tracker_.on_join_mesh(from, topic, network_.scheduler().now());
+  if (sorted_insert(mesh, from) && score_tracker_) {
+    score_tracker_->on_join_mesh(from, topic, network_.scheduler().now());
   }
 }
 
 void GossipSubRouter::handle_prune(NodeId from, const ControlPrune& prune) {
   const TopicId& topic = prune.topic;
   if (const auto it = mesh_.find(topic); it != mesh_.end()) {
-    if (it->second.erase(from) > 0) score_tracker_.on_leave_mesh(from, topic);
+    if (sorted_erase(it->second, from) && score_tracker_) {
+      score_tracker_->on_leave_mesh(from, topic);
+    }
   }
   set_backoff(topic, from);  // do not re-graft the pruner for a while
 
   // Peer exchange: connect to advertised topic peers we do not know yet,
   // unless the pruner's score disqualifies its referrals.
-  if (prune.px.empty() || params_.px_connect == 0) return;
-  if (params_.enable_scoring &&
-      score_of(from) < params_.score.accept_px_threshold) {
+  if (prune.px.empty() || params().px_connect == 0) return;
+  if (params().enable_scoring &&
+      score_of(from) < params().score.accept_px_threshold) {
     return;
   }
   std::size_t opened = 0;
   for (const std::uint32_t candidate : prune.px) {
-    if (opened >= params_.px_connect) break;
+    if (opened >= params().px_connect) break;
     if (candidate == self_ || network_.are_connected(self_, candidate)) continue;
     network_.connect(self_, candidate);
     ++opened;
@@ -314,12 +365,13 @@ void GossipSubRouter::handle_prune(NodeId from, const ControlPrune& prune) {
 ControlPrune GossipSubRouter::make_prune(const TopicId& topic, NodeId about_to_prune) {
   ControlPrune prune;
   prune.topic = topic;
-  if (params_.px_peers > 0) {
-    std::vector<NodeId> candidates = topic_peers(topic, params_.score.gossip_threshold);
+  if (params().px_peers > 0) {
+    std::vector<NodeId> candidates =
+        topic_peers(topic, params().score.gossip_threshold);
     candidates.erase(
         std::remove(candidates.begin(), candidates.end(), about_to_prune),
         candidates.end());
-    for (NodeId peer : sample(std::move(candidates), params_.px_peers)) {
+    for (NodeId peer : sample(std::move(candidates), params().px_peers)) {
       prune.px.push_back(peer);
     }
   }
@@ -327,15 +379,27 @@ ControlPrune GossipSubRouter::make_prune(const TopicId& topic, NodeId about_to_p
 }
 
 void GossipSubRouter::set_backoff(const TopicId& topic, NodeId peer) {
-  backoff_[topic][peer] = network_.scheduler().now() + params_.prune_backoff;
+  const sim::TimeUs deadline = network_.scheduler().now() + params().prune_backoff;
+  auto& entries = backoff_[topic];
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), peer,
+      [](const BackoffEntry& e, NodeId p) { return e.first < p; });
+  if (it != entries.end() && it->first == peer) {
+    it->second = deadline;
+  } else {
+    entries.insert(it, {peer, deadline});
+  }
 }
 
 bool GossipSubRouter::in_backoff(const TopicId& topic, NodeId peer) const {
   const auto topic_it = backoff_.find(topic);
   if (topic_it == backoff_.end()) return false;
-  const auto peer_it = topic_it->second.find(peer);
-  return peer_it != topic_it->second.end() &&
-         network_.scheduler().now() < peer_it->second;
+  const auto& entries = topic_it->second;
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), peer,
+      [](const BackoffEntry& e, NodeId p) { return e.first < p; });
+  return it != entries.end() && it->first == peer &&
+         network_.scheduler().now() < it->second;
 }
 
 void GossipSubRouter::forward(const GsMessagePtr& msg, std::optional<NodeId> exclude) {
@@ -365,7 +429,7 @@ void GossipSubRouter::heartbeat() {
   // 2. Fanout expiry.
   const sim::TimeUs now = network_.scheduler().now();
   for (auto it = fanout_.begin(); it != fanout_.end();) {
-    if (now - it->second.last_publish > params_.fanout_ttl) {
+    if (now - it->second.last_publish > params().fanout_ttl) {
       it = fanout_.erase(it);
     } else {
       ++it;
@@ -377,65 +441,58 @@ void GossipSubRouter::heartbeat() {
 
   // 4. Cache maintenance.
   mcache_.shift();
-  for (auto it = seen_.begin(); it != seen_.end();) {
-    if (now - it->second > params_.seen_ttl) {
-      it = seen_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  seen_.expire_older_than(now, params().seen_ttl);
   for (auto& [topic, entries] : backoff_) {
-    for (auto it = entries.begin(); it != entries.end();) {
-      if (now >= it->second) {
-        it = entries.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    std::erase_if(entries, [&](const BackoffEntry& e) { return now >= e.second; });
   }
 
   // 5. Score decay.
-  score_tracker_.decay();
+  if (score_tracker_) score_tracker_->decay();
   // The periodic timer re-arms the next tick after this callback returns,
   // sequenced after every frame the tick just scheduled (the same order
   // the old tail-call schedule_after produced).
 }
 
-void GossipSubRouter::maintain_mesh(const TopicId& topic, std::set<NodeId>& mesh) {
+void GossipSubRouter::maintain_mesh(const TopicId& topic,
+                                    std::vector<NodeId>& mesh) {
   // Drop mesh members that fell below the mesh score threshold.
-  if (params_.enable_scoring) {
-    for (auto it = mesh.begin(); it != mesh.end();) {
-      if (score_of(*it) < params_.score.mesh_threshold) {
+  if (params().enable_scoring) {
+    for (std::size_t i = 0; i < mesh.size();) {
+      const NodeId peer = mesh[i];
+      if (score_of(peer) < params().score.mesh_threshold) {
         Rpc rpc;
-        rpc.prune.push_back(make_prune(topic, *it));
-        send_rpc(*it, std::move(rpc));
-        score_tracker_.on_leave_mesh(*it, topic);
-        it = mesh.erase(it);
+        rpc.prune.push_back(make_prune(topic, peer));
+        send_rpc(peer, std::move(rpc));
+        if (score_tracker_) score_tracker_->on_leave_mesh(peer, topic);
+        mesh.erase(mesh.begin() + static_cast<std::ptrdiff_t>(i));
       } else {
-        ++it;
+        ++i;
       }
     }
   }
 
-  if (mesh.size() < static_cast<std::size_t>(params_.d_lo)) {
+  if (mesh.size() < static_cast<std::size_t>(params().d_lo)) {
     std::vector<NodeId> candidates =
-        topic_peers(topic, params_.score.mesh_threshold);
-    candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
-                                    [&](NodeId p) {
-                                      return mesh.contains(p) || in_backoff(topic, p);
-                                    }),
-                     candidates.end());
-    const std::size_t want = static_cast<std::size_t>(params_.d) - mesh.size();
+        topic_peers(topic, params().score.mesh_threshold);
+    candidates.erase(
+        std::remove_if(candidates.begin(), candidates.end(),
+                       [&](NodeId p) {
+                         return sorted_contains(mesh, p) || in_backoff(topic, p);
+                       }),
+        candidates.end());
+    const std::size_t want = static_cast<std::size_t>(params().d) - mesh.size();
     for (NodeId peer : sample(std::move(candidates), want)) {
-      mesh.insert(peer);
-      score_tracker_.on_join_mesh(peer, topic, network_.scheduler().now());
+      sorted_insert(mesh, peer);
+      if (score_tracker_) {
+        score_tracker_->on_join_mesh(peer, topic, network_.scheduler().now());
+      }
       Rpc rpc;
       rpc.graft.push_back({topic});
       send_rpc(peer, std::move(rpc));
     }
-  } else if (mesh.size() > static_cast<std::size_t>(params_.d_hi)) {
-    std::vector<NodeId> members(mesh.begin(), mesh.end());
-    if (params_.enable_scoring) {
+  } else if (mesh.size() > static_cast<std::size_t>(params().d_hi)) {
+    std::vector<NodeId> members = mesh;
+    if (params().enable_scoring) {
       // Keep the highest-scoring peers: prune from the low end.
       std::sort(members.begin(), members.end(), [&](NodeId a, NodeId b) {
         return score_of(a) < score_of(b);
@@ -443,11 +500,11 @@ void GossipSubRouter::maintain_mesh(const TopicId& topic, std::set<NodeId>& mesh
     } else {
       members = sample(std::move(members), members.size());  // shuffle
     }
-    while (mesh.size() > static_cast<std::size_t>(params_.d) && !members.empty()) {
+    while (mesh.size() > static_cast<std::size_t>(params().d) && !members.empty()) {
       const NodeId victim = members.front();
       members.erase(members.begin());
-      mesh.erase(victim);
-      score_tracker_.on_leave_mesh(victim, topic);
+      sorted_erase(mesh, victim);
+      if (score_tracker_) score_tracker_->on_leave_mesh(victim, topic);
       set_backoff(topic, victim);
       Rpc rpc;
       rpc.prune.push_back(make_prune(topic, victim));
@@ -460,15 +517,18 @@ void GossipSubRouter::emit_gossip() {
   for (const TopicId& topic : topics_) {
     const std::vector<MessageId> ids = mcache_.gossip_ids(topic);
     if (ids.empty()) continue;
-    std::vector<NodeId> candidates = topic_peers(topic, params_.score.gossip_threshold);
+    std::vector<NodeId> candidates =
+        topic_peers(topic, params().score.gossip_threshold);
     const auto& mesh = mesh_.at(topic);
-    candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
-                                    [&](NodeId p) { return mesh.contains(p); }),
-                     candidates.end());
+    candidates.erase(
+        std::remove_if(candidates.begin(), candidates.end(),
+                       [&](NodeId p) { return sorted_contains(mesh, p); }),
+        candidates.end());
     Rpc rpc;
     rpc.ihave.push_back({topic, ids});
-    send_rpc_shared(sample(std::move(candidates), static_cast<std::size_t>(params_.d_lazy)),
-                    std::move(rpc), std::numeric_limits<double>::lowest());
+    send_rpc_shared(
+        sample(std::move(candidates), static_cast<std::size_t>(params().d_lazy)),
+        std::move(rpc), std::numeric_limits<double>::lowest());
   }
 }
 
@@ -489,7 +549,7 @@ std::size_t GossipSubRouter::send_rpc_shared(const std::vector<NodeId>& targets,
   const sim::Frame frame = sim::Frame::of<Rpc>(std::move(rpc));
   std::size_t sent = 0;
   for (NodeId to : targets) {
-    if (params_.enable_scoring && score_of(to) < min_score) continue;
+    if (params().enable_scoring && score_of(to) < min_score) continue;
     if (!network_.are_connected(self_, to)) continue;
     stats_.payload_bytes_sent += breakdown.payload;
     stats_.control_bytes_sent += breakdown.control;
@@ -502,9 +562,12 @@ std::size_t GossipSubRouter::send_rpc_shared(const std::vector<NodeId>& targets,
 std::vector<NodeId> GossipSubRouter::topic_peers(const TopicId& topic,
                                                  double min_score) const {
   std::vector<NodeId> out;
-  for (const auto& [peer, st] : peers_) {
-    if (!st.topics.contains(topic)) continue;
-    if (params_.enable_scoring && score_of(peer) < min_score) continue;
+  const std::uint32_t idx = table_->find(topic);
+  if (idx == TopicTable::kNotFound) return out;  // nobody announced it yet
+  const std::uint64_t bit = topic_bit(idx);
+  for (const auto& [peer, mask] : peers_) {
+    if ((mask & bit) == 0) continue;
+    if (params().enable_scoring && score_of(peer) < min_score) continue;
     out.push_back(peer);
   }
   std::sort(out.begin(), out.end());
@@ -522,19 +585,20 @@ std::vector<NodeId> GossipSubRouter::sample(std::vector<NodeId> pool, std::size_
 }
 
 double GossipSubRouter::score_of(NodeId peer) const {
-  return score_tracker_.score(peer, network_.scheduler().now());
+  if (!score_tracker_) return 0.0;
+  return score_tracker_->score(peer, network_.scheduler().now());
 }
 
 std::vector<NodeId> GossipSubRouter::mesh_peers(const TopicId& topic) const {
   const auto it = mesh_.find(topic);
   if (it == mesh_.end()) return {};
-  return std::vector<NodeId>(it->second.begin(), it->second.end());
+  return it->second;
 }
 
 std::vector<NodeId> GossipSubRouter::known_peers() const {
   std::vector<NodeId> out;
   out.reserve(peers_.size());
-  for (const auto& [peer, st] : peers_) out.push_back(peer);
+  for (const auto& [peer, mask] : peers_) out.push_back(peer);
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -546,19 +610,13 @@ double GossipSubRouter::peer_score(NodeId peer) const {
 std::size_t GossipSubRouter::memory_bytes() const {
   // Modeled libstdc++ resident bytes (constants in obs/memory.h).
   // Summing over unordered containers is order-independent, so the value
-  // is deterministic for a fixed workload.
+  // is deterministic for a fixed workload. The shared parameter block and
+  // topic table are charged once per world by the harness, not here.
   std::size_t total = sizeof(GossipSubRouter);
 
   total += peers_.bucket_count() * sizeof(void*);
-  for (const auto& [peer, state] : peers_) {
-    (void)peer;
-    total += obs::kUnorderedNodeBytes +
-             sizeof(std::pair<const sim::NodeId, PeerState>);
-    for (const TopicId& topic : state.topics) {
-      total += obs::kTreeNodeBytes + sizeof(TopicId) +
-               obs::string_heap_bytes(topic);
-    }
-  }
+  total += peers_.size() * (obs::kUnorderedNodeBytes +
+                            sizeof(std::pair<const sim::NodeId, std::uint64_t>));
 
   for (const TopicId& topic : topics_) {
     total += obs::kTreeNodeBytes + sizeof(TopicId) + obs::string_heap_bytes(topic);
@@ -566,30 +624,27 @@ std::size_t GossipSubRouter::memory_bytes() const {
 
   for (const auto& [topic, mesh] : mesh_) {
     total += obs::kTreeNodeBytes +
-             sizeof(std::pair<const TopicId, std::set<sim::NodeId>>) +
+             sizeof(std::pair<const TopicId, std::vector<sim::NodeId>>) +
              obs::string_heap_bytes(topic);
-    total += mesh.size() * (obs::kTreeNodeBytes + sizeof(sim::NodeId));
+    total += mesh.capacity() * sizeof(sim::NodeId);
   }
 
   for (const auto& [topic, fanout] : fanout_) {
     total += obs::kTreeNodeBytes + sizeof(std::pair<const TopicId, FanoutState>) +
              obs::string_heap_bytes(topic);
-    total += fanout.peers.size() * (obs::kTreeNodeBytes + sizeof(sim::NodeId));
+    total += fanout.peers.capacity() * sizeof(sim::NodeId);
   }
 
-  for (const auto& [topic, peers] : backoff_) {
+  for (const auto& [topic, entries] : backoff_) {
     total += obs::kTreeNodeBytes +
-             sizeof(std::pair<const TopicId,
-                              std::unordered_map<sim::NodeId, sim::TimeUs>>) +
+             sizeof(std::pair<const TopicId, std::vector<BackoffEntry>>) +
              obs::string_heap_bytes(topic);
-    total += peers.bucket_count() * sizeof(void*);
-    total += peers.size() * (obs::kUnorderedNodeBytes +
-                             sizeof(std::pair<const sim::NodeId, sim::TimeUs>));
+    total += entries.capacity() * sizeof(BackoffEntry);
   }
 
-  total += seen_.bucket_count() * sizeof(void*);
-  total += seen_.size() * (obs::kUnorderedNodeBytes +
-                           sizeof(std::pair<const MessageId, sim::TimeUs>));
+  // seen_ is a by-value member, so its sizeof is already inside
+  // sizeof(GossipSubRouter); add only its slot arrays.
+  total += seen_.memory_bytes() - sizeof(SeenCache);
 
   total += validators_.bucket_count() * sizeof(void*);
   for (const auto& [topic, validator] : validators_) {
@@ -598,6 +653,8 @@ std::size_t GossipSubRouter::memory_bytes() const {
              sizeof(std::pair<const TopicId, Validator>) +
              obs::string_heap_bytes(topic);
   }
+
+  if (score_tracker_) total += sizeof(PeerScoreTracker);
 
   return total;
 }

@@ -4,18 +4,30 @@
 // message cache, seen-cache deduplication, fanout publishing, GRAFT/PRUNE
 // control traffic, per-topic message validators (the hook WAKU-RLN-RELAY
 // plugs its RLN checks into) and optional peer scoring.
+//
+// Per-node state is stored struct-of-arrays for 250k-node worlds: peer
+// subscription sets are 64-bit topic masks over a world-shared TopicTable,
+// mesh/fanout/backoff sets are sorted vectors, the seen cache is a
+// fingerprint table (seen_cache.h), and the peer-score tracker is only
+// allocated when scoring is enabled. Parameters and the topic table are
+// shared across every router of a world; a standalone router creates
+// private copies.
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "gossipsub/mcache.h"
 #include "gossipsub/message.h"
 #include "gossipsub/score.h"
+#include "gossipsub/seen_cache.h"
+#include "gossipsub/topic_table.h"
 #include "sim/network.h"
 
 namespace wakurln::obs {
@@ -74,10 +86,17 @@ class GossipSubRouter {
     std::uint64_t control_bytes_sent = 0;
   };
 
+  /// World-shared state: every router of a simulated world points at one
+  /// immutable parameter block and one topic table.
+  GossipSubRouter(sim::NodeId self, sim::Network& network,
+                  std::shared_ptr<const GossipSubParams> params,
+                  std::shared_ptr<TopicTable> table);
+
+  /// Standalone router with private parameters and topic table.
   GossipSubRouter(sim::NodeId self, sim::Network& network, GossipSubParams params);
 
   sim::NodeId id() const { return self_; }
-  const GossipSubParams& params() const { return params_; }
+  const GossipSubParams& params() const { return *params_; }
   const Stats& stats() const { return stats_; }
   sim::Network& network() { return network_; }
   const sim::Network& network() const { return network_; }
@@ -111,17 +130,19 @@ class GossipSubRouter {
   bool has_seen(const MessageId& id) const { return seen_.contains(id); }
 
   /// Declares the IP a peer is observed on (defaults to its node id).
+  /// No-op unless scoring is enabled (the tracker is lazy).
   void set_peer_ip(sim::NodeId peer, std::uint32_t ip);
 
   /// Read access to the message cache (IWANT service window) for
   /// memory accounting.
   const MessageCache& mcache() const { return mcache_; }
 
-  /// Modeled resident bytes of the router's bookkeeping — peer map, mesh
-  /// and fanout sets, backoff and seen caches, validators (libstdc++
-  /// layouts, constants in obs/memory.h). The mcache is accounted
-  /// separately via mcache().memory_bytes(); message payloads belong to
-  /// the shared frame fabric.
+  /// Modeled resident bytes of the router's bookkeeping — peer topic
+  /// masks, mesh/fanout/backoff vectors, seen cache, validators
+  /// (libstdc++ layouts, constants in obs/memory.h). The mcache is
+  /// accounted separately via mcache().memory_bytes(); message payloads
+  /// belong to the shared frame fabric; the world-shared parameter block
+  /// and topic table are accounted once per world by the harness.
   std::size_t memory_bytes() const;
 
   /// Attaches the message-lifecycle tracer (nullptr detaches): forward
@@ -129,13 +150,12 @@ class GossipSubRouter {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
-  struct PeerState {
-    std::set<TopicId> topics;  ///< peer's announced subscriptions
-  };
   struct FanoutState {
-    std::set<sim::NodeId> peers;
+    std::vector<sim::NodeId> peers;  ///< sorted
     sim::TimeUs last_publish = 0;
   };
+  /// (peer, earliest re-graft time), sorted by peer.
+  using BackoffEntry = std::pair<sim::NodeId, sim::TimeUs>;
 
   void on_peer_connected(sim::NodeId peer);
   void on_peer_disconnected(sim::NodeId peer);
@@ -150,7 +170,7 @@ class GossipSubRouter {
   ControlPrune make_prune(const TopicId& topic, sim::NodeId about_to_prune);
 
   void heartbeat();
-  void maintain_mesh(const TopicId& topic, std::set<sim::NodeId>& mesh);
+  void maintain_mesh(const TopicId& topic, std::vector<sim::NodeId>& mesh);
   void emit_gossip();
 
   /// Records a PRUNE (sent or received) so neither side re-grafts early.
@@ -174,20 +194,24 @@ class GossipSubRouter {
 
   sim::NodeId self_;
   sim::Network& network_;
-  GossipSubParams params_;
+  std::shared_ptr<const GossipSubParams> params_;  ///< world-shared
+  std::shared_ptr<TopicTable> table_;              ///< world-shared
   util::Rng rng_;
 
-  std::unordered_map<sim::NodeId, PeerState> peers_;
-  std::set<TopicId> topics_;                        ///< own subscriptions
-  std::map<TopicId, std::set<sim::NodeId>> mesh_;   ///< mesh per topic
+  /// Peer -> announced-subscription mask (bit i = topic table index i).
+  std::unordered_map<sim::NodeId, std::uint64_t> peers_;
+  std::set<TopicId> topics_;  ///< own subscriptions
+  /// Mesh per topic, members sorted (matches the old std::set iteration).
+  std::map<TopicId, std::vector<sim::NodeId>> mesh_;
   std::map<TopicId, FanoutState> fanout_;
   MessageCache mcache_;
-  /// (topic, peer) -> earliest time a re-graft is allowed.
-  std::map<TopicId, std::unordered_map<sim::NodeId, sim::TimeUs>> backoff_;
-  std::unordered_map<MessageId, sim::TimeUs, MessageIdHash> seen_;
+  std::map<TopicId, std::vector<BackoffEntry>> backoff_;
+  SeenCache seen_;
   std::unordered_map<TopicId, Validator> validators_;
   MessageHandler message_handler_;
-  PeerScoreTracker score_tracker_;
+  /// Allocated only when params().enable_scoring — pure relays carry a
+  /// null pointer instead of an empty tracker.
+  std::unique_ptr<PeerScoreTracker> score_tracker_;
   obs::Tracer* tracer_ = nullptr;
   Stats stats_;
   sim::TimerHandle heartbeat_timer_;

@@ -1,0 +1,37 @@
+#include "gossipsub/topic_table.h"
+
+#include "obs/memory.h"
+#include "util/check.h"
+
+namespace wakurln::gossipsub {
+
+std::uint32_t TopicTable::intern(const TopicId& topic) {
+  const auto it = index_.find(topic);
+  if (it != index_.end()) return it->second;
+  WAKURLN_CHECK_MSG(names_.size() < kMaxTopics,
+                    "TopicTable: more than 64 distinct topics in one world");
+  const auto idx = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(topic);
+  index_.emplace(topic, idx);
+  return idx;
+}
+
+std::uint32_t TopicTable::find(const TopicId& topic) const {
+  const auto it = index_.find(topic);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+std::size_t TopicTable::memory_bytes() const {
+  std::size_t total = sizeof(TopicTable);
+  total += names_.capacity() * sizeof(TopicId);
+  for (const TopicId& t : names_) total += obs::string_heap_bytes(t);
+  total += index_.bucket_count() * sizeof(void*);
+  for (const auto& [t, idx] : index_) {
+    (void)idx;
+    total += obs::kUnorderedNodeBytes + sizeof(std::pair<const TopicId, std::uint32_t>) +
+             obs::string_heap_bytes(t);
+  }
+  return total;
+}
+
+}  // namespace wakurln::gossipsub

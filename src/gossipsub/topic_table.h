@@ -1,0 +1,49 @@
+#pragma once
+// World-level topic interner. Topic identifiers are strings on the wire,
+// but every per-node bookkeeping structure (peer subscription sets, mcache
+// window entries) only needs topic *identity*. Interning each distinct
+// topic string once per world and handing out dense 32-bit indices turns
+// per-node topic storage into integers/bitmasks — the struct-of-arrays
+// groundwork that makes 250k-node worlds fit in memory.
+//
+// One table is shared by every router and mcache of a simulated world
+// (SimHarness and the scenario runner create it); a standalone router
+// creates a private table, preserving the old single-node behaviour.
+// The table is append-only: indices are stable for the world's lifetime.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gossipsub/message.h"
+
+namespace wakurln::gossipsub {
+
+class TopicTable {
+ public:
+  /// Peer subscription sets are stored as 64-bit masks, so one world may
+  /// carry at most this many distinct topics (checked at intern time).
+  static constexpr std::uint32_t kMaxTopics = 64;
+
+  /// Index of `topic`, interning it on first sight.
+  std::uint32_t intern(const TopicId& topic);
+
+  /// Index of `topic` if already interned, kNotFound otherwise. Lookup
+  /// only — used on read paths that must not grow the table.
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+  std::uint32_t find(const TopicId& topic) const;
+
+  const TopicId& name(std::uint32_t idx) const { return names_.at(idx); }
+  std::size_t size() const { return names_.size(); }
+
+  /// Modeled resident bytes of the table (counted once per world by the
+  /// harness — never per node).
+  std::size_t memory_bytes() const;
+
+ private:
+  std::vector<TopicId> names_;
+  std::unordered_map<TopicId, std::uint32_t> index_;
+};
+
+}  // namespace wakurln::gossipsub

@@ -6,16 +6,29 @@
 
 namespace wakurln::rln {
 
+namespace {
+constexpr std::size_t kMinSlots = 8;
+}  // namespace
+
+NullifierMap::NullifierMap() : store_(std::make_shared<NullifierStore>()) {}
+
+NullifierMap::NullifierMap(std::shared_ptr<NullifierStore> store)
+    : store_(std::move(store)) {}
+
+NullifierMap::~NullifierMap() {
+  for (Shard& shard : shards_) store_->release(shard.records);
+}
+
 NullifierMap::Shard& NullifierMap::shard_for(std::uint64_t epoch) {
   // Hot path: the newest shard, or a brand-new one past it.
   if (!shards_.empty()) {
     if (shards_.back().epoch == epoch) return shards_.back();
     if (shards_.back().epoch < epoch) {
-      shards_.push_back(Shard{epoch, {}});
+      shards_.push_back(Shard{epoch, store_->acquire(epoch), {}, 0});
       return shards_.back();
     }
   } else {
-    shards_.push_back(Shard{epoch, {}});
+    shards_.push_back(Shard{epoch, store_->acquire(epoch), {}, 0});
     return shards_.back();
   }
   // Cold path: an epoch behind the newest shard (bounded by the Thr
@@ -25,46 +38,81 @@ NullifierMap::Shard& NullifierMap::shard_for(std::uint64_t epoch) {
       shards_.begin(), shards_.end(), epoch,
       [](const Shard& s, std::uint64_t e) { return s.epoch < e; });
   if (it != shards_.end() && it->epoch == epoch) return *it;
-  return *shards_.insert(it, Shard{epoch, {}});
+  return *shards_.insert(it, Shard{epoch, store_->acquire(epoch), {}, 0});
+}
+
+std::size_t NullifierMap::probe(const Shard& shard,
+                                const field::Fr& nullifier) const {
+  const std::size_t mask = shard.slots.size() - 1;
+  std::size_t i = field::FrHash{}(nullifier)&mask;
+  while (shard.slots[i] != 0) {
+    const std::uint32_t rec = shard.slots[i] - 1;
+    // Full key compare against the store — membership is exact, no
+    // fingerprint collision risk.
+    if (shard.records->nullifiers[rec] == nullifier) return i;
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void NullifierMap::grow(Shard& shard) {
+  std::vector<std::uint32_t> grown(shard.slots.size() * 2, 0);
+  const std::size_t grown_mask = grown.size() - 1;
+  for (const std::uint32_t slot : shard.slots) {
+    if (slot == 0) continue;
+    std::size_t j =
+        field::FrHash{}(shard.records->nullifiers[slot - 1]) & grown_mask;
+    while (grown[j] != 0) j = (j + 1) & grown_mask;
+    grown[j] = slot;
+  }
+  shard.slots = std::move(grown);
 }
 
 NullifierMap::CheckResult NullifierMap::observe(std::uint64_t epoch,
                                                 const field::Fr& nullifier,
                                                 const field::Fr& x, const field::Fr& y) {
-  EpochRecords& records = shard_for(epoch).records;
-  const auto it = records.find(nullifier);
-  if (it == records.end()) {
-    records.emplace(nullifier, Record{x, y});
+  Shard& shard = shard_for(epoch);
+  if (shard.slots.empty()) shard.slots.assign(kMinSlots, 0);
+  const std::size_t i = probe(shard, nullifier);
+  if (shard.slots[i] == 0) {
+    // First sighting on this node: intern the record (shared with every
+    // other node that saw the same message) and remember which share we
+    // saw first — that share is our half of any future slashing evidence.
+    const std::uint32_t rec = shard.records->intern(nullifier, x, y);
+    shard.slots[i] = rec + 1;
+    ++shard.used;
     ++records_;
+    if ((shard.used + 1) * 4 > shard.slots.size() * 3) grow(shard);
     return {Outcome::kFresh, std::nullopt};
   }
-  const Record& prior = it->second;
-  if (prior.x == x) {
+  const std::uint32_t rec = shard.slots[i] - 1;
+  const field::Fr& prior_x = shard.records->xs[rec];
+  if (prior_x == x) {
     // Same evaluation point: either the exact same message relayed twice
     // (y must match since y = A(x)) or a malformed variant; never slashable
     // evidence, because one point cannot reconstruct the line.
     return {Outcome::kDuplicateMessage, std::nullopt};
   }
-  const auto sk = shamir::reconstruct(shamir::Share{prior.x, prior.y}, shamir::Share{x, y});
+  const auto sk = shamir::reconstruct(
+      shamir::Share{prior_x, shard.records->ys[rec]}, shamir::Share{x, y});
   return {Outcome::kDoubleSignal, sk};
 }
 
 void NullifierMap::prune_before(std::uint64_t oldest_kept_epoch) {
   while (!shards_.empty() && shards_.front().epoch < oldest_kept_epoch) {
-    records_ -= shards_.front().records.size();
+    records_ -= shards_.front().used;
+    store_->release(shards_.front().records);
     shards_.pop_front();
   }
 }
 
 std::size_t NullifierMap::memory_bytes() const {
-  // Exact resident model: libstdc++ unordered_map stores one node per
-  // record — hash-chain next pointer (8) + cached hash (8) + key Fr (32)
-  // + Record (64) — plus the shard's live bucket array of pointers.
-  constexpr std::size_t kRecordNodeBytes = 8 + 8 + 32 + 64;
+  // Exact per-node resident model: the deque's shard headers plus each
+  // shard's slot array capacity. Record contents are shared world state
+  // (NullifierStore::memory_bytes, charged once per world).
   std::size_t total = sizeof(NullifierMap);
   for (const Shard& shard : shards_) {
-    total += sizeof(Shard) + shard.records.bucket_count() * sizeof(void*) +
-             shard.records.size() * kRecordNodeBytes;
+    total += sizeof(Shard) + shard.slots.capacity() * sizeof(std::uint32_t);
   }
   return total;
 }

@@ -6,21 +6,23 @@
 // duplicate), which is ignored rather than slashed. On a true double-signal
 // the two distinct shares reconstruct the offender's secret key.
 //
-// Storage is an epoch-indexed ring of shards: a deque ordered by epoch,
-// one hash shard per observed epoch. Epochs arrive near-monotonically
+// Per node this is now a membership view over a world-shared record arena
+// (NullifierStore): an epoch-indexed ring of shards, each holding an
+// open-addressing table of 4-byte record indices into the store instead of
+// a hash map of 112-byte record nodes. Epochs arrive near-monotonically
 // (the Thr acceptance window bounds how far behind the newest shard a
 // message may land), so locating a shard is a short scan from the back —
-// amortised O(1) — and prune_before pops whole shards from the front in
-// O(shards dropped). record_count is maintained incrementally and
-// memory_bytes models resident bytes exactly from live shard state
-// (bucket arrays included) instead of a flat per-record guess.
+// amortised O(1) — and prune_before pops whole shards from the front,
+// releasing the store shard (freed when the last node lets go).
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "field/fr.h"
+#include "rln/nullifier_store.h"
 
 namespace wakurln::rln {
 
@@ -38,6 +40,15 @@ class NullifierMap {
     std::optional<field::Fr> breached_sk;
   };
 
+  /// Standalone map with a private record store.
+  NullifierMap();
+  /// Membership view over a world-shared record store.
+  explicit NullifierMap(std::shared_ptr<NullifierStore> store);
+  ~NullifierMap();
+
+  NullifierMap(const NullifierMap&) = delete;
+  NullifierMap& operator=(const NullifierMap&) = delete;
+
   /// Checks (and on kFresh records) a message's nullifier evidence.
   CheckResult observe(std::uint64_t epoch, const field::Fr& nullifier,
                       const field::Fr& x, const field::Fr& y);
@@ -49,28 +60,34 @@ class NullifierMap {
 
   /// Epochs currently holding records (= resident shards).
   std::size_t epoch_count() const { return shards_.size(); }
-  /// Total records across all shards; O(1).
+  /// Records this node holds across all shards; O(1).
   std::size_t record_count() const { return records_; }
 
-  /// Resident memory of the map (for E13): container headers, each
-  /// shard's live bucket array, and one hash node per record.
+  /// Resident memory of this node's view (for E13): container headers and
+  /// each shard's index table. The record contents live in the shared
+  /// store — accounted once per world via store()->memory_bytes().
   std::size_t memory_bytes() const;
 
- private:
-  struct Record {
-    field::Fr x;
-    field::Fr y;
-  };
-  using EpochRecords = std::unordered_map<field::Fr, Record, field::FrHash>;
+  const std::shared_ptr<NullifierStore>& store() const { return store_; }
 
+ private:
   struct Shard {
     std::uint64_t epoch = 0;
-    EpochRecords records;
+    NullifierStore::Shard* records = nullptr;  ///< acquired store shard
+    /// Open-addressing index table keyed by nullifier: store record
+    /// index + 1, 0 = empty. Power-of-two capacity.
+    std::vector<std::uint32_t> slots;
+    std::size_t used = 0;
   };
 
   /// Shard for `epoch`, created in epoch order if absent.
   Shard& shard_for(std::uint64_t epoch);
+  /// Slot holding a record whose nullifier equals `nullifier`, or the
+  /// empty slot that would receive it.
+  std::size_t probe(const Shard& shard, const field::Fr& nullifier) const;
+  void grow(Shard& shard);
 
+  std::shared_ptr<NullifierStore> store_;
   /// Ring of shards, strictly ascending by epoch.
   std::deque<Shard> shards_;
   std::size_t records_ = 0;

@@ -1,0 +1,78 @@
+#include "rln/nullifier_store.h"
+
+#include "obs/memory.h"
+#include "util/check.h"
+
+namespace wakurln::rln {
+
+namespace {
+
+constexpr std::size_t kMinSlots = 16;
+
+std::size_t record_hash(const field::Fr& nullifier, const field::Fr& x) {
+  const field::FrHash h;
+  return h(nullifier) * 0x9e3779b97f4a7c15ULL ^ h(x);
+}
+
+}  // namespace
+
+std::uint32_t NullifierStore::Shard::intern(const field::Fr& nullifier,
+                                            const field::Fr& x, const field::Fr& y) {
+  if (slots.empty()) slots.assign(kMinSlots, 0);
+  const std::size_t mask = slots.size() - 1;
+  std::size_t i = record_hash(nullifier, x) & mask;
+  while (slots[i] != 0) {
+    const std::uint32_t rec = slots[i] - 1;
+    if (nullifiers[rec] == nullifier && xs[rec] == x) return rec;
+    i = (i + 1) & mask;
+  }
+  WAKURLN_CHECK_MSG(nullifiers.size() < 0xffffffffu,
+                    "NullifierStore: shard record index overflow");
+  const auto idx = static_cast<std::uint32_t>(nullifiers.size());
+  nullifiers.push_back(nullifier);
+  xs.push_back(x);
+  ys.push_back(y);
+  slots[i] = idx + 1;
+  ++used;
+  if (used * 4 > slots.size() * 3) {
+    std::vector<std::uint32_t> grown(slots.size() * 2, 0);
+    const std::size_t grown_mask = grown.size() - 1;
+    for (const std::uint32_t slot : slots) {
+      if (slot == 0) continue;
+      const std::uint32_t rec = slot - 1;
+      std::size_t j = record_hash(nullifiers[rec], xs[rec]) & grown_mask;
+      while (grown[j] != 0) j = (j + 1) & grown_mask;
+      grown[j] = slot;
+    }
+    slots = std::move(grown);
+  }
+  return idx;
+}
+
+NullifierStore::Shard* NullifierStore::acquire(std::uint64_t epoch) {
+  Shard& shard = shards_[epoch];
+  shard.epoch = epoch;
+  ++shard.refs;
+  return &shard;
+}
+
+void NullifierStore::release(Shard* shard) {
+  WAKURLN_CHECK_MSG(shard != nullptr && shard->refs > 0,
+                    "NullifierStore: release without matching acquire");
+  if (--shard->refs == 0) shards_.erase(shard->epoch);
+}
+
+std::size_t NullifierStore::memory_bytes() const {
+  std::size_t total = sizeof(NullifierStore);
+  for (const auto& [epoch, shard] : shards_) {
+    (void)epoch;
+    total += obs::kTreeNodeBytes + sizeof(std::pair<const std::uint64_t, Shard>);
+    total += (shard.nullifiers.capacity() + shard.xs.capacity() +
+              shard.ys.capacity()) *
+             sizeof(field::Fr);
+    total += shard.slots.capacity() * sizeof(std::uint32_t);
+  }
+  return total;
+}
+
+}  // namespace wakurln::rln

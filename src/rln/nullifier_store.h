@@ -1,0 +1,66 @@
+#pragma once
+// World-shared nullifier record store. Every honest routing peer records
+// the same (nullifier, x, y) evidence for every message it routes, so in
+// a simulated world the record *contents* are massively duplicated across
+// nodes — only the per-node membership differs (which records a node has
+// seen, and which share it saw first). This store deduplicates the
+// contents: one epoch-sharded arena of records per world, interned by
+// (nullifier, x), with per-node NullifierMaps holding 4-byte record
+// indices instead of 112-byte map nodes.
+//
+// Shards are reference-counted by the per-node maps that acquired them;
+// when the last node prunes an epoch the shard is freed, so the shared
+// arena follows the same retention window as the per-node views. A
+// NullifierMap constructed without a store creates a private one,
+// preserving standalone behaviour.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "field/fr.h"
+
+namespace wakurln::rln {
+
+class NullifierStore {
+ public:
+  /// One epoch's interned records: struct-of-arrays columns plus an
+  /// open-addressing dedup table keyed by (nullifier, x).
+  struct Shard {
+    std::uint64_t epoch = 0;
+    std::uint64_t refs = 0;  ///< per-node maps holding this shard
+
+    // Record columns; index i is one (nullifier, x, y) observation.
+    std::vector<field::Fr> nullifiers;
+    std::vector<field::Fr> xs;
+    std::vector<field::Fr> ys;
+
+    /// Dedup slots: record index + 1, 0 = empty. Power-of-two capacity.
+    std::vector<std::uint32_t> slots;
+    std::size_t used = 0;
+
+    /// Index of the record equal to (nullifier, x), interning it (with
+    /// this y) on first sight.
+    std::uint32_t intern(const field::Fr& nullifier, const field::Fr& x,
+                         const field::Fr& y);
+  };
+
+  /// Shard for `epoch` with one more reference; created if absent. The
+  /// returned pointer is stable until the matching release() drops the
+  /// last reference (std::map nodes do not move).
+  Shard* acquire(std::uint64_t epoch);
+
+  /// Drops one reference; frees the shard when no per-node map holds it.
+  void release(Shard* shard);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Modeled resident bytes of the shared arena — counted once per world
+  /// by the harness, never per node.
+  std::size_t memory_bytes() const;
+
+ private:
+  std::map<std::uint64_t, Shard> shards_;  ///< by epoch
+};
+
+}  // namespace wakurln::rln

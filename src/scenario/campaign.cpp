@@ -272,6 +272,18 @@ std::string report_json(const CampaignResult& result, bool include_resources) {
       out += json_number(r.mem_merkle_bytes);
       out += ", \"event_pool_bytes\": ";
       out += json_number(r.mem_event_pool_bytes);
+      out += ", \"network_bytes\": ";
+      out += json_number(r.mem_network_bytes);
+      // Derived density figure: total tracked bytes over the node count
+      // (the scaling headline — the README "Memory budget" table and the
+      // CI bytes/node gate both read this field).
+      const double tracked = r.mem_router_bytes + r.mem_mcache_bytes +
+                             r.mem_nullifier_bytes + r.mem_merkle_bytes +
+                             r.mem_event_pool_bytes + r.mem_network_bytes;
+      out += ", \"bytes_per_node\": ";
+      out += json_number(result.spec.nodes == 0
+                             ? 0
+                             : tracked / static_cast<double>(result.spec.nodes));
       out += "}}";
     }
     out += "\n  ], \"wall_ms_per_sim_second_mean\": ";

@@ -440,6 +440,7 @@ struct MemoryPeaks {
   std::size_t nullifier = 0;
   std::size_t merkle = 0;
   std::size_t event_pool = 0;
+  std::size_t network = 0;
 };
 
 void fill_memory_resources(const MemoryPeaks& peaks, ResourceUsage& resource) {
@@ -448,6 +449,7 @@ void fill_memory_resources(const MemoryPeaks& peaks, ResourceUsage& resource) {
   resource.mem_nullifier_bytes = static_cast<double>(peaks.nullifier);
   resource.mem_merkle_bytes = static_cast<double>(peaks.merkle);
   resource.mem_event_pool_bytes = static_cast<double>(peaks.event_pool);
+  resource.mem_network_bytes = static_cast<double>(peaks.network);
 }
 
 /// The coalition-first-spy adversary: colluding silent observer nodes
@@ -952,9 +954,12 @@ MetricSet ScenarioRunner::run_rln() {
     for (std::uint64_t t = now_s + 1; t <= horizon_s; t += spec_.epoch_seconds) {
       world.scheduler().schedule_at(
           t * sim::kUsPerSecond, [&world, &nullifier_max, &mem_peaks] {
-            std::size_t routers = 0;
+            // Shared world state (router params + topic table, nullifier
+            // record arena) is charged once; the loop adds the per-node
+            // views on top.
+            std::size_t routers = world.router_shared_bytes();
             std::size_t mcaches = 0;
-            std::size_t nullifiers = 0;
+            std::size_t nullifiers = world.validator_context()->memory_bytes();
             for (std::size_t i = 0; i < world.size(); ++i) {
               const std::size_t nb = world.node(i).nullifier_map_bytes();
               nullifier_max = std::max(nullifier_max, nb);
@@ -969,6 +974,8 @@ MetricSet ScenarioRunner::run_rln() {
                 std::max(mem_peaks.merkle, world.group_sync().memory_bytes());
             mem_peaks.event_pool =
                 std::max(mem_peaks.event_pool, world.scheduler().memory_bytes());
+            mem_peaks.network =
+                std::max(mem_peaks.network, world.network().memory_bytes());
           });
     }
   }
@@ -1083,13 +1090,19 @@ MetricSet ScenarioRunner::run_pow() {
   if (spec_.seen_ttl_seconds > 0) {
     gossip.seen_ttl = spec_.seen_ttl_seconds * sim::kUsPerSecond;
   }
+  // Shared router state for the PoW world too: one parameter block and
+  // one interned topic table for all nodes.
+  const auto gossip_shared =
+      std::make_shared<const gossipsub::GossipSubParams>(gossip);
+  const auto topic_table = std::make_shared<gossipsub::TopicTable>();
   std::vector<sim::NodeId> ids;
   std::vector<std::unique_ptr<waku::WakuRelay>> relays;
   ids.reserve(spec_.nodes);
   relays.reserve(spec_.nodes);
   for (std::size_t i = 0; i < spec_.nodes; ++i) {
     ids.push_back(net.add_node({}));
-    relays.push_back(std::make_unique<waku::WakuRelay>(ids.back(), net, gossip));
+    relays.push_back(std::make_unique<waku::WakuRelay>(ids.back(), net,
+                                                       gossip_shared, topic_table));
   }
   sim::DegreeBias bias;
   if (spec_.observer.placement == ObserverPlacement::kSybilHighDegree) {
@@ -1152,8 +1165,9 @@ MetricSet ScenarioRunner::run_pow() {
     reg.probe("scheduler_queue_peak", [&sched] {
       return static_cast<double>(sched.stats().peak_pending);
     });
-    reg.probe("mem_router_bytes", [&relays] {
-      std::size_t total = 0;
+    reg.probe("mem_router_bytes", [&relays, topic_table] {
+      std::size_t total =
+          sizeof(gossipsub::GossipSubParams) + topic_table->memory_bytes();
       for (const auto& r : relays) total += r->router().memory_bytes();
       return static_cast<double>(total);
     });
@@ -1164,6 +1178,8 @@ MetricSet ScenarioRunner::run_pow() {
     });
     reg.probe("mem_event_pool_bytes",
               [&sched] { return static_cast<double>(sched.memory_bytes()); });
+    reg.probe("mem_network_bytes",
+              [&net] { return static_cast<double>(net.memory_bytes()); });
     reg.probe("net_frames_sent", [&net] {
       return static_cast<double>(net.stats().frames_sent);
     });
@@ -1199,8 +1215,10 @@ MetricSet ScenarioRunner::run_pow() {
     const std::uint64_t horizon_s =
         now_s + (spec_.traffic_epochs + 2) * spec_.epoch_seconds + kPowDrainSeconds;
     for (std::uint64_t t = now_s + 1; t <= horizon_s; t += spec_.epoch_seconds) {
-      sched.schedule_at(t * sim::kUsPerSecond, [&relays, &sched, &mem_peaks] {
-        std::size_t routers = 0;
+      sched.schedule_at(t * sim::kUsPerSecond,
+                        [&relays, &sched, &net, &mem_peaks, topic_table] {
+        std::size_t routers =
+            sizeof(gossipsub::GossipSubParams) + topic_table->memory_bytes();
         std::size_t mcaches = 0;
         for (const auto& r : relays) {
           routers += r->router().memory_bytes();
@@ -1209,6 +1227,7 @@ MetricSet ScenarioRunner::run_pow() {
         mem_peaks.router = std::max(mem_peaks.router, routers);
         mem_peaks.mcache = std::max(mem_peaks.mcache, mcaches);
         mem_peaks.event_pool = std::max(mem_peaks.event_pool, sched.memory_bytes());
+        mem_peaks.network = std::max(mem_peaks.network, net.memory_bytes());
       });
     }
   }

@@ -58,10 +58,12 @@ struct ResourceUsage {
   // whether or not the observability layer is enabled). Sums across all
   // nodes of the world except the shared merkle view and the event pool.
   double mem_router_bytes = 0;      ///< gossipsub peer/mesh/seen state
+                                    ///  (+ shared params/topic table, once)
   double mem_mcache_bytes = 0;      ///< gossip message caches
-  double mem_nullifier_bytes = 0;   ///< RLN nullifier rings
+  double mem_nullifier_bytes = 0;   ///< RLN nullifier views + shared store
   double mem_merkle_bytes = 0;      ///< shared membership Merkle view
   double mem_event_pool_bytes = 0;  ///< scheduler calendar + event pool
+  double mem_network_bytes = 0;     ///< interned link arena + overrides
 };
 
 class ScenarioRunner {

@@ -145,6 +145,28 @@ std::vector<ScenarioSpec> build_catalogue() {
   }
   {
     ScenarioSpec s = base_spec();
+    s.name = "geo_250k";
+    s.description =
+        "250k-node geo-distributed mesh: the struct-of-arrays node state, "
+        "interned link arena and world-shared validator state rung. A "
+        "bounded publisher set keeps traffic realistic while every node "
+        "validates and routes; the memory resources block (bytes_per_node) "
+        "is the scaling gate.";
+    s.nodes = 250000;
+    s.extra_links_per_node = 4;
+    s.link_profile = sim::LinkProfile::kGeo;
+    s.traffic_epochs = 2;
+    s.honest_publish_prob = 0.5;
+    s.publishers = 64;
+    s.observers = 4;
+    s.register_publishers_only = true;
+    s.payload_bytes = 256;
+    s.adversaries.spammers = 2;
+    s.adversaries.spam_per_epoch = 3;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s = base_spec();
     s.name = "observer_coalition";
     s.description =
         "A colluding first-spy coalition of six random-tail observers: the "

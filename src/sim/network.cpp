@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/memory.h"
+
 namespace wakurln::sim {
 
 Network::Network(Scheduler& scheduler, util::Rng& rng, LinkParams default_link)
@@ -15,7 +17,9 @@ Network::~Network() {
 }
 
 NodeId Network::add_node(NodeCallbacks callbacks) {
-  nodes_.push_back(NodeState{std::move(callbacks), {}, 0, 0, 0});
+  NodeState state;
+  state.callbacks = std::move(callbacks);
+  nodes_.push_back(std::move(state));
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -33,36 +37,103 @@ const LinkParams& Network::params_for(NodeId a, NodeId b) const {
   return it == link_overrides_.end() ? default_link_ : it->second;
 }
 
+std::span<const NodeId> Network::links_of(NodeId node) const {
+  const NodeState& state = nodes_.at(node);
+  if (state.frozen) {
+    return {link_arena_.data() + state.base_off, state.base_len};
+  }
+  return {state.links.data(), state.links.size()};
+}
+
+void Network::thaw(NodeState& state) {
+  if (!state.frozen) return;
+  state.links.assign(link_arena_.begin() + state.base_off,
+                     link_arena_.begin() + state.base_off + state.base_len);
+  state.frozen = false;
+}
+
 void Network::connect(NodeId a, NodeId b) {
   if (a == b) throw std::invalid_argument("Network: self-links not allowed");
+  if (are_connected(a, b)) return;
   NodeState& na = nodes_.at(a);
   NodeState& nb = nodes_.at(b);
-  if (na.links.contains(b)) return;
-  na.links.insert(b);
-  nb.links.insert(a);
+  thaw(na);
+  thaw(nb);
+  na.links.insert(std::lower_bound(na.links.begin(), na.links.end(), b), b);
+  nb.links.insert(std::lower_bound(nb.links.begin(), nb.links.end(), a), a);
   if (na.callbacks.on_peer_connected) na.callbacks.on_peer_connected(b);
   if (nb.callbacks.on_peer_connected) nb.callbacks.on_peer_connected(a);
 }
 
 void Network::disconnect(NodeId a, NodeId b) {
+  if (!are_connected(a, b)) return;
   NodeState& na = nodes_.at(a);
   NodeState& nb = nodes_.at(b);
-  if (!na.links.contains(b)) return;
-  na.links.erase(b);
-  nb.links.erase(a);
+  thaw(na);
+  thaw(nb);
+  na.links.erase(std::lower_bound(na.links.begin(), na.links.end(), b));
+  nb.links.erase(std::lower_bound(nb.links.begin(), nb.links.end(), a));
   if (na.callbacks.on_peer_disconnected) na.callbacks.on_peer_disconnected(b);
   if (nb.callbacks.on_peer_disconnected) nb.callbacks.on_peer_disconnected(a);
 }
 
 bool Network::are_connected(NodeId a, NodeId b) const {
-  return nodes_.at(a).links.contains(b);
+  const auto links = links_of(a);
+  return std::binary_search(links.begin(), links.end(), b);
 }
 
 std::vector<NodeId> Network::neighbors(NodeId node) const {
-  const auto& links = nodes_.at(node).links;
-  std::vector<NodeId> out(links.begin(), links.end());
-  std::sort(out.begin(), out.end());
-  return out;
+  const auto links = links_of(node);
+  return {links.begin(), links.end()};
+}
+
+void Network::intern_links() {
+  // Rebuild the arena from the current link sets: content-hash each
+  // node's sorted list and share one slice among identical lists. A
+  // rebuild (rather than append) keeps re-interning after churn or
+  // degree-bias passes from accreting dead slices.
+  std::vector<NodeId> arena;
+  struct Slice {
+    std::uint32_t off, len;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Slice>> by_hash;
+  std::vector<Slice> assigned(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto links = links_of(static_cast<NodeId>(i));
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the id bytes
+    for (const NodeId id : links) {
+      for (std::size_t byte = 0; byte < sizeof(NodeId); ++byte) {
+        h ^= (id >> (8 * byte)) & 0xff;
+        h *= 1099511628211ULL;
+      }
+    }
+    Slice* found = nullptr;
+    for (Slice& candidate : by_hash[h]) {
+      if (candidate.len == links.size() &&
+          std::equal(links.begin(), links.end(), arena.begin() + candidate.off)) {
+        found = &candidate;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      const Slice fresh{static_cast<std::uint32_t>(arena.size()),
+                        static_cast<std::uint32_t>(links.size())};
+      arena.insert(arena.end(), links.begin(), links.end());
+      by_hash[h].push_back(fresh);
+      found = &by_hash[h].back();
+    }
+    assigned[i] = *found;
+  }
+  arena.shrink_to_fit();
+  link_arena_ = std::move(arena);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeState& state = nodes_[i];
+    state.base_off = assigned[i].off;
+    state.base_len = assigned[i].len;
+    state.frozen = true;
+    state.links.clear();
+    state.links.shrink_to_fit();
+  }
 }
 
 void Network::set_link_params(NodeId a, NodeId b, LinkParams params) {
@@ -126,6 +197,21 @@ void Network::instrument(obs::Registry& reg) {
   // high ones). A disabled registry hands back an inert handle.
   frame_bytes_hist_ = reg.histogram(
       "net_frame_bytes", {64, 256, 1024, 4096, 16384, 65536});
+}
+
+std::size_t Network::memory_bytes() const {
+  // Exact model of the link bookkeeping (obs/memory.h conventions): node
+  // headers, private link lists, the interned arena, and the per-link
+  // parameter overrides' hash-map nodes and bucket array. Frame buffers
+  // in flight are transient and deliberately out of scope.
+  std::size_t total = sizeof(Network);
+  total += nodes_.capacity() * sizeof(NodeState);
+  for (const NodeState& n : nodes_) total += n.links.capacity() * sizeof(NodeId);
+  total += link_arena_.capacity() * sizeof(NodeId);
+  total += link_overrides_.bucket_count() * sizeof(void*);
+  total += link_overrides_.size() *
+           (obs::kUnorderedNodeBytes + sizeof(std::pair<const std::uint64_t, LinkParams>));
+  return total;
 }
 
 std::uint64_t Network::bytes_sent_by(NodeId node) const {

@@ -9,8 +9,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "obs/registry.h"
@@ -73,6 +73,19 @@ class Network : public DeliverySink {
   /// Sorted list of a node's neighbours.
   std::vector<NodeId> neighbors(NodeId node) const;
 
+  /// Freezes every node's current neighbour list into one shared arena,
+  /// deduplicating identical lists (nodes wired symmetrically share one
+  /// slice). Topology builders call this once after wiring; a later
+  /// connect/disconnect thaws the touched nodes back to private lists
+  /// (copy-on-write), so churn rewiring keeps working. Idempotent; the
+  /// arena is rebuilt from the current link sets on every call.
+  void intern_links();
+
+  /// Modeled resident bytes of the link structures: node headers, the
+  /// interned arena and any thawed private lists, plus the per-link
+  /// parameter overrides. Exact for the containers it models.
+  std::size_t memory_bytes() const;
+
   /// Per-link parameter override (applies to both directions).
   void set_link_params(NodeId a, NodeId b, LinkParams params);
   /// Effective parameters of a link (the override, or the default).
@@ -109,7 +122,13 @@ class Network : public DeliverySink {
  private:
   struct NodeState {
     NodeCallbacks callbacks;
-    std::unordered_set<NodeId> links;
+    /// Private sorted neighbour list — authoritative while !frozen.
+    std::vector<NodeId> links;
+    /// Slice [base_off, base_off + base_len) of link_arena_ —
+    /// authoritative while frozen (set by intern_links()).
+    std::uint32_t base_off = 0;
+    std::uint32_t base_len = 0;
+    bool frozen = false;
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
     /// Bumped by drop_in_flight; frames remember the value at send time
@@ -123,11 +142,18 @@ class Network : public DeliverySink {
 
   static std::uint64_t link_key(NodeId a, NodeId b);
   const LinkParams& params_for(NodeId a, NodeId b) const;
+  /// The node's current sorted neighbour list (arena slice or private).
+  std::span<const NodeId> links_of(NodeId node) const;
+  /// Copies a frozen node's arena slice back into its private list so it
+  /// can be mutated.
+  void thaw(NodeState& state);
 
   Scheduler& scheduler_;
   util::Rng& rng_;
   LinkParams default_link_;
   std::vector<NodeState> nodes_;
+  /// Interned neighbour lists, deduplicated by content (intern_links()).
+  std::vector<NodeId> link_arena_;
   std::unordered_map<std::uint64_t, LinkParams> link_overrides_;
   FrameTap frame_tap_;
   obs::Histogram frame_bytes_hist_;

@@ -74,6 +74,7 @@ void build_topology(Network& network, std::span<const NodeId> nodes,
       connect_erdos_renyi(network, nodes, edge_probability, rng);
       break;
   }
+  network.intern_links();
 }
 
 void build_topology(Network& network, std::span<const NodeId> nodes,
@@ -85,6 +86,9 @@ void build_topology(Network& network, std::span<const NodeId> nodes,
   for (const NodeId boosted : bias.nodes) {
     connect_to_random_peers(network, boosted, nodes, bias.extra_links, rng);
   }
+  // The bias pass thawed the boosted nodes and their new peers; re-intern
+  // so the built topology always ends frozen.
+  network.intern_links();
 }
 
 const char* link_profile_name(LinkProfile profile) {

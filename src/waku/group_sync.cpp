@@ -3,6 +3,7 @@
 namespace wakurln::waku {
 
 GroupSync::GroupSync(eth::Chain& chain, std::size_t tree_depth) : group_(tree_depth) {
+  note_root();  // r_0: the empty tree
   chain.subscribe_events(
       [this](const eth::ContractEvent& ev, const eth::Block&) { on_event(ev); });
 }
@@ -21,6 +22,31 @@ void GroupSync::on_event(const eth::ContractEvent& event) {
       ++stats_.root_updates;
     }
   }
+  note_root();
+}
+
+void GroupSync::note_root() {
+  const field::Fr root = group_.root();
+  if (!root_history_.empty() && root_history_.back() == root) return;
+  root_history_.push_back(root);
+  while (root_history_.size() > kMaxRootHistory) {
+    root_history_.pop_front();
+    ++roots_dropped_;
+  }
+}
+
+bool GroupSync::root_in_window(const field::Fr& root,
+                               std::uint64_t first_index) const {
+  // Scan newest-first; stop once past the window's oldest entry. Windows
+  // are <= kMaxRootHistory (relay ctor check), so the whole window is in
+  // the retained suffix and the scan is bounded by the window length.
+  std::uint64_t idx = total_roots();
+  for (auto it = root_history_.rbegin(); it != root_history_.rend(); ++it) {
+    --idx;
+    if (idx < first_index) return false;
+    if (*it == root) return true;
+  }
+  return false;
 }
 
 }  // namespace wakurln::waku

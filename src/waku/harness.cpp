@@ -23,16 +23,25 @@ SimHarness::SimHarness(HarnessConfig config)
   sync_ = std::make_shared<GroupSync>(chain_, config_.rln.tree_depth);
   const auto& sync = sync_;
 
+  // World-shared immutable state, one copy regardless of node count: the
+  // validator context (CRS + verifier + nullifier record store) and the
+  // router's parameter block + interned topic table. Each relay below
+  // holds shared_ptr handles into these instead of private copies.
+  ctx_ = RlnValidatorContext::make(crs_, config_.rln.messages_per_epoch);
+  gossip_params_ = std::make_shared<const gossipsub::GossipSubParams>(config_.gossip);
+  topic_table_ = std::make_shared<gossipsub::TopicTable>();
+
   std::vector<sim::NodeId> ids;
   ids.reserve(config_.node_count);
   for (std::size_t i = 0; i < config_.node_count; ++i) {
     const sim::NodeId id = network_.add_node({});
     ids.push_back(id);
-    relays_.push_back(std::make_unique<WakuRelay>(id, network_, config_.gossip));
+    relays_.push_back(
+        std::make_unique<WakuRelay>(id, network_, gossip_params_, topic_table_));
     chain_.ledger().mint(account_of(i), config_.initial_balance_wei);
     nodes_.push_back(std::make_unique<WakuRlnRelay>(
-        *relays_.back(), chain_, *contract_, crs_, account_of(i), config_.rln,
-        util::Rng(rng_.next_u64()), sync));
+        *relays_.back(), chain_, *contract_, zksnark::KeyPair{}, account_of(i),
+        config_.rln, util::Rng(rng_.next_u64()), sync, ctx_));
   }
   sim::DegreeBias bias;
   bias.extra_links = config_.degree_boost_links;
@@ -147,12 +156,15 @@ void SimHarness::attach_observability(obs::Registry& reg, obs::Tracer* tracer) {
     return static_cast<double>(scheduler_.stats().peak_pending);
   });
   reg.probe("nullifier_bytes_total", [this] {
-    std::size_t total = 0;
+    // Per-node membership views plus the shared record arena, once.
+    std::size_t total = ctx_->memory_bytes();
     for (const auto& n : nodes_) total += n->nullifier_map_bytes();
     return static_cast<double>(total);
   });
   reg.probe("mem_router_bytes", [this] {
-    std::size_t total = 0;
+    // Per-node routing state plus the shared parameter block and topic
+    // table, once.
+    std::size_t total = router_shared_bytes();
     for (const auto& r : relays_) total += r->router().memory_bytes();
     return static_cast<double>(total);
   });
@@ -165,6 +177,9 @@ void SimHarness::attach_observability(obs::Registry& reg, obs::Tracer* tracer) {
             [this] { return static_cast<double>(sync_->memory_bytes()); });
   reg.probe("mem_event_pool_bytes", [this] {
     return static_cast<double>(scheduler_.memory_bytes());
+  });
+  reg.probe("mem_network_bytes", [this] {
+    return static_cast<double>(network_.memory_bytes());
   });
   reg.probe("net_frames_sent", [this] {
     return static_cast<double>(network_.stats().frames_sent);

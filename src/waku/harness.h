@@ -80,6 +80,16 @@ class SimHarness {
   eth::MembershipContract& contract() { return *contract_; }
   /// The world's shared membership sync (churn counters live here).
   const GroupSync& group_sync() const { return *sync_; }
+  /// The world's shared immutable validator state (CRS + verifier +
+  /// nullifier record store) — one copy for all peers.
+  const std::shared_ptr<const RlnValidatorContext>& validator_context() const {
+    return ctx_;
+  }
+  /// Bytes of the world-shared router state (gossipsub parameter block +
+  /// interned topic table) — counted once per world, never per node.
+  std::size_t router_shared_bytes() const {
+    return sizeof(gossipsub::GossipSubParams) + topic_table_->memory_bytes();
+  }
   sim::Scheduler& scheduler() { return scheduler_; }
   sim::Network& network() { return network_; }
   util::Rng& rng() { return rng_; }
@@ -129,6 +139,9 @@ class SimHarness {
   std::unique_ptr<eth::RegistryListContract> contract_;
   std::shared_ptr<GroupSync> sync_;
   zksnark::KeyPair crs_;
+  std::shared_ptr<const RlnValidatorContext> ctx_;
+  std::shared_ptr<const gossipsub::GossipSubParams> gossip_params_;
+  std::shared_ptr<gossipsub::TopicTable> topic_table_;
   std::vector<std::unique_ptr<WakuRelay>> relays_;
   std::vector<std::unique_ptr<WakuRlnRelay>> nodes_;
   std::vector<Delivery> deliveries_;

@@ -10,6 +10,15 @@ WakuRelay::WakuRelay(sim::NodeId self, sim::Network& network,
   });
 }
 
+WakuRelay::WakuRelay(sim::NodeId self, sim::Network& network,
+                     std::shared_ptr<const gossipsub::GossipSubParams> params,
+                     std::shared_ptr<gossipsub::TopicTable> table)
+    : router_(self, network, std::move(params), std::move(table)) {
+  router_.set_message_handler([this](const gossipsub::GsMessage& msg) {
+    if (handler_) handler_(msg.topic, msg.data);
+  });
+}
+
 void WakuRelay::subscribe(const gossipsub::TopicId& topic, PayloadHandler handler) {
   handler_ = std::move(handler);
   router_.subscribe(topic);

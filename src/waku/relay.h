@@ -22,6 +22,12 @@ class WakuRelay {
   WakuRelay(sim::NodeId self, sim::Network& network,
             gossipsub::GossipSubParams params = {});
 
+  /// World-shared router state (parameter block + topic table), so a
+  /// 250k-node harness carries one copy of each instead of one per node.
+  WakuRelay(sim::NodeId self, sim::Network& network,
+            std::shared_ptr<const gossipsub::GossipSubParams> params,
+            std::shared_ptr<gossipsub::TopicTable> table);
+
   sim::NodeId id() const { return router_.id(); }
 
   /// Registers network callbacks and starts heartbeats.

@@ -10,30 +10,44 @@ namespace wakurln::waku {
 
 using gossipsub::Validation;
 
+std::shared_ptr<const RlnValidatorContext> RlnValidatorContext::make(
+    zksnark::KeyPair crs, std::uint64_t messages_per_epoch) {
+  rln::RlnVerifier verifier(crs.vk, messages_per_epoch);
+  return std::make_shared<const RlnValidatorContext>(RlnValidatorContext{
+      std::move(crs), std::move(verifier), std::make_shared<rln::NullifierStore>()});
+}
+
 WakuRlnRelay::WakuRlnRelay(WakuRelay& relay, eth::Chain& chain,
                            eth::MembershipContract& contract, zksnark::KeyPair crs,
                            eth::Address account, WakuRlnConfig config, util::Rng rng,
-                           std::shared_ptr<GroupSync> group_sync)
+                           std::shared_ptr<GroupSync> group_sync,
+                           std::shared_ptr<const RlnValidatorContext> ctx)
     : relay_(relay),
       chain_(chain),
       contract_(contract),
-      crs_(std::move(crs)),
       account_(account),
       config_(config),
       rng_(rng),
       identity_(rln::Identity::generate(rng_)),
-      prover_(crs_.pk, identity_, config.messages_per_epoch),
-      verifier_(crs_.vk, config.messages_per_epoch),
       epochs_(config.epoch_period_seconds, config.max_delay_seconds),
       sync_(group_sync ? std::move(group_sync)
-                       : std::make_shared<GroupSync>(chain, config.tree_depth)) {
-  if (crs_.pk.tree_depth != config.tree_depth) {
+                       : std::make_shared<GroupSync>(chain, config.tree_depth)),
+      ctx_(ctx ? std::move(ctx)
+               : RlnValidatorContext::make(std::move(crs), config.messages_per_epoch)),
+      nullifier_map_(ctx_->store) {
+  if (ctx_->crs.pk.tree_depth != config.tree_depth) {
     throw std::invalid_argument("WakuRlnRelay: CRS depth != configured tree depth");
   }
   if (sync_->group().tree_depth() != config.tree_depth) {
     throw std::invalid_argument("WakuRlnRelay: group sync depth != configured depth");
   }
-  remember_root();
+  if (config.acceptable_root_window > GroupSync::kMaxRootHistory) {
+    throw std::invalid_argument(
+        "WakuRlnRelay: acceptable_root_window exceeds GroupSync::kMaxRootHistory");
+  }
+  // The current root is r_{floor}; everything older predates this relay
+  // and was never in its acceptance window.
+  root_floor_ = sync_->current_root_index();
   // The sync's own subscription predates this one, so membership updates
   // are applied to the tree before any relay reads the new root.
   chain_.subscribe_events(
@@ -111,8 +125,14 @@ WakuRlnRelay::PublishOutcome WakuRlnRelay::do_publish(const gossipsub::TopicId& 
   // the double-signal the network punishes.
   const std::uint64_t slot =
       std::min(published_in_epoch_, config_.messages_per_epoch - 1);
+  if (!prover_) {
+    // First publish: build the prover from the shared CRS. The ctor draws
+    // no randomness, so lazy construction leaves the rng sequence alone.
+    prover_ = std::make_unique<rln::RlnProver>(ctx_->crs.pk, identity_,
+                                               config_.messages_per_epoch);
+  }
   const auto signal =
-      prover_.create_signal(payload, epoch, sync_->group(), *own_index_, rng_, slot);
+      prover_->create_signal(payload, epoch, sync_->group(), *own_index_, rng_, slot);
   if (!signal) return PublishOutcome::kProofFailed;
 
   published_in_epoch_ += enforce_rate_limit ? 1 : 0;
@@ -137,11 +157,11 @@ bool WakuRlnRelay::verify_proof_cached(const gossipsub::MessageId& id,
     ++stats_.proof_verifications;
     if (tracer_ != nullptr) {
       tracer_->begin("verify", now_us(), trace_track_, obs::short_id(id));
-      const bool ok = verifier_.verify(payload, signal);
+      const bool ok = ctx_->verifier.verify(payload, signal);
       tracer_->end(now_us(), trace_track_);
       return ok;
     }
-    return verifier_.verify(payload, signal);
+    return ctx_->verifier.verify(payload, signal);
   }
   if (const auto it = proof_cache_.find(id); it != proof_cache_.end()) {
     ++stats_.proof_cache_hits;
@@ -154,7 +174,7 @@ bool WakuRlnRelay::verify_proof_cached(const gossipsub::MessageId& id,
   if (tracer_ != nullptr) {
     tracer_->begin("verify", now_us(), trace_track_, obs::short_id(id));
   }
-  const bool ok = verifier_.verify(payload, signal);
+  const bool ok = ctx_->verifier.verify(payload, signal);
   if (tracer_ != nullptr) tracer_->end(now_us(), trace_track_);
   if (proof_cache_order_.size() >= config_.proof_cache_entries) {
     proof_cache_.erase(proof_cache_order_.front());
@@ -231,13 +251,12 @@ gossipsub::Validation WakuRlnRelay::validate(sim::NodeId /*source*/,
 }
 
 void WakuRlnRelay::on_chain_event(const eth::ContractEvent& event) {
-  // Tree updates were applied by the GroupSync subscriber already; here
-  // each peer tracks only its own membership index and the root window.
+  // Tree updates (and the shared root history) were applied by the
+  // GroupSync subscriber already; here each peer tracks only its own
+  // membership index.
   if (const auto* reg = std::get_if<eth::MemberRegistered>(&event)) {
     if (reg->pk == identity_.pk) own_index_ = reg->index;
-    remember_root();
   } else if (const auto* slashed = std::get_if<eth::MemberSlashed>(&event)) {
-    remember_root();
     if (slashed->pk == identity_.pk) own_index_.reset();
   }
 }
@@ -253,18 +272,16 @@ void WakuRlnRelay::submit_slash(const field::Fr& sk) {
       now_seconds());
 }
 
-void WakuRlnRelay::remember_root() {
-  const field::Fr root = sync_->group().root();
-  if (!recent_roots_.empty() && recent_roots_.back() == root) return;
-  recent_roots_.push_back(root);
-  while (recent_roots_.size() > config_.acceptable_root_window) {
-    recent_roots_.pop_front();
-  }
-}
-
 bool WakuRlnRelay::root_acceptable(const field::Fr& root) const {
-  return std::find(recent_roots_.begin(), recent_roots_.end(), root) !=
-         recent_roots_.end();
+  // This relay's logical window is the last acceptable_root_window entries
+  // of the distinct-root sequence since its construction: exactly the
+  // deque the old per-relay bookkeeping kept, read from the shared
+  // history instead of n private copies.
+  const std::uint64_t total = sync_->total_roots();
+  const std::uint64_t window = config_.acceptable_root_window;
+  std::uint64_t first = total > window ? total - window : 0;
+  if (root_floor_ > first) first = root_floor_;
+  return sync_->root_in_window(root, first);
 }
 
 void WakuRlnRelay::schedule_nullifier_gc() {

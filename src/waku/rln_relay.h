@@ -37,6 +37,27 @@ class Tracer;
 
 namespace wakurln::waku {
 
+/// Immutable validation state every pure relay of a world shares: the CRS,
+/// one verifier built from it, and the world's nullifier record store.
+/// The old design gave each node a private copy of all three; one context
+/// per world is what lets a 250k-node harness hold a single CRS and a
+/// single deduplicated record arena. A relay constructed without a
+/// context builds a private one from its own CRS copy.
+struct RlnValidatorContext {
+  zksnark::KeyPair crs;
+  rln::RlnVerifier verifier;
+  std::shared_ptr<rln::NullifierStore> store;
+
+  static std::shared_ptr<const RlnValidatorContext> make(
+      zksnark::KeyPair crs, std::uint64_t messages_per_epoch);
+
+  /// Modeled resident bytes of the shared state (the record store
+  /// dominates) — counted once per world by the harness.
+  std::size_t memory_bytes() const {
+    return sizeof(RlnValidatorContext) + store->memory_bytes();
+  }
+};
+
 struct WakuRlnConfig {
   /// Membership tree depth (must match the proof-system setup).
   std::size_t tree_depth = 20;
@@ -90,11 +111,15 @@ class WakuRlnRelay {
 
   /// `group_sync` may be shared across the peers of one simulated world
   /// (their views are deterministically identical — see group_sync.h);
-  /// nullptr creates a private sync.
+  /// nullptr creates a private sync. Likewise `ctx` shares the immutable
+  /// validator state (CRS + verifier + nullifier record store); nullptr
+  /// builds a private context from `crs` (which is ignored when a shared
+  /// context is supplied).
   WakuRlnRelay(WakuRelay& relay, eth::Chain& chain,
                eth::MembershipContract& contract, zksnark::KeyPair crs,
                eth::Address account, WakuRlnConfig config, util::Rng rng,
-               std::shared_ptr<GroupSync> group_sync = nullptr);
+               std::shared_ptr<GroupSync> group_sync = nullptr,
+               std::shared_ptr<const RlnValidatorContext> ctx = nullptr);
 
   // -- membership -------------------------------------------------------
   /// Submits the staking registration transaction; membership becomes
@@ -122,7 +147,12 @@ class WakuRlnRelay {
   const Stats& stats() const { return stats_; }
   std::uint64_t current_epoch() const;
   const rln::EpochScheme& epoch_scheme() const { return epochs_; }
+  /// Per-node nullifier view bytes; the shared record store is accounted
+  /// once per world via validator_context()->memory_bytes().
   std::size_t nullifier_map_bytes() const { return nullifier_map_.memory_bytes(); }
+  const std::shared_ptr<const RlnValidatorContext>& validator_context() const {
+    return ctx_;
+  }
 
   /// Attaches the message-lifecycle tracer (nullptr detaches). `track` is
   /// the trace track (= node index) this relay's publish / verify /
@@ -155,29 +185,31 @@ class WakuRlnRelay {
                            const rln::RlnSignal& signal);
   void on_chain_event(const eth::ContractEvent& event);
   void submit_slash(const field::Fr& sk);
-  void remember_root();
   bool root_acceptable(const field::Fr& root) const;
   void schedule_nullifier_gc();
 
   WakuRelay& relay_;
   eth::Chain& chain_;
   eth::MembershipContract& contract_;
-  zksnark::KeyPair crs_;
   eth::Address account_;
   WakuRlnConfig config_;
   util::Rng rng_;
 
   rln::Identity identity_;
-  rln::RlnProver prover_;
-  rln::RlnVerifier verifier_;
   rln::EpochScheme epochs_;
   std::shared_ptr<GroupSync> sync_;
+  std::shared_ptr<const RlnValidatorContext> ctx_;  ///< world-shared
   rln::NullifierMap nullifier_map_;
+  /// Built from the shared CRS on first publish: pure relays (the vast
+  /// majority of a large world) never pay for a prover.
+  std::unique_ptr<rln::RlnProver> prover_;
 
   std::optional<std::uint64_t> own_index_;
   std::uint64_t publish_epoch_ = 0;       ///< epoch the counter refers to
   std::uint64_t published_in_epoch_ = 0;  ///< honest messages sent this epoch
-  std::deque<field::Fr> recent_roots_;
+  /// Absolute index the shared distinct-root sequence had when this relay
+  /// was constructed; roots older than this were never in our window.
+  std::uint64_t root_floor_ = 0;
   std::unordered_map<field::Fr, bool, field::FrHash> slash_submitted_;
   /// Proof verdicts by message id, FIFO-bounded at proof_cache_entries.
   std::unordered_map<gossipsub::MessageId, bool, gossipsub::MessageIdHash> proof_cache_;

@@ -330,6 +330,88 @@ TEST(RouterTest, GraylistedPeerIsIgnored) {
   EXPECT_GE(graylisted_frames, 1u);
 }
 
+// -- sorted-vector state equivalence ------------------------------------
+// The struct-of-arrays refactor replaced the per-topic std::set mesh /
+// fanout / backoff containers with sorted vectors. These tests pin the
+// behaviour the replacement must preserve: mesh maintenance keeps the
+// members sorted, unique and inside [1, d_hi] under graft/prune churn,
+// a pruned link respects its backoff, and fanout state expires after
+// fanout_ttl without a publish (then rebuilds on the next one).
+
+TEST(RouterTest, MeshStaysSortedUniqueAndBoundedUnderChurn) {
+  Swarm swarm(30);
+  swarm.subscribe_all("t");
+  // Several maintenance rounds with mid-run unsubscribes force both the
+  // graft path (under-degree after leavers) and the prune path
+  // (over-degree in a dense 30-node swarm).
+  swarm.settle(10);
+  swarm.routers[3]->unsubscribe("t");
+  swarm.routers[17]->unsubscribe("t");
+  swarm.settle(10);
+  for (const auto& r : swarm.routers) {
+    if (!r->subscribed("t")) continue;
+    const auto mesh = r->mesh_peers("t");
+    EXPECT_TRUE(std::is_sorted(mesh.begin(), mesh.end())) << "router " << r->id();
+    EXPECT_EQ(std::adjacent_find(mesh.begin(), mesh.end()), mesh.end())
+        << "router " << r->id() << " has duplicate mesh entries";
+    EXPECT_GE(mesh.size(), 1u) << "router " << r->id();
+    EXPECT_LE(mesh.size(), static_cast<std::size_t>(r->params().d_hi));
+    // The leavers must be gone from every mesh.
+    EXPECT_FALSE(std::binary_search(mesh.begin(), mesh.end(),
+                                    swarm.routers[3]->id()));
+    EXPECT_FALSE(std::binary_search(mesh.begin(), mesh.end(),
+                                    swarm.routers[17]->id()));
+  }
+}
+
+TEST(RouterTest, PruneBackoffBlocksImmediateRegraft) {
+  GossipSubParams params;
+  params.prune_backoff = 3600 * sim::kUsPerSecond;  // effectively forever
+  Swarm swarm(20, params);
+  swarm.subscribe_all("t");
+  swarm.settle(10);
+  // Unsubscribe sends PRUNE to the whole mesh; with an unexpiring backoff
+  // the re-subscribing router must not re-graft any of those links even
+  // across many heartbeats.
+  const auto old_mesh = swarm.routers[0]->mesh_peers("t");
+  ASSERT_GE(old_mesh.size(), 1u);
+  swarm.routers[0]->unsubscribe("t");
+  swarm.settle(2);
+  swarm.routers[0]->subscribe("t");
+  swarm.settle(10);
+  const auto regrafted = swarm.routers[0]->mesh_peers("t");
+  for (const NodeId peer : old_mesh) {
+    EXPECT_FALSE(std::binary_search(regrafted.begin(), regrafted.end(), peer))
+        << "re-grafted " << peer << " inside its prune backoff";
+  }
+}
+
+TEST(RouterTest, FanoutExpiresAfterTtlAndRebuilds) {
+  GossipSubParams params;
+  params.fanout_ttl = 5 * sim::kUsPerSecond;
+  Swarm swarm(15, params);
+  for (std::size_t i = 1; i < swarm.routers.size(); ++i) {
+    swarm.routers[i]->subscribe("t");
+  }
+  swarm.settle(5);
+
+  // Non-subscriber publish builds fanout state.
+  swarm.routers[0]->publish("t", util::to_bytes("first"));
+  swarm.settle(2);
+  const std::size_t with_fanout = swarm.routers[0]->memory_bytes();
+
+  // Heartbeats past fanout_ttl with no publish drop the fanout peers; the
+  // modeled footprint shrinks back below the loaded reading.
+  swarm.settle(20);
+  EXPECT_LT(swarm.routers[0]->memory_bytes(), with_fanout);
+
+  // A publish after expiry rebuilds fanout and still reaches everyone.
+  swarm.inbox.clear();
+  swarm.routers[0]->publish("t", util::to_bytes("second"));
+  swarm.settle(10);
+  EXPECT_EQ(swarm.delivered_count("t"), swarm.routers.size() - 1);
+}
+
 TEST(RouterTest, StatsTrackForwarding) {
   Swarm swarm(10);
   swarm.subscribe_all("t");

@@ -233,42 +233,76 @@ TEST(TracerTest, ShortIdIsStableHexPrefix) {
 // ---------------------------------------------------------------------------
 // memory_bytes() exactness on the two churn-heavy subsystems.
 
-TEST(MemoryAccountingTest, NullifierMapTracksRecordAndBucketGrowth) {
+TEST(MemoryAccountingTest, NullifierMapTracksSlotTableGrowth) {
   rln::NullifierMap map;
   EXPECT_EQ(map.memory_bytes(), sizeof(rln::NullifierMap));
+  const std::size_t store_empty = map.store()->memory_bytes();
 
-  // Reference container with the same growth policy as one shard: the
-  // map's model must track records AND rehashed bucket arrays exactly.
-  constexpr std::size_t kRecordNodeBytes = 8 + 8 + 32 + 64;
-  std::unordered_map<field::Fr, int, field::FrHash> ref;
-  std::size_t prev_mem = map.memory_bytes();
-  std::size_t prev_buckets = ref.bucket_count();
-  std::size_t shard_overhead = 0;  // set on the first record
-
+  // The per-node view is shard headers plus an open-addressing table of
+  // 4-byte record indices. Mirror its growth policy — power-of-two
+  // capacity from 8, doubled while the post-insert load exceeds 3/4 —
+  // and check the model byte-for-byte. Record contents live in the
+  // shared store, accounted separately below.
+  std::size_t shard_header = 0;  // measured on the first record
+  std::size_t cap = 8;
   for (std::uint64_t i = 1; i <= 200; ++i) {
-    const field::Fr n = field::Fr::from_u64(i);
-    map.observe(/*epoch=*/7, n, field::Fr::from_u64(2 * i),
+    map.observe(/*epoch=*/7, field::Fr::from_u64(i), field::Fr::from_u64(2 * i),
                 field::Fr::from_u64(2 * i + 1));
-    ref.emplace(n, 0);
-    const std::size_t mem = map.memory_bytes();
-    const std::size_t bucket_delta =
-        (ref.bucket_count() - prev_buckets) * sizeof(void*);
     if (i == 1) {
-      // First record also materializes the shard itself.
-      shard_overhead = mem - prev_mem - kRecordNodeBytes - bucket_delta;
-      EXPECT_GT(shard_overhead, 0u);
-    } else {
-      EXPECT_EQ(mem - prev_mem, kRecordNodeBytes + bucket_delta) << "record " << i;
+      shard_header = map.memory_bytes() - sizeof(rln::NullifierMap) -
+                     cap * sizeof(std::uint32_t);
+      EXPECT_GT(shard_header, 0u);
     }
-    prev_mem = mem;
-    prev_buckets = ref.bucket_count();
+    if ((i + 1) * 4 > cap * 3) cap *= 2;
+    EXPECT_EQ(map.memory_bytes(), sizeof(rln::NullifierMap) + shard_header +
+                                      cap * sizeof(std::uint32_t))
+        << "record " << i;
   }
   EXPECT_EQ(map.record_count(), 200u);
+  EXPECT_EQ(cap, 512u);
+  EXPECT_EQ(map.store()->shard_count(), 1u);
+  EXPECT_GT(map.store()->memory_bytes(), store_empty);
 
-  // Churn: pruning every shard returns the model to the empty footprint.
+  // Churn: pruning every shard returns the per-node view to the empty
+  // footprint and releases the store shard (no other view holds it).
   map.prune_before(1000);
   EXPECT_EQ(map.record_count(), 0u);
   EXPECT_EQ(map.memory_bytes(), sizeof(rln::NullifierMap));
+  EXPECT_EQ(map.store()->shard_count(), 0u);
+  EXPECT_EQ(map.store()->memory_bytes(), store_empty);
+}
+
+TEST(MemoryAccountingTest, SharedNullifierStoreInternsRecordsOnce) {
+  auto store = std::make_shared<rln::NullifierStore>();
+  const std::size_t empty = store->memory_bytes();
+  rln::NullifierMap a(store);
+  rln::NullifierMap b(store);
+
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    a.observe(/*epoch=*/3, field::Fr::from_u64(i), field::Fr::from_u64(9),
+              field::Fr::from_u64(10));
+  }
+  const std::size_t after_a = store->memory_bytes();
+  EXPECT_GT(after_a, empty);
+
+  // b routes the same 50 messages: its own membership view grows, but
+  // every record is already interned — the shared arena does not.
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    EXPECT_EQ(
+        b.observe(/*epoch=*/3, field::Fr::from_u64(i), field::Fr::from_u64(9),
+                  field::Fr::from_u64(10))
+            .outcome,
+        rln::NullifierMap::Outcome::kFresh);
+  }
+  EXPECT_EQ(store->memory_bytes(), after_a);
+  EXPECT_EQ(store->shard_count(), 1u);
+
+  // The shard frees only when the last view releases it.
+  a.prune_before(100);
+  EXPECT_EQ(store->shard_count(), 1u);
+  b.prune_before(100);
+  EXPECT_EQ(store->shard_count(), 0u);
+  EXPECT_EQ(store->memory_bytes(), empty);
 }
 
 TEST(MemoryAccountingTest, SchedulerPoolGrowsInBlocksAndNeverShrinks) {

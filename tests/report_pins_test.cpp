@@ -1,0 +1,89 @@
+// Byte-identity pins for the deterministic campaign reports.
+//
+// Every pre-existing catalogue scenario is run at a fixed shrink config
+// (12 nodes, 3 traffic epochs, 2 seeds, single-threaded) and the
+// resulting deterministic report — minus the one redacted memory-model
+// metric (see support/report_pin.h) — is fingerprinted and compared
+// against a table captured before the struct-of-arrays node-state /
+// interned-peer-set / shared-validator refactor. A mismatch means a
+// storage change leaked into protocol behaviour: message routing, RLN
+// validation outcomes or metric values moved, which the refactor
+// explicitly promises not to do.
+//
+// Scenarios added after the capture (e.g. geo_250k) are deliberately NOT
+// pinned here; regenerate the table when a PR intentionally changes
+// protocol behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/campaign.h"
+#include "scenario/scenarios.h"
+#include "support/report_pin.h"
+
+namespace wakurln::scenario {
+namespace {
+
+struct ReportPin {
+  const char* name;
+  std::uint64_t fingerprint;
+};
+
+// Captured at 12 nodes / 3 traffic epochs / seeds {1, 2} / 1 thread on
+// the pre-refactor tree (PR 7).
+constexpr ReportPin kPins[] = {
+    {"baseline_relay", 0x2500210c0711c162ULL},
+    {"spam_wave", 0x1bb7297f90a1cc75ULL},
+    {"churn_storm", 0xb701e67e8ed894afULL},
+    {"partition_heal", 0xf5aca0e8b7cca89eULL},
+    {"mixed_rate", 0x810ff57196823f44ULL},
+    {"large_mesh", 0x99f239d4a1597210ULL},
+    {"iwant_replay", 0x49134eb3b833fe6dULL},
+    {"huge_mesh", 0xdfbdf3389fb67ff4ULL},
+    {"observer_coalition", 0x163e88d7f1446bd9ULL},
+    {"eclipse_publisher", 0x0f1f3c7bb0922e2cULL},
+    {"sybil_observers", 0x7b44331e116ba9feULL},
+    {"adaptive_spammer", 0xc468a2a0e7dfe0c6ULL},
+    {"adaptive_prober", 0x04255c6247180549ULL},
+    {"registration_storm", 0x3aacdd0ff796d002ULL},
+    {"multi_topic_mesh", 0x661c4664e5ff7ac1ULL},
+    {"pow_baseline", 0x300e89479bb29ffdULL},
+};
+
+class ReportPinTest : public ::testing::TestWithParam<ReportPin> {};
+
+TEST_P(ReportPinTest, DeterministicReportIsByteIdentical) {
+  const ReportPin& pin = GetParam();
+  ScenarioSpec spec;
+  bool found = false;
+  for (const ScenarioSpec& s : registered_scenarios()) {
+    if (s.name == pin.name) {
+      spec = s;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found) << "scenario " << pin.name << " missing from catalogue";
+
+  spec.nodes = 12;
+  spec.traffic_epochs = 3;
+  CampaignConfig cfg;
+  cfg.seeds = 2;
+  cfg.seed0 = 1;
+  cfg.threads = 1;
+  const CampaignResult result = run_campaign(spec, cfg);
+  const std::string report = pin::redact_memory_model(report_json(result));
+  EXPECT_EQ(pin::fnv1a(report), pin.fingerprint)
+      << "deterministic report for " << pin.name
+      << " drifted from the pre-refactor capture";
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalogue, ReportPinTest, ::testing::ValuesIn(kPins),
+                         [](const ::testing::TestParamInfo<ReportPin>& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace wakurln::scenario

@@ -1,0 +1,62 @@
+// Helpers shared by the byte-identity pin test and the (throwaway) pin
+// generator: a redaction pass that blanks the one memory-model metric the
+// SoA refactor is allowed to change, and a stable FNV-1a fingerprint of
+// the redacted deterministic report.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+namespace wakurln::scenario::pin {
+
+// `nullifier_map_max_bytes` is a memory-model metric that lives inside the
+// deterministic protocol MetricSet (both per-run and aggregate blocks). It
+// is the only report field whose value tracks internal container layout,
+// so the storage refactors this pin guards are allowed to move it; every
+// other byte of the report must stay identical. Replaces each occurrence's
+// value (scalar or {"mean":..} object) with `R`.
+inline std::string redact_memory_model(const std::string& report) {
+  static const std::string kKey = "\"nullifier_map_max_bytes\":";
+  std::string out;
+  out.reserve(report.size());
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t hit = report.find(kKey, pos);
+    if (hit == std::string::npos) {
+      out.append(report, pos, report.size() - pos);
+      return out;
+    }
+    std::size_t i = hit + kKey.size();
+    while (i < report.size() && report[i] == ' ') ++i;
+    if (i < report.size() && report[i] == '{') {
+      int depth = 0;
+      do {
+        if (report[i] == '{') ++depth;
+        if (report[i] == '}') --depth;
+        ++i;
+      } while (i < report.size() && depth > 0);
+    } else {
+      while (i < report.size() &&
+             (std::isdigit(static_cast<unsigned char>(report[i])) != 0 ||
+              report[i] == '-' || report[i] == '+' || report[i] == '.' ||
+              report[i] == 'e' || report[i] == 'E')) {
+        ++i;
+      }
+    }
+    out.append(report, pos, hit + kKey.size() - pos);
+    out.push_back('R');
+    pos = i;
+  }
+}
+
+inline std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace wakurln::scenario::pin
