@@ -135,9 +135,58 @@ int main() {
                       static_cast<double>(st.scheduled));
   }
 
+  // 5. Sharded world throughput curve: the delivery ring workload again,
+  // but executed at world_threads 1/2/4/8 under conservative time-window
+  // synchronisation. The executed-event count must be identical at every
+  // shard count (the determinism contract); the per-shard-count
+  // throughput metrics chart how the windowed engine scales.
+  {
+    std::uint64_t executed_serial = 0;
+    bool executed_identical = true;
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+      sim::Scheduler sched(shards, /*node_count_hint=*/256);
+      util::Rng rng(42);
+      sim::LinkParams link;
+      link.base_latency = 5 * sim::kUsPerMs;
+      link.jitter = 10 * sim::kUsPerMs;
+      link.loss_rate = 0;
+      link.bandwidth_bytes_per_sec = 0;
+      sim::Network net(sched, rng, link);
+      constexpr std::size_t kNodes = 256;
+      constexpr std::size_t kRounds = 100;
+      std::vector<sim::NodeId> ids;
+      for (std::size_t i = 0; i < kNodes; ++i) ids.push_back(net.add_node({}));
+      for (std::size_t i = 0; i < kNodes; ++i) {
+        net.connect(ids[i], ids[(i + 1) % kNodes]);
+      }
+      const sim::Frame frame = sim::Frame::of(std::string(256, 'x'));
+      const auto t = runner.run(
+          "sharded_ring_" + std::to_string(shards) + "_shards",
+          [&] {
+            for (std::size_t r = 0; r < kRounds; ++r) {
+              for (std::size_t i = 0; i < kNodes; ++i) {
+                net.send(ids[i], ids[(i + 1) % kNodes], frame, 256);
+              }
+            }
+            sched.run_all();
+          },
+          /*reps=*/5, /*warmup=*/1, /*batch=*/kNodes * kRounds);
+      const sim::Scheduler::Stats& st = sched.stats();
+      if (shards == 1) {
+        executed_serial = st.executed;
+      } else if (st.executed != executed_serial) {
+        executed_identical = false;
+      }
+      runner.metric("sharded_events_per_sec_" + std::to_string(shards),
+                    events_per_sec(t), "events/s");
+    }
+    runner.metric("sharded_executed_identical", executed_identical ? 1 : 0);
+  }
+
   std::printf(
       "\nshape check: allocs/event ~0 once warm (the pool absorbs steady\n"
       "state), deliveries within ~2x of bare callbacks, overflow path\n"
-      "slower but correct.\n");
+      "slower but correct; the sharded curve executes the same event\n"
+      "count at every shard count.\n");
   return 0;
 }

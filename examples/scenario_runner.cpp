@@ -17,6 +17,8 @@
 //   --payload-bytes P   pad published payloads to P bytes (0 = bare key)
 //   --topics K          carry K content topics (round-robin publishers)
 //   --link-profile L    uniform | geo (per-link latency from region pairs)
+//   --world-threads W   scheduler shards per run (default 1; every
+//                       deterministic report byte is identical at any W)
 //   --obs               sample the per-epoch time series (TIMESERIES_*.json)
 //   --trace             record the seed0 message-lifecycle trace
 //                       (TRACE_*.json, Chrome trace-event format; load it
@@ -54,6 +56,8 @@ void run_one(scenario::ScenarioSpec spec, const util::CliArgs& args) {
   if (args.has("link-profile")) {
     spec.link_profile = sim::link_profile_from_name(args.get("link-profile", ""));
   }
+  spec.world_threads =
+      static_cast<unsigned>(args.get_u64("world-threads", spec.world_threads));
   if (args.has("obs")) spec.observability = true;
   if (args.has("trace")) spec.trace = true;
   spec.trace_capacity =
@@ -106,7 +110,8 @@ int main(int argc, char** argv) {
     std::printf("usage: %s --list | --scenario NAME | --all "
                 "[--seeds K] [--seed0 S] [--threads T] [--nodes N] [--epochs E] "
                 "[--payload-bytes P] [--topics K] [--link-profile uniform|geo] "
-                "[--obs] [--trace] [--trace-capacity C] [--out DIR]\n\n",
+                "[--world-threads W] [--obs] [--trace] [--trace-capacity C] "
+                "[--out DIR]\n\n",
                 args.program().c_str());
     print_catalogue();
     return 0;

@@ -74,10 +74,13 @@ void GossipSubRouter::start() {
 
   // First-class periodic timer: the heartbeat callback is stored once in
   // the scheduler's timer table and re-armed by the engine after every
-  // tick — no lambda re-capture, no allocation per heartbeat.
+  // tick — no lambda re-capture, no allocation per heartbeat. The timer
+  // is owned by this node's shard lane, so heartbeats of different
+  // partitions run in parallel; the callback touches only this router's
+  // state (mesh maintenance, gossip emission).
   const sim::TimeUs stagger = rng_.uniform(0, params().heartbeat_interval - 1);
-  heartbeat_timer_ = network_.scheduler().schedule_periodic(
-      stagger, params().heartbeat_interval, [this] { heartbeat(); });
+  heartbeat_timer_ = network_.scheduler().schedule_periodic_for(
+      self_, stagger, params().heartbeat_interval, [this] { heartbeat(); });
 }
 
 void GossipSubRouter::on_peer_connected(NodeId peer) {

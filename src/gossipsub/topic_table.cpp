@@ -1,12 +1,22 @@
 #include "gossipsub/topic_table.h"
 
+#include <mutex>
+
 #include "obs/memory.h"
 #include "util/check.h"
 
 namespace wakurln::gossipsub {
 
 std::uint32_t TopicTable::intern(const TopicId& topic) {
-  const auto it = index_.find(topic);
+  {
+    // Fast path: the topic is almost always already interned (worlds
+    // declare their topic sets at setup), so readers share the lock.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = index_.find(topic);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = index_.find(topic);  // re-check: lost the upgrade race
   if (it != index_.end()) return it->second;
   WAKURLN_CHECK_MSG(names_.size() < kMaxTopics,
                     "TopicTable: more than 64 distinct topics in one world");
@@ -17,11 +27,13 @@ std::uint32_t TopicTable::intern(const TopicId& topic) {
 }
 
 std::uint32_t TopicTable::find(const TopicId& topic) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = index_.find(topic);
   return it == index_.end() ? kNotFound : it->second;
 }
 
 std::size_t TopicTable::memory_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::size_t total = sizeof(TopicTable);
   total += names_.capacity() * sizeof(TopicId);
   for (const TopicId& t : names_) total += obs::string_heap_bytes(t);

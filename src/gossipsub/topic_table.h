@@ -12,6 +12,7 @@
 // The table is append-only: indices are stable for the world's lifetime.
 
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,7 +27,16 @@ class TopicTable {
   /// carry at most this many distinct topics (checked at intern time).
   static constexpr std::uint32_t kMaxTopics = 64;
 
-  /// Index of `topic`, interning it on first sight.
+  /// Storage for all kMaxTopics names is reserved up front so name()
+  /// references stay stable across concurrent intern() calls.
+  TopicTable() { names_.reserve(kMaxTopics); }
+
+  /// Index of `topic`, interning it on first sight. Thread-safe: routers
+  /// on different scheduler shards share one table. Subscribing at world
+  /// setup pre-interns every topic in deterministic order; a runtime
+  /// intern from a shard (a remote announcement for a topic nobody
+  /// subscribed at setup) is race-free but its index would depend on
+  /// shard interleaving — keep topic sets setup-declared.
   std::uint32_t intern(const TopicId& topic);
 
   /// Index of `topic` if already interned, kNotFound otherwise. Lookup
@@ -34,14 +44,21 @@ class TopicTable {
   static constexpr std::uint32_t kNotFound = 0xffffffffu;
   std::uint32_t find(const TopicId& topic) const;
 
-  const TopicId& name(std::uint32_t idx) const { return names_.at(idx); }
-  std::size_t size() const { return names_.size(); }
+  const TopicId& name(std::uint32_t idx) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return names_.at(idx);  // reference stable: storage reserved up front
+  }
+  std::size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return names_.size();
+  }
 
   /// Modeled resident bytes of the table (counted once per world by the
   /// harness — never per node).
   std::size_t memory_bytes() const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::vector<TopicId> names_;
   std::unordered_map<TopicId, std::uint32_t> index_;
 };

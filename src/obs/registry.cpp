@@ -31,6 +31,18 @@ double hist_percentile(const HistogramState& s, double q) {
   return util::percentile_at_rank(n, util::percentile_rank(n, q), value_at);
 }
 
+void check_edges(const std::vector<double>& upper_edges) {
+  if (upper_edges.empty()) {
+    throw std::invalid_argument("obs::Registry: histogram needs >= 1 bucket edge");
+  }
+  for (std::size_t i = 1; i < upper_edges.size(); ++i) {
+    if (upper_edges[i] <= upper_edges[i - 1]) {
+      throw std::invalid_argument(
+          "obs::Registry: histogram edges must be strictly ascending");
+    }
+  }
+}
+
 }  // namespace
 
 void Histogram::observe(double v) {
@@ -75,15 +87,7 @@ Gauge Registry::gauge(const std::string& name) {
 
 Histogram Registry::histogram(const std::string& name,
                               std::vector<double> upper_edges) {
-  if (upper_edges.empty()) {
-    throw std::invalid_argument("obs::Registry: histogram needs >= 1 bucket edge");
-  }
-  for (std::size_t i = 1; i < upper_edges.size(); ++i) {
-    if (upper_edges[i] <= upper_edges[i - 1]) {
-      throw std::invalid_argument(
-          "obs::Registry: histogram edges must be strictly ascending");
-    }
-  }
+  check_edges(upper_edges);
   if (!enabled_) return Histogram{};
   check_name(name);
   HistogramState state;
@@ -101,11 +105,21 @@ void Registry::probe(const std::string& name, std::function<double()> fn) {
   order_.push_back({Kind::kProbe, name, probes_.size() - 1});
 }
 
+void Registry::histogram_probe(const std::string& name,
+                               std::vector<double> upper_edges,
+                               std::function<std::vector<std::uint64_t>()> counts_fn) {
+  check_edges(upper_edges);
+  if (!enabled_) return;
+  check_name(name);
+  histogram_probes_.push_back({std::move(upper_edges), std::move(counts_fn)});
+  order_.push_back({Kind::kHistogramProbe, name, histogram_probes_.size() - 1});
+}
+
 std::vector<std::string> Registry::columns() const {
   std::vector<std::string> cols;
   cols.reserve(order_.size());
   for (const Instrument& inst : order_) {
-    if (inst.kind == Kind::kHistogram) {
+    if (inst.kind == Kind::kHistogram || inst.kind == Kind::kHistogramProbe) {
       cols.push_back(inst.name + "_count");
       cols.push_back(inst.name + "_p50");
       cols.push_back(inst.name + "_p90");
@@ -139,6 +153,22 @@ std::vector<double> Registry::sample_row() const {
       case Kind::kProbe:
         row.push_back(probes_[inst.index]());
         break;
+      case Kind::kHistogramProbe: {
+        const HistogramProbe& hp = histogram_probes_[inst.index];
+        HistogramState s;
+        s.upper_edges = hp.upper_edges;
+        s.counts = hp.counts_fn();
+        if (s.counts.size() != s.upper_edges.size() + 1) {
+          throw std::logic_error(
+              "obs::Registry: histogram probe returned wrong bucket count");
+        }
+        for (const std::uint64_t c : s.counts) s.total += c;
+        row.push_back(static_cast<double>(s.total));
+        row.push_back(hist_percentile(s, 0.50));
+        row.push_back(hist_percentile(s, 0.90));
+        row.push_back(hist_percentile(s, 0.99));
+        break;
+      }
     }
   }
   return row;

@@ -113,6 +113,15 @@ class Registry {
   /// and deterministic — it runs on the simulated clock and its values
   /// land in the byte-deterministic time series.
   void probe(const std::string& name, std::function<double()> fn);
+  /// Pull histogram: like histogram(), but the per-bucket counts live in
+  /// the instrumented subsystem (e.g. split per scheduler lane) and are
+  /// pulled at every sample_row(). `counts_fn` must return exactly
+  /// `upper_edges.size() + 1` entries (the last is the overflow bucket),
+  /// be read-only and deterministic, and counts must be cumulative over
+  /// the run — same column contract (_count/_p50/_p90/_p99) as a push
+  /// histogram with the same edges.
+  void histogram_probe(const std::string& name, std::vector<double> upper_edges,
+                       std::function<std::vector<std::uint64_t>()> counts_fn);
 
   // -- sampling ----------------------------------------------------------
   /// Column names in registration order. A scalar instrument contributes
@@ -124,7 +133,11 @@ class Registry {
   std::size_t instrument_count() const { return order_.size(); }
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram, kProbe };
+  enum class Kind { kCounter, kGauge, kHistogram, kProbe, kHistogramProbe };
+  struct HistogramProbe {
+    std::vector<double> upper_edges;
+    std::function<std::vector<std::uint64_t>()> counts_fn;
+  };
   struct Instrument {
     Kind kind;
     std::string name;
@@ -140,6 +153,7 @@ class Registry {
   std::deque<double> gauges_;
   std::deque<HistogramState> histograms_;
   std::vector<std::function<double()>> probes_;
+  std::vector<HistogramProbe> histogram_probes_;
 };
 
 }  // namespace wakurln::obs

@@ -49,7 +49,7 @@ std::size_t NullifierMap::probe(const Shard& shard,
     const std::uint32_t rec = shard.slots[i] - 1;
     // Full key compare against the store — membership is exact, no
     // fingerprint collision risk.
-    if (shard.records->nullifiers[rec] == nullifier) return i;
+    if (shard.records->nullifier_of(rec) == nullifier) return i;
     i = (i + 1) & mask;
   }
   return i;
@@ -61,7 +61,7 @@ void NullifierMap::grow(Shard& shard) {
   for (const std::uint32_t slot : shard.slots) {
     if (slot == 0) continue;
     std::size_t j =
-        field::FrHash{}(shard.records->nullifiers[slot - 1]) & grown_mask;
+        field::FrHash{}(shard.records->nullifier_of(slot - 1)) & grown_mask;
     while (grown[j] != 0) j = (j + 1) & grown_mask;
     grown[j] = slot;
   }
@@ -86,7 +86,7 @@ NullifierMap::CheckResult NullifierMap::observe(std::uint64_t epoch,
     return {Outcome::kFresh, std::nullopt};
   }
   const std::uint32_t rec = shard.slots[i] - 1;
-  const field::Fr& prior_x = shard.records->xs[rec];
+  const field::Fr prior_x = shard.records->x_of(rec);
   if (prior_x == x) {
     // Same evaluation point: either the exact same message relayed twice
     // (y must match since y = A(x)) or a malformed variant; never slashable
@@ -94,7 +94,7 @@ NullifierMap::CheckResult NullifierMap::observe(std::uint64_t epoch,
     return {Outcome::kDuplicateMessage, std::nullopt};
   }
   const auto sk = shamir::reconstruct(
-      shamir::Share{prior_x, shard.records->ys[rec]}, shamir::Share{x, y});
+      shamir::Share{prior_x, shard.records->y_of(rec)}, shamir::Share{x, y});
   return {Outcome::kDoubleSignal, sk};
 }
 

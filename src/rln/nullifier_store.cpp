@@ -18,6 +18,7 @@ std::size_t record_hash(const field::Fr& nullifier, const field::Fr& x) {
 
 std::uint32_t NullifierStore::Shard::intern(const field::Fr& nullifier,
                                             const field::Fr& x, const field::Fr& y) {
+  std::unique_lock<std::shared_mutex> lock(mu);
   if (slots.empty()) slots.assign(kMinSlots, 0);
   const std::size_t mask = slots.size() - 1;
   std::size_t i = record_hash(nullifier, x) & mask;
@@ -50,6 +51,7 @@ std::uint32_t NullifierStore::Shard::intern(const field::Fr& nullifier,
 }
 
 NullifierStore::Shard* NullifierStore::acquire(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(map_mu_);
   Shard& shard = shards_[epoch];
   shard.epoch = epoch;
   ++shard.refs;
@@ -57,15 +59,18 @@ NullifierStore::Shard* NullifierStore::acquire(std::uint64_t epoch) {
 }
 
 void NullifierStore::release(Shard* shard) {
+  std::lock_guard<std::mutex> lock(map_mu_);
   WAKURLN_CHECK_MSG(shard != nullptr && shard->refs > 0,
                     "NullifierStore: release without matching acquire");
   if (--shard->refs == 0) shards_.erase(shard->epoch);
 }
 
 std::size_t NullifierStore::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(map_mu_);
   std::size_t total = sizeof(NullifierStore);
   for (const auto& [epoch, shard] : shards_) {
     (void)epoch;
+    std::shared_lock<std::shared_mutex> shard_lock(shard.mu);
     total += obs::kTreeNodeBytes + sizeof(std::pair<const std::uint64_t, Shard>);
     total += (shard.nullifiers.capacity() + shard.xs.capacity() +
               shard.ys.capacity()) *

@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "field/fr.h"
@@ -26,9 +28,38 @@ class NullifierStore {
  public:
   /// One epoch's interned records: struct-of-arrays columns plus an
   /// open-addressing dedup table keyed by (nullifier, x).
+  ///
+  /// Nodes on different scheduler shards validate concurrently, so the
+  /// shard carries its own reader/writer lock: intern() takes it
+  /// exclusively, the record accessors take it shared and copy the value
+  /// out (the column vectors may reallocate under a concurrent intern).
+  /// The record SET — and therefore the final column sizes and the
+  /// memory model — is independent of interleaving; only the internal
+  /// record indices depend on it, and those never leave the per-node
+  /// maps or cross a report boundary.
   struct Shard {
     std::uint64_t epoch = 0;
     std::uint64_t refs = 0;  ///< per-node maps holding this shard
+
+    /// Index of the record equal to (nullifier, x), interning it (with
+    /// this y) on first sight.
+    std::uint32_t intern(const field::Fr& nullifier, const field::Fr& x,
+                         const field::Fr& y);
+
+    field::Fr nullifier_of(std::uint32_t rec) const {
+      std::shared_lock<std::shared_mutex> lock(mu);
+      return nullifiers[rec];
+    }
+    field::Fr x_of(std::uint32_t rec) const {
+      std::shared_lock<std::shared_mutex> lock(mu);
+      return xs[rec];
+    }
+    field::Fr y_of(std::uint32_t rec) const {
+      std::shared_lock<std::shared_mutex> lock(mu);
+      return ys[rec];
+    }
+
+    mutable std::shared_mutex mu;
 
     // Record columns; index i is one (nullifier, x, y) observation.
     std::vector<field::Fr> nullifiers;
@@ -38,28 +69,30 @@ class NullifierStore {
     /// Dedup slots: record index + 1, 0 = empty. Power-of-two capacity.
     std::vector<std::uint32_t> slots;
     std::size_t used = 0;
-
-    /// Index of the record equal to (nullifier, x), interning it (with
-    /// this y) on first sight.
-    std::uint32_t intern(const field::Fr& nullifier, const field::Fr& x,
-                         const field::Fr& y);
   };
 
   /// Shard for `epoch` with one more reference; created if absent. The
   /// returned pointer is stable until the matching release() drops the
-  /// last reference (std::map nodes do not move).
+  /// last reference (std::map nodes do not move). Thread-safe.
   Shard* acquire(std::uint64_t epoch);
 
   /// Drops one reference; frees the shard when no per-node map holds it.
+  /// Thread-safe.
   void release(Shard* shard);
 
-  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_count() const {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    return shards_.size();
+  }
 
   /// Modeled resident bytes of the shared arena — counted once per world
-  /// by the harness, never per node.
+  /// by the harness, never per node. Identical at every thread count:
+  /// every container size here is determined by the record set, not the
+  /// interleaving that built it.
   std::size_t memory_bytes() const;
 
  private:
+  mutable std::mutex map_mu_;              ///< guards shards_ and refs
   std::map<std::uint64_t, Shard> shards_;  ///< by epoch
 };
 

@@ -1,5 +1,6 @@
 #include "scenario/campaign.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <exception>
@@ -125,6 +126,16 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& conf
     threads = std::min<std::size_t>(config.seeds, hw == 0 ? 1 : hw);
   }
   threads = std::min(threads, config.seeds);
+  // Each in-flight seed runs its world on spec.world_threads scheduler
+  // shards, so cap the pool to keep seeds_in_flight * world_threads
+  // within the hardware: oversubscribing sharded worlds stalls their
+  // window barriers instead of adding throughput.
+  if (spec.world_threads > 1) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t budget =
+        std::max<std::size_t>(1, (hw == 0 ? 1 : hw) / spec.world_threads);
+    threads = std::min(threads, budget);
+  }
 
   std::atomic<std::size_t> next{0};
   std::vector<std::exception_ptr> errors(config.seeds);
@@ -246,18 +257,32 @@ std::string report_json(const CampaignResult& result, bool include_resources) {
       out += json_number(r.events_scheduled);
       out += ", \"events_executed\": ";
       out += json_number(r.events_executed);
-      out += ", \"event_allocs\": ";
-      out += json_number(r.event_allocs);
-      out += ", \"event_pool_reuses\": ";
-      out += json_number(r.event_pool_reuses);
       out += ", \"event_queue_peak\": ";
       out += json_number(r.event_queue_peak);
       out += ", \"timer_fires\": ";
       out += json_number(r.timer_fires);
+      // Event pooling is per lane, so the alloc/reuse split depends on
+      // the shard partition — it lives outside the deterministic block.
+      out += "},\n     \"pool\": {\"deterministic\": false, \"event_allocs\": ";
+      out += json_number(r.event_allocs);
+      out += ", \"event_pool_reuses\": ";
+      out += json_number(r.event_pool_reuses);
       out += ", \"event_allocs_steady\": ";
       out += json_number(r.event_allocs_steady);
       out += ", \"event_allocs_per_sim_second\": ";
       out += json_number(r.event_allocs_per_sim_second);
+      // How this run was executed: shard count, the per-lane event split
+      // (index 0 = the global lane) and the resident bytes parallel
+      // execution added beyond the deterministic memory model.
+      out += "},\n     \"parallel\": {\"deterministic\": false, \"world_threads\": ";
+      out += json_number(r.world_threads);
+      out += ", \"lane_events_executed\": [";
+      for (std::size_t lane = 0; lane < r.lane_events_executed.size(); ++lane) {
+        if (lane != 0) out += ", ";
+        out += json_number(r.lane_events_executed[lane]);
+      }
+      out += "], \"scratch_bytes\": ";
+      out += json_number(r.parallel_scratch_bytes);
       out += "},\n     \"group_sync\": {\"deterministic\": true, \"sync_bytes\": ";
       out += json_number(r.group_sync_bytes);
       out += ", \"root_updates\": ";

@@ -464,36 +464,66 @@ class FirstSpyObserver {
  public:
   using Decoder = std::function<std::optional<std::string>(const util::SharedBytes&)>;
 
-  FirstSpyObserver(const ScenarioSpec& spec, Decoder decoder)
-      : decoder_(std::move(decoder)) {
+  FirstSpyObserver(const ScenarioSpec& spec, const sim::Scheduler& sched,
+                   Decoder decoder)
+      : sched_(sched), decoder_(std::move(decoder)) {
     if (spec.observers == 0) return;
     is_observer_.assign(spec.nodes, 0);
     for (std::size_t i = spec.nodes - spec.observers; i < spec.nodes; ++i) {
       is_observer_[i] = 1;
     }
+    lane_seen_.resize(sched.lane_count());
   }
 
   bool enabled() const { return !is_observer_.empty(); }
 
+  /// Tap callback. Frames deliver on the receiving node's lane, so each
+  /// sighting lands in that lane's private map (no shared writes during a
+  /// window); within one lane events run in stamp order, so try_emplace
+  /// keeps the lane-earliest arrival.
   void on_frame(sim::NodeId from, sim::NodeId to, const sim::Frame& frame) {
     if (!is_observer_[to]) return;
     const auto* rpc = frame.get_if<gossipsub::Rpc>();
     if (rpc == nullptr) return;
+    auto& seen = lane_seen_[sched_.current_lane()];
     for (const gossipsub::GsMessagePtr& msg : rpc->publish) {
       if (!msg) continue;
       const auto key = decoder_(msg->data);
-      if (key) first_seen_.try_emplace(*key, from);
+      if (key) seen.try_emplace(*key, sched_.current_stamp(), from);
     }
   }
 
+  /// Coalition view after the run: per message, the neighbour whose frame
+  /// carried it to *any* observer first — the minimum event stamp across
+  /// the per-lane maps, identical at every world_threads.
   const std::unordered_map<std::string, sim::NodeId>& first_seen() const {
+    if (!merged_) {
+      for (const auto& seen : lane_seen_) {
+        for (const auto& [key, entry] : seen) {
+          const auto it = first_stamped_.find(key);
+          if (it == first_stamped_.end() || entry.first < it->second.first) {
+            first_stamped_[key] = entry;
+          }
+        }
+      }
+      for (const auto& [key, entry] : first_stamped_) {
+        first_seen_[key] = entry.second;
+      }
+      merged_ = true;
+    }
     return first_seen_;
   }
 
  private:
+  using Sighting = std::pair<sim::Scheduler::Stamp, sim::NodeId>;
+
+  const sim::Scheduler& sched_;
   Decoder decoder_;
   std::vector<char> is_observer_;
-  std::unordered_map<std::string, sim::NodeId> first_seen_;
+  std::vector<std::unordered_map<std::string, Sighting>> lane_seen_;
+  mutable std::unordered_map<std::string, Sighting> first_stamped_;
+  mutable std::unordered_map<std::string, sim::NodeId> first_seen_;
+  mutable bool merged_ = false;
 };
 
 /// The IWANT-replay adversary: colluding silent peers (the replayer band)
@@ -519,21 +549,38 @@ class ReplayAttacker {
 
   bool enabled() const { return !is_replayer_.empty(); }
 
+  /// Tap callback, running on the sighting replayer's shard lane. The
+  /// colluding store is shared world state, so every write to it (and to
+  /// the attack counters) goes through run_deferred: commits execute at
+  /// the window barriers, in deferring-stamp order, with the shards
+  /// quiesced — the same points and order at every world_threads. During
+  /// a window the store is therefore read-only, which makes the inline
+  /// lookups below race-free.
   void on_frame(sim::NodeId from, sim::NodeId to, const sim::Frame& frame) {
     if (!is_replayer_[to]) return;
     const auto* rpc = frame.get_if<gossipsub::Rpc>();
     if (rpc == nullptr) return;
-    // Record fresh messages and schedule their delayed IHAVE replay.
+    sim::Scheduler& sched = net_.scheduler();
+    // Record fresh messages and schedule their delayed IHAVE replay. Two
+    // lanes sighting the same new id in one window both defer a commit;
+    // the earliest-stamped one wins the emplace at the barrier, so the
+    // colluders still record each id exactly once.
     for (const gossipsub::GsMessagePtr& msg : rpc->publish) {
       if (!msg || msg->topic != topic_) continue;
-      if (!store_.emplace(msg->id, msg).second) continue;  // colluders share one store
-      ++ids_recorded_;
-      net_.scheduler().schedule_after(
-          spec_.replay.delay_seconds * sim::kUsPerSecond,
-          [this, replayer = to, id = msg->id] { send_ihave(replayer, id); });
+      if (store_.find(msg->id) != store_.end()) continue;
+      sched.run_deferred([this, &sched, msg, replayer = to,
+                          seen_at = sched.now()] {
+        if (!store_.emplace(msg->id, msg).second) return;
+        ++ids_recorded_;
+        sched.schedule_at(
+            seen_at + spec_.replay.delay_seconds * sim::kUsPerSecond,
+            [this, replayer, id = msg->id] { send_ihave(replayer, id); });
+      });
     }
     // Serve IWANT requests from the colluding store (the replayer's own
     // router mcache has long expired — that is the point of the attack).
+    // The reply is sent inline: the sender is the replayer whose lane is
+    // executing, so its link-stream draws stay in lane order.
     for (const gossipsub::ControlIWant& iwant : rpc->iwant) {
       gossipsub::Rpc reply;
       for (const gossipsub::MessageId& id : iwant.ids) {
@@ -542,7 +589,7 @@ class ReplayAttacker {
         }
       }
       if (!reply.publish.empty()) {
-        served_ += reply.publish.size();
+        sched.run_deferred([this, n = reply.publish.size()] { served_ += n; });
         send_rpc(to, from, std::move(reply));
       }
     }
@@ -635,6 +682,15 @@ void capture_scheduler_stats(const sim::Scheduler& sched, const SteadyProbe& pro
                               static_cast<double>(probe.from_s);
   resource.event_allocs_per_sim_second =
       steady_sim_s <= 0 ? 0 : resource.event_allocs_steady / steady_sim_s;
+  resource.world_threads = static_cast<double>(sched.shard_count());
+  resource.lane_events_executed.clear();
+  resource.lane_events_executed.reserve(sched.lane_count());
+  for (std::size_t lane = 0; lane < sched.lane_count(); ++lane) {
+    resource.lane_events_executed.push_back(
+        static_cast<double>(sched.lane_stats(lane).executed));
+  }
+  resource.parallel_scratch_bytes =
+      static_cast<double>(sched.parallel_scratch_bytes());
 }
 
 void fill_delivery_metrics(MetricSet& m, const ScenarioSpec& spec,
@@ -822,6 +878,7 @@ MetricSet ScenarioRunner::run() {
 MetricSet ScenarioRunner::run_rln() {
   waku::HarnessConfig cfg = waku::HarnessConfig::defaults();
   cfg.node_count = spec_.nodes;
+  cfg.world_threads = spec_.world_threads;
   cfg.seed = seed_;
   cfg.topology = spec_.topology;
   cfg.extra_links_per_node = spec_.extra_links_per_node;
@@ -865,7 +922,7 @@ MetricSet ScenarioRunner::run_rln() {
   }
   world.run_seconds(5);  // mesh warm-up heartbeats
 
-  FirstSpyObserver spy(spec_,
+  FirstSpyObserver spy(spec_, world.scheduler(),
                        [](const util::SharedBytes& data) -> std::optional<std::string> {
                          const auto decoded = waku::WakuRlnRelay::decode_envelope(data);
                          if (!decoded) return std::nullopt;
@@ -1083,7 +1140,7 @@ MetricSet ScenarioRunner::run_rln() {
 
 MetricSet ScenarioRunner::run_pow() {
   util::Rng rng(seed_);
-  sim::Scheduler sched;
+  sim::Scheduler sched(spec_.world_threads, spec_.nodes);
   sim::Network net(sched, rng, spec_.link);
 
   gossipsub::GossipSubParams gossip;
@@ -1136,17 +1193,23 @@ MetricSet ScenarioRunner::run_pow() {
     return key_of(env->payload);
   };
 
+  // Deliveries execute on the receiving node's shard lane, so — exactly
+  // like waku::SimHarness — each lane records into its own stamped log and
+  // the logs are merged into serial event order after the run.
+  std::vector<std::vector<std::pair<sim::Scheduler::Stamp, Delivered>>>
+      lane_deliveries(sched.lane_count());
   std::vector<Delivered> deliveries;
   for (std::size_t i = 0; i < spec_.nodes; ++i) {
     for (const std::string& topic : topics) {
       relays[i]->router().set_validator(
           topic, baselines::make_pow_validator(spec_.pow_difficulty_bits));
-      relays[i]->subscribe(topic, [&deliveries, &sched, &decode, tr, i](
+      relays[i]->subscribe(topic, [&lane_deliveries, &sched, &decode, tr, i](
                                       const gossipsub::TopicId&,
                                       const util::SharedBytes& data) {
         const auto key = decode(data);
         if (key) {
-          deliveries.push_back({i, *key, sched.now()});
+          lane_deliveries[sched.current_lane()].emplace_back(
+              sched.current_stamp(), Delivered{i, *key, sched.now()});
           if (tr != nullptr) {
             tr->instant("deliver", sched.now(), static_cast<std::uint32_t>(i));
           }
@@ -1158,8 +1221,13 @@ MetricSet ScenarioRunner::run_pow() {
   // The PoW world has no harness, so the pull probes are registered here
   // (same fixed-order rule; no membership or nullifier state to report).
   if (reg.enabled()) {
-    reg.probe("delivered_total",
-              [&deliveries] { return static_cast<double>(deliveries.size()); });
+    reg.probe("delivered_total", [&lane_deliveries] {
+      // Sampled from global events (shards quiesced); the count is a sum
+      // over the lane logs, so it is lane-partition invariant.
+      std::size_t total = 0;
+      for (const auto& lane : lane_deliveries) total += lane.size();
+      return static_cast<double>(total);
+    });
     reg.probe("scheduler_queue",
               [&sched] { return static_cast<double>(sched.pending()); });
     reg.probe("scheduler_queue_peak", [&sched] {
@@ -1190,7 +1258,7 @@ MetricSet ScenarioRunner::run_pow() {
   register_workload_probes(reg, log);
   sched.run_for(5 * sim::kUsPerSecond);  // mesh warm-up
 
-  FirstSpyObserver spy(spec_, decode);
+  FirstSpyObserver spy(spec_, sched, decode);
   install_frame_tap(net, spy, /*replay=*/nullptr);
 
   // Under PoW everyone — honest phone or spam rig — pays the same hash
@@ -1249,6 +1317,24 @@ MetricSet ScenarioRunner::run_pow() {
   capture_scheduler_stats(sched, probe, resource_);
   fill_memory_resources(mem_peaks, resource_);
   if (tracer) trace_json_ = tracer->json();
+
+  // Merge the per-lane delivery logs into the order the serial engine
+  // would have produced.
+  {
+    std::vector<std::pair<sim::Scheduler::Stamp, Delivered>> stamped;
+    std::size_t total = 0;
+    for (const auto& lane : lane_deliveries) total += lane.size();
+    stamped.reserve(total);
+    for (auto& lane : lane_deliveries) {
+      for (auto& entry : lane) stamped.push_back(std::move(entry));
+      lane.clear();
+    }
+    std::stable_sort(
+        stamped.begin(), stamped.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    deliveries.reserve(stamped.size());
+    for (auto& entry : stamped) deliveries.push_back(std::move(entry.second));
+  }
 
   MetricSet m;
   m.set("nodes", static_cast<double>(spec_.nodes));

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/timeseries.h"
 #include "scenario/metrics.h"
@@ -34,7 +35,12 @@ struct ResourceUsage {
   double wall_ms = 0;      ///< host time spent inside run()
   double sim_seconds = 0;  ///< simulated time the run covered
 
-  // Typed event engine statistics (sim::Scheduler::Stats), deterministic.
+  // Typed event engine statistics (sim::Scheduler::Stats). Event and
+  // timer counts are deterministic at every thread count; the pool
+  // fields (event_allocs*, event_pool_reuses) depend on how the node
+  // partition splits the per-lane pools, so the report moves them into
+  // the machine-ish "pool" sub-block instead of the deterministic
+  // scheduler one.
   double events_scheduled = 0;   ///< events enqueued, incl. timer re-arms
   double events_executed = 0;
   double event_allocs = 0;       ///< pool misses over the whole run
@@ -46,6 +52,17 @@ struct ResourceUsage {
   /// the traffic phase scheduled every event without allocating.
   double event_allocs_steady = 0;
   double event_allocs_per_sim_second = 0;
+
+  // Parallel execution shape of the run (sharded scheduler, PR 9).
+  // world_threads and the per-lane split describe how this particular
+  // run was executed — diagnostics, not part of any determinism contract.
+  double world_threads = 1;  ///< scheduler shards the run executed on
+  /// Events executed per lane (index 0 = the global lane, then one entry
+  /// per shard). Sums to events_executed.
+  std::vector<double> lane_events_executed;
+  /// Resident bytes of per-shard rings/pools, mailboxes and worker
+  /// bookkeeping beyond the deterministic event-engine memory model.
+  double parallel_scratch_bytes = 0;
 
   // Membership group-sync churn (waku::GroupSync::Stats), deterministic;
   // zero for the PoW baseline, which has no membership. Registration

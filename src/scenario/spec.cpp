@@ -55,6 +55,14 @@ void ScenarioSpec::validate() const {
     throw std::invalid_argument(
         "ScenarioSpec: trace_capacity must be >= 1 when tracing");
   }
+  if (world_threads == 0) {
+    throw std::invalid_argument("ScenarioSpec: world_threads must be >= 1");
+  }
+  if (trace && world_threads > 1) {
+    throw std::invalid_argument(
+        "ScenarioSpec: tracing requires world_threads == 1 (the "
+        "message-lifecycle tracer is not shard-aware)");
+  }
   if (partition.enabled &&
       !(partition.fraction > 0.0 && partition.fraction < 1.0)) {
     throw std::invalid_argument(

@@ -215,6 +215,15 @@ struct ScenarioSpec {
   /// Short TTLs open the window the iwant_replay adversary exploits.
   std::uint64_t seen_ttl_seconds = 0;
 
+  // -- execution ---------------------------------------------------------
+  /// Scheduler shards executing each run's world (forwarded into
+  /// sim::Scheduler via waku::SimHarness). Every deterministic output —
+  /// metrics, aggregate, time series — is byte-identical at every value,
+  /// so like `observability` it is not part of the spec's serialized
+  /// identity; only the resources block records it. Tracing requires 1
+  /// (the tracer is not shard-aware; validate() enforces it).
+  unsigned world_threads = 1;
+
   // -- observability -----------------------------------------------------
   /// Enables the metrics registry and the per-epoch time-series sampler
   /// (src/obs). Off by default: a disabled registry hands out inert

@@ -7,9 +7,33 @@
 
 namespace wakurln::sim {
 
+namespace {
+
+// Per-sender link-randomness stream: a splitmix64 counter generator over a
+// single u64 state word. Each draw depends only on the node's seed and how
+// many draws the node has made — never on other nodes' activity — which is
+// what makes loss/jitter byte-identical across shard counts.
+std::uint64_t stream_next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double stream_unit(std::uint64_t& state) {
+  return static_cast<double>(stream_next(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
 Network::Network(Scheduler& scheduler, util::Rng& rng, LinkParams default_link)
     : scheduler_(scheduler), rng_(rng), default_link_(default_link) {
   scheduler_.set_delivery_sink(this);
+  stream_base_ = rng_.next_u64();
+  lane_traffic_.resize(scheduler_.lane_count());
+  lookahead_floor_ = default_link_.base_latency;
+  scheduler_.set_lookahead(lookahead_floor_);
 }
 
 Network::~Network() {
@@ -19,8 +43,11 @@ Network::~Network() {
 NodeId Network::add_node(NodeCallbacks callbacks) {
   NodeState state;
   state.callbacks = std::move(callbacks);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  state.rng_state =
+      stream_base_ ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(id) + 1));
   nodes_.push_back(std::move(state));
-  return static_cast<NodeId>(nodes_.size() - 1);
+  return id;
 }
 
 void Network::set_callbacks(NodeId node, NodeCallbacks callbacks) {
@@ -33,8 +60,14 @@ std::uint64_t Network::link_key(NodeId a, NodeId b) {
 }
 
 const LinkParams& Network::params_for(NodeId a, NodeId b) const {
-  const auto it = link_overrides_.find(link_key(a, b));
-  return it == link_overrides_.end() ? default_link_ : it->second;
+  if (!link_overrides_.empty()) {
+    const auto it = link_overrides_.find(link_key(a, b));
+    if (it != link_overrides_.end()) return it->second;
+  }
+  if (!region_matrix_.empty()) {
+    return region_matrix_[nodes_[a].region * region_count_ + nodes_[b].region];
+  }
+  return default_link_;
 }
 
 std::span<const NodeId> Network::links_of(NodeId node) const {
@@ -54,6 +87,18 @@ void Network::thaw(NodeState& state) {
 
 void Network::connect(NodeId a, NodeId b) {
   if (a == b) throw std::invalid_argument("Network: self-links not allowed");
+  if (scheduler_.in_shard_context()) {
+    // Requested while shard lanes may be running (e.g. gossipsub acting on
+    // peer-exchange candidates): apply at the next window barrier, in
+    // deterministic deferred order. The liveness re-check happens inside
+    // connect_now, at flush time.
+    scheduler_.run_deferred([this, a, b] { connect_now(a, b); });
+    return;
+  }
+  connect_now(a, b);
+}
+
+void Network::connect_now(NodeId a, NodeId b) {
   if (are_connected(a, b)) return;
   NodeState& na = nodes_.at(a);
   NodeState& nb = nodes_.at(b);
@@ -66,6 +111,10 @@ void Network::connect(NodeId a, NodeId b) {
 }
 
 void Network::disconnect(NodeId a, NodeId b) {
+  if (scheduler_.in_shard_context()) {
+    scheduler_.run_deferred([this, a, b] { disconnect(a, b); });
+    return;
+  }
   if (!are_connected(a, b)) return;
   NodeState& na = nodes_.at(a);
   NodeState& nb = nodes_.at(b);
@@ -136,26 +185,59 @@ void Network::intern_links() {
   }
 }
 
+void Network::lower_lookahead(TimeUs base) {
+  if (base >= lookahead_floor_) return;
+  lookahead_floor_ = base;
+  scheduler_.set_lookahead(lookahead_floor_);
+}
+
 void Network::set_link_params(NodeId a, NodeId b, LinkParams params) {
   link_overrides_[link_key(a, b)] = params;
+  lower_lookahead(params.base_latency);
+}
+
+void Network::set_regional_params(std::vector<std::uint8_t> node_regions,
+                                  std::vector<LinkParams> matrix,
+                                  std::size_t region_count) {
+  if (node_regions.size() != nodes_.size()) {
+    throw std::invalid_argument("Network: one region per node required");
+  }
+  if (matrix.size() != region_count * region_count) {
+    throw std::invalid_argument("Network: regional matrix must be region_count^2");
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (node_regions[i] >= region_count) {
+      throw std::invalid_argument("Network: node region out of range");
+    }
+    nodes_[i].region = node_regions[i];
+  }
+  region_matrix_ = std::move(matrix);
+  region_count_ = region_count;
+  for (const LinkParams& p : region_matrix_) lower_lookahead(p.base_latency);
 }
 
 void Network::send(NodeId from, NodeId to, Frame frame, std::size_t bytes) {
   if (!are_connected(from, to)) {
     throw std::logic_error("Network: send over non-existent link");
   }
-  stats_.frames_sent += 1;
-  stats_.bytes_sent += bytes;
+  LaneTraffic& lane = lane_traffic();
+  lane.stats.frames_sent += 1;
+  lane.stats.bytes_sent += bytes;
   nodes_[from].bytes_sent += bytes;
-  frame_bytes_hist_.observe(static_cast<double>(bytes));
+  std::size_t bucket = 0;
+  while (bucket < kFrameBytesBuckets - 1 && bytes > kFrameBytesEdges[bucket]) {
+    ++bucket;
+  }
+  lane.frame_bytes[bucket] += 1;
 
   const LinkParams& link = params_for(from, to);
-  if (rng_.chance(link.loss_rate)) {
-    stats_.frames_lost += 1;
+  std::uint64_t& stream = nodes_[from].rng_state;
+  if (link.loss_rate > 0 && stream_unit(stream) < link.loss_rate) {
+    lane.stats.frames_lost += 1;
     return;
   }
   TimeUs delay = link.base_latency;
-  if (link.jitter > 0) delay += rng_.uniform(0, link.jitter - 1);
+  if (link.jitter > 0) delay += stream_next(stream) % link.jitter;
   if (link.bandwidth_bytes_per_sec > 0) {
     delay += static_cast<TimeUs>(static_cast<double>(bytes) /
                                  link.bandwidth_bytes_per_sec * kUsPerSecond);
@@ -176,10 +258,10 @@ void Network::on_delivery(const DeliveryEvent& ev) {
   // Link may have been torn down — or the destination may have departed
   // (drop_in_flight) — while the frame was in flight.
   if (!are_connected(ev.from, ev.to) || nodes_[ev.to].generation != ev.generation) {
-    stats_.frames_lost += 1;
+    lane_traffic().stats.frames_lost += 1;
     return;
   }
-  stats_.frames_delivered += 1;
+  lane_traffic().stats.frames_delivered += 1;
   nodes_[ev.to].bytes_received += ev.bytes;
   if (frame_tap_) frame_tap_(ev.from, ev.to, ev.frame, ev.bytes);
   if (nodes_[ev.to].callbacks.on_frame) {
@@ -194,16 +276,41 @@ void Network::drop_in_flight(NodeId node) {
 void Network::instrument(obs::Registry& reg) {
   // Wire-frame sizes: the edges straddle the control/payload split (bare
   // control RPCs sit in the low buckets, padded payload fan-out in the
-  // high ones). A disabled registry hands back an inert handle.
-  frame_bytes_hist_ = reg.histogram(
-      "net_frame_bytes", {64, 256, 1024, 4096, 16384, 65536});
+  // high ones). A pull probe over the folded per-lane counts — lanes are
+  // quiesced whenever the registry samples, so the fold is race-free.
+  reg.histogram_probe("net_frame_bytes",
+                      {64, 256, 1024, 4096, 16384, 65536},
+                      [this] { return frame_bytes_counts(); });
+}
+
+Network::Stats Network::stats() const {
+  Stats total;
+  for (const LaneTraffic& lane : lane_traffic_) {
+    total.frames_sent += lane.stats.frames_sent;
+    total.frames_delivered += lane.stats.frames_delivered;
+    total.frames_lost += lane.stats.frames_lost;
+    total.bytes_sent += lane.stats.bytes_sent;
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Network::frame_bytes_counts() const {
+  std::vector<std::uint64_t> counts(kFrameBytesBuckets, 0);
+  for (const LaneTraffic& lane : lane_traffic_) {
+    for (std::size_t i = 0; i < kFrameBytesBuckets; ++i) {
+      counts[i] += lane.frame_bytes[i];
+    }
+  }
+  return counts;
 }
 
 std::size_t Network::memory_bytes() const {
   // Exact model of the link bookkeeping (obs/memory.h conventions): node
-  // headers, private link lists, the interned arena, and the per-link
-  // parameter overrides' hash-map nodes and bucket array. Frame buffers
-  // in flight are transient and deliberately out of scope.
+  // headers, private link lists, the interned arena, the per-link
+  // parameter overrides' hash-map nodes and bucket array, and the regional
+  // matrix. Frame buffers in flight are transient and deliberately out of
+  // scope, as is the per-lane traffic scratch (parallel-execution
+  // overhead, reported separately so the model is thread-count-invariant).
   std::size_t total = sizeof(Network);
   total += nodes_.capacity() * sizeof(NodeState);
   for (const NodeState& n : nodes_) total += n.links.capacity() * sizeof(NodeId);
@@ -211,6 +318,7 @@ std::size_t Network::memory_bytes() const {
   total += link_overrides_.bucket_count() * sizeof(void*);
   total += link_overrides_.size() *
            (obs::kUnorderedNodeBytes + sizeof(std::pair<const std::uint64_t, LinkParams>));
+  total += region_matrix_.capacity() * sizeof(LinkParams);
   return total;
 }
 

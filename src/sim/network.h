@@ -5,6 +5,22 @@
 // fan-out of one frame to N peers shares a single heap allocation instead
 // of copying the payload per send. The network charges wire bytes for
 // traffic accounting.
+//
+// Parallel-world contract (see sim/scheduler.h): frame sends and
+// deliveries execute on the shard lane of the acting node, possibly on a
+// worker thread, so every mutable hot-path structure is either owned by
+// one node (per-node byte counters, per-sender RNG streams) or split per
+// lane and folded deterministically on read (traffic stats, the frame
+// size histogram). Topology mutations (connect/disconnect, link params,
+// interning) are coordinator-only and run with the shards quiesced; a
+// connect requested from shard context is deferred to the next window
+// barrier via Scheduler::run_deferred.
+//
+// Loss and jitter draws come from a per-sender counter RNG stream seeded
+// off the world seed, so a node's link randomness depends only on its own
+// send history — never on how sends from different nodes interleave
+// across shards. The network also derives the scheduler's conservative
+// lookahead: a running lower bound of every link's base latency.
 
 #include <cstdint>
 #include <functional>
@@ -41,7 +57,8 @@ struct NodeCallbacks {
 /// Passive wiretap invoked on every delivered frame (after loss and
 /// link-liveness checks, before the receiver callback). Scenario observers
 /// use it to model an eavesdropping adversary without touching protocol
-/// state.
+/// state. Runs on the receiving node's lane — a tap installed in a
+/// multi-threaded world must keep per-lane state (see scenario/runner).
 using FrameTap =
     std::function<void(NodeId from, NodeId to, const Frame& frame, std::size_t bytes)>;
 
@@ -55,7 +72,8 @@ class Network : public DeliverySink {
   };
 
   /// Registers itself as the scheduler's delivery sink (one network per
-  /// scheduler); the destructor deregisters.
+  /// scheduler); the destructor deregisters. Derives the scheduler's
+  /// initial lookahead from the default link's base latency.
   Network(Scheduler& scheduler, util::Rng& rng, LinkParams default_link = {});
   ~Network();
 
@@ -66,7 +84,10 @@ class Network : public DeliverySink {
   std::size_t node_count() const { return nodes_.size(); }
 
   /// Creates a bidirectional link (no-op if present). Both endpoints get
-  /// on_peer_connected.
+  /// on_peer_connected. From shard context (e.g. a router acting on a
+  /// peer-exchange PRUNE) the connect is deferred to the next window
+  /// barrier — at every thread count — so topology never mutates while
+  /// shards run.
   void connect(NodeId a, NodeId b);
   void disconnect(NodeId a, NodeId b);
   bool are_connected(NodeId a, NodeId b) const;
@@ -83,17 +104,37 @@ class Network : public DeliverySink {
 
   /// Modeled resident bytes of the link structures: node headers, the
   /// interned arena and any thawed private lists, plus the per-link
-  /// parameter overrides. Exact for the containers it models.
+  /// parameter overrides and the regional matrix. Exact for the
+  /// containers it models; per-lane accounting scratch (a few hundred
+  /// bytes per shard, parallel-execution overhead) is deliberately
+  /// excluded so the model is identical at every thread count.
   std::size_t memory_bytes() const;
 
-  /// Per-link parameter override (applies to both directions).
+  /// Per-link parameter override (applies to both directions). Checked
+  /// before the regional matrix, so targeted overrides (eclipse links)
+  /// win over the node's region.
   void set_link_params(NodeId a, NodeId b, LinkParams params);
-  /// Effective parameters of a link (the override, or the default).
+
+  /// Region-based link parameters: node_regions[i] is node i's region id
+  /// (< region_count) and matrix is region_count x region_count
+  /// LinkParams, row-major by (from, to). Replaces per-link overrides as
+  /// the bulk mechanism for geographic latency — an O(1) matrix lookup
+  /// per send instead of a hash probe — and, unlike per-link overrides
+  /// stamped at build time, also covers links created later by churn
+  /// rejoin or peer exchange.
+  void set_regional_params(std::vector<std::uint8_t> node_regions,
+                           std::vector<LinkParams> matrix,
+                           std::size_t region_count);
+
+  /// Effective parameters of a link: the override, else the regional
+  /// matrix entry, else the default.
   const LinkParams& link_params(NodeId a, NodeId b) const { return params_for(a, b); }
 
   /// Sends a frame over an existing link; throws if not connected. The
   /// frame handle is shared, not copied — callers fanning one frame out
-  /// to many peers pass the same handle each time.
+  /// to many peers pass the same handle each time. Loss and jitter draw
+  /// from the sender's private RNG stream; safe from the sender's shard
+  /// lane.
   void send(NodeId from, NodeId to, Frame frame, std::size_t bytes);
 
   /// Invalidates every frame currently in flight towards `node` (they are
@@ -106,15 +147,28 @@ class Network : public DeliverySink {
   /// Installs (or clears, with nullptr) the global delivery wiretap.
   void set_frame_tap(FrameTap tap) { frame_tap_ = std::move(tap); }
 
-  /// Registers the network's push instruments on `reg` (no-op handles
-  /// when the registry is disabled): a wire-frame size histogram observed
-  /// on every send. Fixed registration order — part of the deterministic
-  /// time-series column contract.
+  /// Registers the network's instruments on `reg` (no-op when the
+  /// registry is disabled): the wire-frame size histogram, sampled from
+  /// the per-lane counts folded deterministically. Fixed registration
+  /// order — part of the deterministic time-series column contract.
   void instrument(obs::Registry& reg);
 
-  const Stats& stats() const { return stats_; }
+  /// Aggregate traffic statistics, folded over the per-lane slots. The
+  /// sums are identical at every thread count (each frame is counted on
+  /// exactly one lane).
+  Stats stats() const;
   std::uint64_t bytes_sent_by(NodeId node) const;
   std::uint64_t bytes_received_by(NodeId node) const;
+
+  /// Folded per-bucket counts of the wire-frame size histogram (edges in
+  /// kFrameBytesEdges, plus the overflow bucket).
+  std::vector<std::uint64_t> frame_bytes_counts() const;
+
+  /// Wire-frame histogram bucket upper edges (bytes).
+  static constexpr std::uint64_t kFrameBytesEdges[] = {64,   256,   1024,
+                                                       4096, 16384, 65536};
+  static constexpr std::size_t kFrameBytesBuckets =
+      sizeof(kFrameBytesEdges) / sizeof(kFrameBytesEdges[0]) + 1;
 
   Scheduler& scheduler() { return scheduler_; }
   util::Rng& rng() { return rng_; }
@@ -129,15 +183,29 @@ class Network : public DeliverySink {
     std::uint32_t base_off = 0;
     std::uint32_t base_len = 0;
     bool frozen = false;
+    /// Region id for the regional parameter matrix (0 when unset).
+    std::uint8_t region = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
     /// Bumped by drop_in_flight; frames remember the value at send time
     /// and only deliver if it is unchanged on arrival.
     std::uint64_t generation = 0;
+    /// Private loss/jitter stream: a function of the world seed and this
+    /// node's id + send history only, so draws are identical no matter
+    /// how sends interleave across shard lanes.
+    std::uint64_t rng_state = 0;
+  };
+
+  /// One lane's slice of the traffic accounting: written only by the
+  /// lane's executing thread, folded by the coordinator on read.
+  struct LaneTraffic {
+    Stats stats;
+    std::uint64_t frame_bytes[kFrameBytesBuckets] = {};
   };
 
   /// Executes a pooled delivery event (typed hot path — no closure per
   /// send): loss/liveness checks, traffic accounting, tap, callback.
+  /// Runs on the receiving node's shard lane.
   void on_delivery(const DeliveryEvent& ev) override;
 
   static std::uint64_t link_key(NodeId a, NodeId b);
@@ -147,17 +215,30 @@ class Network : public DeliverySink {
   /// Copies a frozen node's arena slice back into its private list so it
   /// can be mutated.
   void thaw(NodeState& state);
+  void connect_now(NodeId a, NodeId b);
+  /// Lowers the scheduler's lookahead floor to `base` if smaller. The
+  /// floor only ever decreases (an override that raises a link's latency
+  /// cannot relax the bound retroactively), keeping it a conservative
+  /// lower bound on every delivery delay at every thread count.
+  void lower_lookahead(TimeUs base);
+  LaneTraffic& lane_traffic() { return lane_traffic_[scheduler_.current_lane()]; }
 
   Scheduler& scheduler_;
   util::Rng& rng_;
   LinkParams default_link_;
+  /// Seed base of the per-sender streams (one world-RNG draw at ctor).
+  std::uint64_t stream_base_ = 0;
+  TimeUs lookahead_floor_ = 0;
   std::vector<NodeState> nodes_;
   /// Interned neighbour lists, deduplicated by content (intern_links()).
   std::vector<NodeId> link_arena_;
   std::unordered_map<std::uint64_t, LinkParams> link_overrides_;
+  /// Regional parameter matrix (region_count_^2, row-major); empty until
+  /// set_regional_params.
+  std::vector<LinkParams> region_matrix_;
+  std::size_t region_count_ = 0;
   FrameTap frame_tap_;
-  obs::Histogram frame_bytes_hist_;
-  Stats stats_;
+  std::vector<LaneTraffic> lane_traffic_;
 };
 
 }  // namespace wakurln::sim

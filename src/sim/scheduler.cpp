@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/shared_bytes.h"
 
 namespace wakurln::sim {
 
@@ -12,142 +13,278 @@ namespace {
 constexpr TimeUs kNoLimit = std::numeric_limits<TimeUs>::max();
 }  // namespace
 
-Scheduler::Scheduler() : buckets_(kNumBuckets) {}
+thread_local Scheduler::ExecCtx* Scheduler::t_ctx_ = nullptr;
 
-Scheduler::~Scheduler() = default;
+class Scheduler::CtxGuard {
+ public:
+  explicit CtxGuard(ExecCtx* ctx) : prev_(t_ctx_) { t_ctx_ = ctx; }
+  ~CtxGuard() { t_ctx_ = prev_; }
+  CtxGuard(const CtxGuard&) = delete;
+  CtxGuard& operator=(const CtxGuard&) = delete;
 
-// -- node pool ----------------------------------------------------------
+ private:
+  ExecCtx* prev_;
+};
 
-Scheduler::EventNode* Scheduler::acquire() {
-  if (free_list_ != nullptr) {
-    EventNode* node = free_list_;
-    free_list_ = node->next_free;
-    node->next_free = nullptr;
-    ++stats_.pool_reuses;
-    return node;
+Scheduler::Scheduler(unsigned world_threads, std::size_t node_count_hint) {
+  world_threads_ = world_threads == 0 ? 1 : world_threads;
+  node_count_ = node_count_hint;
+  // Without a node-count hint there is nothing to partition: stay
+  // single-lane (the merged engine, byte-for-byte the classic behavior).
+  shard_count_ = node_count_hint == 0
+                     ? 1
+                     : std::min<std::size_t>(world_threads_, node_count_hint);
+  lanes_.reserve(shard_count_ + 1);
+  for (std::size_t i = 0; i <= shard_count_; ++i) {
+    lanes_.emplace_back(new Lane());
   }
-  if (block_used_ == kBlockSize) {
-    blocks_.emplace_back(new EventNode[kBlockSize]);
-    block_used_ = 0;
-  }
-  ++stats_.node_allocs;
-  return &blocks_.back()[block_used_++];
+  origin_seq_.assign(node_count_hint + 1, 0);
+  mail_.resize(shard_count_ * shard_count_);
 }
 
-void Scheduler::release(EventNode* node) {
+Scheduler::~Scheduler() { stop_workers(); }
+
+Scheduler::ExecCtx* Scheduler::own_ctx() const {
+  ExecCtx* c = t_ctx_;
+  return (c != nullptr && c->sched == this) ? c : nullptr;
+}
+
+// -- per-lane node pool -------------------------------------------------
+
+Scheduler::EventNode* Scheduler::Lane::acquire() {
+  if (free_list != nullptr) {
+    EventNode* node = free_list;
+    free_list = node->next_free;
+    node->next_free = nullptr;
+    ++stats.pool_reuses;
+    return node;
+  }
+  if (block_used == kBlockSize) {
+    blocks.emplace_back(new EventNode[kBlockSize]);
+    block_used = 0;
+  }
+  ++stats.node_allocs;
+  return &blocks.back()[block_used++];
+}
+
+void Scheduler::Lane::release(EventNode* node) {
   // A free-listed node holds monostate; releasing one again would thread
   // it into the free list twice and hand the same node to two callers.
   DCHECK(!std::holds_alternative<std::monostate>(node->payload));
   // Drop captured state and frame refcounts eagerly: a pooled node must
   // not keep payloads alive while it waits on the free list.
   node->payload = std::monostate{};
-  node->next_free = free_list_;
-  free_list_ = node;
+  node->next_free = free_list;
+  free_list = node;
 }
 
-// -- queue --------------------------------------------------------------
+// -- per-lane calendar queue --------------------------------------------
 
-void Scheduler::enqueue(EventNode* node) {
-  ++stats_.scheduled;
+void Scheduler::Lane::enqueue(EventNode* node) {
+  ++stats.scheduled;
   const std::uint64_t slot = node->time >> kSlotShift;
-  if (slot < cursor_slot_ + kNumBuckets) {
-    auto& bucket = buckets_[slot & kBucketMask];
+  if (slot < cursor_slot + kNumBuckets) {
+    auto& bucket = buckets[slot & kBucketMask];
     bucket.push_back(node);
     std::push_heap(bucket.begin(), bucket.end(), LaterPtr{});
-    ++wheel_count_;
+    ++wheel_count;
   } else {
-    overflow_.push_back(node);
-    std::push_heap(overflow_.begin(), overflow_.end(), LaterPtr{});
-    ++stats_.overflow_events;
+    overflow.push_back(node);
+    std::push_heap(overflow.begin(), overflow.end(), LaterPtr{});
+    ++stats.overflow_events;
   }
-  ++live_;
-  stats_.peak_pending = std::max(stats_.peak_pending, live_);
+  ++live;
+  stats.peak_pending = std::max(stats.peak_pending, live);
 }
 
-void Scheduler::migrate_overflow() {
-  while (!overflow_.empty() &&
-         (overflow_.front()->time >> kSlotShift) < cursor_slot_ + kNumBuckets) {
-    std::pop_heap(overflow_.begin(), overflow_.end(), LaterPtr{});
-    EventNode* node = overflow_.back();
-    overflow_.pop_back();
-    auto& bucket = buckets_[(node->time >> kSlotShift) & kBucketMask];
+void Scheduler::Lane::migrate_overflow() {
+  while (!overflow.empty() &&
+         (overflow.front()->time >> kSlotShift) < cursor_slot + kNumBuckets) {
+    std::pop_heap(overflow.begin(), overflow.end(), LaterPtr{});
+    EventNode* node = overflow.back();
+    overflow.pop_back();
+    auto& bucket = buckets[(node->time >> kSlotShift) & kBucketMask];
     bucket.push_back(node);
     std::push_heap(bucket.begin(), bucket.end(), LaterPtr{});
-    ++wheel_count_;
+    ++wheel_count;
   }
 }
 
-Scheduler::EventNode* Scheduler::pop_earliest(TimeUs limit) {
-  // Cursor invariant: cursor_slot_ never passes a non-empty bucket and
-  // never exceeds limit's slot. Since the clock only advances to executed
-  // event times (or to a run_until limit), the cursor always stays <=
-  // slot(now) — so later insertions (always at t >= now) land at or ahead
-  // of the cursor, never behind it.
+Scheduler::EventNode* Scheduler::Lane::pop_earliest(TimeUs limit) {
+  // Cursor invariant: cursor_slot never passes a non-empty bucket and
+  // never exceeds limit's slot. Only pop commits cursor movement (peek
+  // walks a local copy), and every insert lands at or after the lane's
+  // execution frontier — so insertions land at or ahead of the cursor,
+  // never behind it.
   const std::uint64_t limit_slot = limit >> kSlotShift;
   for (;;) {
-    if (wheel_count_ == 0) {
-      if (overflow_.empty()) return nullptr;
-      EventNode* top = overflow_.front();
+    if (wheel_count == 0) {
+      if (overflow.empty()) return nullptr;
+      EventNode* top = overflow.front();
       if (top->time > limit) return nullptr;
       // The ring is empty: jump the cursor straight to the overflow
       // minimum (always ahead of the cursor) and pull its window in.
-      cursor_slot_ = top->time >> kSlotShift;
+      cursor_slot = top->time >> kSlotShift;
       migrate_overflow();
       continue;
     }
-    auto& bucket = buckets_[cursor_slot_ & kBucketMask];
+    auto& bucket = buckets[cursor_slot & kBucketMask];
     if (bucket.empty()) {
       // Every ring event is in a later slot; past limit_slot they are all
       // beyond the limit, and the cursor must not outrun it.
-      if (cursor_slot_ >= limit_slot) return nullptr;
-      ++cursor_slot_;
+      if (cursor_slot >= limit_slot) return nullptr;
+      ++cursor_slot;
       migrate_overflow();  // the slot entering the horizon may be waiting
       continue;
     }
     // The cursor never passes a non-empty bucket, so this bucket holds
-    // exactly the events of slot cursor_slot_ — its heap top is the
-    // global (time, seq) minimum (overflow events are all beyond the
+    // exactly the events of slot cursor_slot — its heap top is the lane's
+    // (time, origin, seq) minimum (overflow events are all beyond the
     // horizon, hence later).
     EventNode* top = bucket.front();
-    DCHECK((top->time >> kSlotShift) == cursor_slot_);
+    DCHECK((top->time >> kSlotShift) == cursor_slot);
     if (top->time > limit) return nullptr;
     std::pop_heap(bucket.begin(), bucket.end(), LaterPtr{});
     bucket.pop_back();
-    --wheel_count_;
+    --wheel_count;
     return top;
   }
 }
 
-bool Scheduler::is_tombstone(const EventNode* node) const {
-  const TimerRef* ref = std::get_if<TimerRef>(&node->payload);
-  if (ref == nullptr) return false;
-  DCHECK(ref->index < timers_.size());
-  return timers_[ref->index].generation != ref->generation;
+Scheduler::EventNode* Scheduler::Lane::peek_earliest(TimeUs limit) const {
+  if (wheel_count == 0) {
+    if (overflow.empty()) return nullptr;
+    EventNode* top = overflow.front();
+    return top->time <= limit ? top : nullptr;
+  }
+  // Ring entries all live in [cursor, cursor + kNumBuckets) and are
+  // therefore earlier than everything in the overflow heap — walking to
+  // the first non-empty bucket finds the lane minimum. The walk uses a
+  // local cursor so peeking commits nothing: a barrier-time insert may
+  // land earlier than where the walk ended, and the committed cursor
+  // must still be behind it.
+  const std::uint64_t limit_slot = limit >> kSlotShift;
+  std::uint64_t slot = cursor_slot;
+  for (;;) {
+    const auto& bucket = buckets[slot & kBucketMask];
+    if (!bucket.empty()) {
+      EventNode* top = bucket.front();
+      return top->time <= limit ? top : nullptr;
+    }
+    if (slot >= limit_slot) return nullptr;
+    ++slot;
+  }
 }
 
-// -- scheduling ---------------------------------------------------------
+bool Scheduler::Lane::is_tombstone(const EventNode* node) const {
+  const TimerRef* ref = std::get_if<TimerRef>(&node->payload);
+  if (ref == nullptr) return false;
+  DCHECK(ref->index < timers.size());
+  return timers[ref->index].generation != ref->generation;
+}
+
+void Scheduler::Lane::free_timer_slot(std::uint32_t index) {
+  TimerSlot& slot = timers[index];
+  DCHECK(!slot.active);  // cancel() must have retired the slot first
+  slot.fn = nullptr;
+  slot.firing = false;
+  slot.next_free = timer_free;
+  timer_free = index;
+}
+
+void Scheduler::Lane::reanchor(TimeUs at) {
+  if (wheel_count != 0) return;
+  // Re-anchor the ring's window at the clock: near-future events
+  // scheduled next land in the ring instead of the overflow heap, and a
+  // cursor that tombstone reaping walked ahead of the clock comes back
+  // so later insertions cannot land behind it.
+  cursor_slot = at >> kSlotShift;
+  migrate_overflow();
+}
+
+std::size_t Scheduler::Lane::resident_bytes() const {
+  std::size_t total = sizeof(Lane);
+  total += blocks.size() * (sizeof(std::unique_ptr<EventNode[]>) +
+                            kBlockSize * sizeof(EventNode));
+  total += buckets.size() * sizeof(std::vector<EventNode*>);
+  total += (wheel_count + overflow.size()) * sizeof(EventNode*);
+  total += timers.size() * sizeof(TimerSlot);
+  return total;
+}
+
+// -- stamping and scheduling --------------------------------------------
+
+std::uint64_t Scheduler::next_seq(std::uint32_t origin) {
+  if (origin >= origin_seq_.size()) {
+    const ExecCtx* c = own_ctx();
+    // Growth reallocates the counter vector — coordinator-only. Worker
+    // origins are node ids below the construction hint, so a worker
+    // landing here means the hint was wrong for a sharded engine.
+    CHECK_MSG(c == nullptr || !c->on_worker,
+              "origin counter growth from a shard worker (node_count_hint too small)");
+    origin_seq_.resize(origin + 1, 0);
+  }
+  return origin_seq_[origin]++;
+}
 
 void Scheduler::schedule_at(TimeUs t, std::function<void()> fn) {
-  if (t < now_) {
+  ExecCtx* c = own_ctx();
+  if (c != nullptr && c->on_worker) {
+    throw std::logic_error(
+        "Scheduler: schedule_at from shard context (use run_deferred)");
+  }
+  const TimeUs ref = c != nullptr ? c->now : now_;
+  if (t < ref) {
     throw std::invalid_argument("Scheduler: cannot schedule in the past");
   }
-  EventNode* node = acquire();
+  const std::uint32_t origin = c != nullptr ? c->origin : cur_origin_;
+  Lane& lane = *lanes_[0];
+  EventNode* node = lane.acquire();
   node->time = t;
-  node->seq = next_seq_++;
+  node->origin = origin;
+  node->seq = next_seq(origin);
   node->payload = std::move(fn);
-  enqueue(node);
+  lane.enqueue(node);
 }
 
 void Scheduler::schedule_after(TimeUs delay, std::function<void()> fn) {
-  schedule_at(now_ + delay, std::move(fn));
+  schedule_at(now() + delay, std::move(fn));
 }
 
 void Scheduler::schedule_delivery_after(TimeUs delay, DeliveryEvent ev) {
-  EventNode* node = acquire();
-  node->time = now_ + delay;
-  node->seq = next_seq_++;
+  ExecCtx* c = own_ctx();
+  const TimeUs at = (c != nullptr ? c->now : now_) + delay;
+  const std::uint32_t origin = c != nullptr ? c->origin : cur_origin_;
+  const std::size_t dst = shard_of(ev.to);
+  if (c != nullptr && c->on_worker && dst + 1 != c->lane_index) {
+    // Cross-shard send from a worker: park it in the mailbox, already
+    // stamped by the sender, for the coordinator to merge at the window
+    // barrier. The lookahead bound is what makes the parking safe — the
+    // delivery cannot land inside the receiving shard's current window.
+    DCHECK(delay >= lookahead_);
+    Mail mail;
+    mail.key = Stamp{at, origin, next_seq(origin)};
+    mail.ev = std::move(ev);
+    mail_[(c->lane_index - 1) * shard_count_ + dst].push_back(std::move(mail));
+    return;
+  }
+  Lane& lane = *lanes_[dst + 1];
+  EventNode* node = lane.acquire();
+  node->time = at;
+  node->origin = origin;
+  node->seq = next_seq(origin);
   node->payload = std::move(ev);
-  enqueue(node);
+  lane.enqueue(node);
+}
+
+void Scheduler::run_deferred(std::function<void()> fn) {
+  ExecCtx* c = own_ctx();
+  if (c != nullptr && c->lane != nullptr && c->lane_index != 0) {
+    c->lane->deferred.push_back(
+        DeferredAction{c->key, c->defer_sub++, std::move(fn)});
+    return;
+  }
+  fn();
 }
 
 void Scheduler::set_delivery_sink(DeliverySink* sink) {
@@ -161,89 +298,127 @@ void Scheduler::clear_delivery_sink(DeliverySink* sink) {
   if (sink_ == sink) sink_ = nullptr;
 }
 
-TimerHandle Scheduler::schedule_periodic(TimeUs first_delay, TimeUs interval,
-                                         std::function<void()> fn) {
+// -- timers -------------------------------------------------------------
+
+TimerHandle Scheduler::install_timer(std::size_t lane_index,
+                                     std::uint32_t owner_origin,
+                                     TimeUs first_delay, TimeUs interval,
+                                     std::function<void()> fn) {
   if (interval == 0) {
     throw std::invalid_argument("Scheduler: periodic interval must be > 0");
   }
-  std::uint32_t index;
-  if (timer_free_ != TimerHandle::kInvalidIndex) {
-    index = timer_free_;
-    timer_free_ = timers_[index].next_free;
-  } else {
-    index = static_cast<std::uint32_t>(timers_.size());
-    timers_.emplace_back();
+  ExecCtx* c = own_ctx();
+  if (c != nullptr && c->on_worker && c->lane_index != lane_index) {
+    throw std::logic_error(
+        "Scheduler: timer installed from a foreign shard context");
   }
-  TimerSlot& slot = timers_[index];
+  Lane& lane = *lanes_[lane_index];
+  std::uint32_t index;
+  if (lane.timer_free != TimerHandle::kInvalidIndex) {
+    index = lane.timer_free;
+    lane.timer_free = lane.timers[index].next_free;
+  } else {
+    index = static_cast<std::uint32_t>(lane.timers.size());
+    lane.timers.emplace_back();
+  }
+  TimerSlot& slot = lane.timers[index];
   slot.fn = std::move(fn);
   slot.interval = interval;
   slot.next_free = TimerHandle::kInvalidIndex;
+  slot.owner_origin = owner_origin;
   slot.active = true;
   slot.firing = false;
-  ++stats_.timers_created;
+  ++lane.stats.timers_created;
 
-  EventNode* node = acquire();
-  node->time = now_ + first_delay;
-  node->seq = next_seq_++;
+  EventNode* node = lane.acquire();
+  node->time = (c != nullptr ? c->now : now_) + first_delay;
+  node->origin = owner_origin;
+  node->seq = next_seq(owner_origin);
   node->payload = TimerRef{index, slot.generation};
-  enqueue(node);
+  lane.enqueue(node);
 
   TimerHandle handle;
   handle.index_ = index;
   handle.generation_ = slot.generation;
+  handle.lane_ = static_cast<std::uint32_t>(lane_index);
   return handle;
 }
 
+TimerHandle Scheduler::schedule_periodic(TimeUs first_delay, TimeUs interval,
+                                         std::function<void()> fn) {
+  return install_timer(0, 0, first_delay, interval, std::move(fn));
+}
+
+TimerHandle Scheduler::schedule_periodic_for(NodeId owner, TimeUs first_delay,
+                                             TimeUs interval,
+                                             std::function<void()> fn) {
+  const std::size_t lane_index = shard_of(owner) + 1;
+  return install_timer(lane_index, static_cast<std::uint32_t>(owner) + 1,
+                       first_delay, interval, std::move(fn));
+}
+
 bool Scheduler::cancel(const TimerHandle& handle) {
-  if (handle.index_ >= timers_.size()) return false;
-  TimerSlot& slot = timers_[handle.index_];
+  if (handle.lane_ >= lanes_.size()) return false;
+  ExecCtx* c = own_ctx();
+  if (c != nullptr && c->on_worker && c->lane_index != handle.lane_) {
+    throw std::logic_error(
+        "Scheduler: timer cancelled from a foreign shard context");
+  }
+  Lane& lane = *lanes_[handle.lane_];
+  if (handle.index_ >= lane.timers.size()) return false;
+  TimerSlot& slot = lane.timers[handle.index_];
   if (!slot.active || slot.generation != handle.generation_) return false;
   slot.active = false;
   ++slot.generation;  // the pending occurrence node becomes a tombstone
-  ++stats_.timers_cancelled;
+  ++lane.stats.timers_cancelled;
   if (slot.firing) {
     // Cancelled from inside its own callback: the occurrence node is
-    // already popped (not counted in live_), and the callback object is
-    // on the stack — execute() finishes the slot teardown on return.
+    // already popped (not counted in live), and the callback object is
+    // on the stack — execute_event finishes the slot teardown on return.
     return true;
   }
-  DCHECK(live_ > 0);  // the armed occurrence must still be queued
-  --live_;  // the queued occurrence no longer counts as pending
-  free_timer_slot(handle.index_);
+  DCHECK(lane.live > 0);  // the armed occurrence must still be queued
+  --lane.live;  // the queued occurrence no longer counts as pending
+  lane.free_timer_slot(handle.index_);
   return true;
 }
 
 bool Scheduler::timer_active(const TimerHandle& handle) const {
-  return handle.index_ < timers_.size() && timers_[handle.index_].active &&
-         timers_[handle.index_].generation == handle.generation_;
-}
-
-void Scheduler::free_timer_slot(std::uint32_t index) {
-  TimerSlot& slot = timers_[index];
-  DCHECK(!slot.active);  // cancel() must have retired the slot first
-  slot.fn = nullptr;
-  slot.firing = false;
-  slot.next_free = timer_free_;
-  timer_free_ = index;
+  if (handle.lane_ >= lanes_.size()) return false;
+  const Lane& lane = *lanes_[handle.lane_];
+  return handle.index_ < lane.timers.size() &&
+         lane.timers[handle.index_].active &&
+         lane.timers[handle.index_].generation == handle.generation_;
 }
 
 // -- execution ----------------------------------------------------------
 
-void Scheduler::execute(EventNode* node) {
-  DCHECK(node->time >= now_);  // pop order is the clock's monotonicity
-  DCHECK(live_ > 0);
-  now_ = node->time;
-  --live_;
-  ++stats_.executed;
+void Scheduler::execute_event(Lane& lane, std::size_t lane_index,
+                              EventNode* node, ExecCtx& ctx) {
+  DCHECK(node->time >= lane.exec_now);  // pop order is the lane's monotonicity
+  DCHECK(lane.live > 0);
+  lane.exec_now = node->time;
+  --lane.live;
+  ++lane.stats.executed;
+  ctx.lane = &lane;
+  ctx.lane_index = lane_index;
+  ctx.now = node->time;
+  ctx.key = Stamp{node->time, node->origin, node->seq};
+  ctx.defer_sub = 0;
   if (auto* fn_slot = std::get_if<std::function<void()>>(&node->payload)) {
     // Move the callback out and recycle the node first: whatever the
     // callback schedules can reuse it immediately.
+    ctx.origin = node->origin;
     std::function<void()> fn = std::move(*fn_slot);
-    release(node);
+    lane.release(node);
     fn();
   } else if (auto* delivery = std::get_if<DeliveryEvent>(&node->payload)) {
+    // A delivery executes *as the receiving node*: whatever the handler
+    // schedules (forwards, acks) is stamped with the receiver's origin,
+    // drawing from its own counter — independent of the shard count.
+    ctx.origin = static_cast<std::uint32_t>(delivery->to) + 1;
     DeliveryEvent ev = std::move(*delivery);
-    release(node);
+    lane.release(node);
     if (sink_ != nullptr) sink_->on_delivery(ev);
   } else {
     // Previously a bare std::get — a corrupted node died as an opaque
@@ -251,9 +426,11 @@ void Scheduler::execute(EventNode* node) {
     const TimerRef* refp = std::get_if<TimerRef>(&node->payload);
     CHECK_MSG(refp != nullptr, "pooled event node carries no payload");
     const TimerRef ref = *refp;
-    CHECK_MSG(ref.index < timers_.size(), "timer occurrence outlived its table slot");
-    TimerSlot& slot = timers_[ref.index];
-    ++stats_.timer_fires;
+    CHECK_MSG(ref.index < lane.timers.size(),
+              "timer occurrence outlived its table slot");
+    TimerSlot& slot = lane.timers[ref.index];
+    ctx.origin = slot.owner_origin;
+    ++lane.stats.timer_fires;
     slot.firing = true;
     slot.fn();
     if (slot.generation == ref.generation) {
@@ -262,78 +439,425 @@ void Scheduler::execute(EventNode* node) {
       // callback just scheduled.
       slot.firing = false;
       node->time += slot.interval;
-      node->seq = next_seq_++;
-      enqueue(node);
+      node->seq = next_seq(slot.owner_origin);
+      lane.enqueue(node);
     } else {
       // Cancelled during its own callback: finish the deferred slot
       // teardown now that the callback has returned.
-      free_timer_slot(ref.index);
-      release(node);
+      lane.free_timer_slot(ref.index);
+      lane.release(node);
     }
   }
 }
 
-bool Scheduler::run_next() {
+void Scheduler::run_lane_window(std::size_t shard, TimeUs end_exclusive,
+                                bool on_worker) {
+  Lane& lane = *lanes_[shard + 1];
+  ExecCtx ctx;
+  ctx.sched = this;
+  ctx.on_worker = on_worker;
+  CtxGuard guard(&ctx);
+  const TimeUs limit = end_exclusive - 1;
   for (;;) {
-    EventNode* node = pop_earliest(kNoLimit);
-    if (node == nullptr) {
-      // Everything drained (tombstone reaping may have walked the cursor
-      // ahead of the clock): re-anchor the ring's window at the clock so
-      // the next insertion cannot land behind the cursor.
-      cursor_slot_ = now_ >> kSlotShift;
-      return false;
-    }
-    if (is_tombstone(node)) {
-      release(node);
+    EventNode* node = lane.pop_earliest(limit);
+    if (node == nullptr) break;
+    if (lane.is_tombstone(node)) {
+      lane.release(node);
       continue;
     }
-    execute(node);
+    execute_event(lane, shard + 1, node, ctx);
+  }
+}
+
+void Scheduler::run_one_global(TimeUs limit) {
+  Lane& lane = *lanes_[0];
+  for (;;) {
+    EventNode* node = lane.pop_earliest(limit);
+    if (node == nullptr) return;  // only tombstones were ahead
+    if (lane.is_tombstone(node)) {
+      lane.release(node);
+      continue;
+    }
+    now_ = node->time;
+    cur_key_ = Stamp{node->time, node->origin, node->seq};
+    ExecCtx ctx;
+    ctx.sched = this;
+    CtxGuard guard(&ctx);
+    execute_event(lane, 0, node, ctx);
+    cur_origin_ = 0;
+    return;
+  }
+}
+
+bool Scheduler::deferred_pending() const {
+  for (const auto& lane : lanes_) {
+    if (!lane->deferred.empty()) return true;
+  }
+  return false;
+}
+
+void Scheduler::flush_deferred() {
+  if (!deferred_pending()) return;
+  flush_scratch_.clear();
+  for (auto& lane : lanes_) {
+    for (auto& action : lane->deferred) {
+      flush_scratch_.push_back(std::move(action));
+    }
+    lane->deferred.clear();
+  }
+  // Stamp order of the deferring events (plus the per-event sub-counter)
+  // is a total order independent of which lane buffered the action.
+  std::sort(flush_scratch_.begin(), flush_scratch_.end(),
+            [](const DeferredAction& a, const DeferredAction& b) {
+              if (!(a.key == b.key)) return a.key < b.key;
+              return a.sub < b.sub;
+            });
+  for (auto& action : flush_scratch_) {
+    // Restore the deferring event's identity: anything the action
+    // schedules draws from the origin node's counter, exactly as the
+    // inline execution on a single-lane engine would have.
+    cur_key_ = action.key;
+    cur_origin_ = action.key.origin;
+    action.fn();
+  }
+  cur_origin_ = 0;
+  flush_scratch_.clear();
+}
+
+void Scheduler::drain_mailboxes() {
+  for (auto& box : mail_) {
+    if (box.empty()) continue;
+    for (auto& mail : box) {
+      Lane& lane = *lanes_[shard_of(mail.ev.to) + 1];
+      EventNode* node = lane.acquire();
+      node->time = mail.key.time;
+      node->origin = mail.key.origin;
+      node->seq = mail.key.seq;
+      node->payload = std::move(mail.ev);
+      lane.enqueue(node);
+    }
+    box.clear();
+  }
+}
+
+void Scheduler::sample_peak() {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane->live;
+  if (total > barrier_peak_) barrier_peak_ = total;
+}
+
+// -- worker pool --------------------------------------------------------
+
+void Scheduler::ensure_workers() {
+  if (!workers_.empty() || shard_count_ <= 1) return;
+  worker_slots_.resize(shard_count_);
+  workers_.reserve(shard_count_);
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    workers_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+void Scheduler::stop_workers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  worker_slots_.clear();
+  stop_ = false;
+}
+
+void Scheduler::worker_main(std::size_t shard) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    TimeUs end;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || window_epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = window_epoch_;
+      end = window_end_;
+    }
+    WorkerSlot& slot = worker_slots_[shard];
+    try {
+      run_lane_window(shard, end, /*on_worker=*/true);
+    } catch (...) {
+      slot.error = std::current_exception();
+    }
+    // Record this window's payload-allocation delta (the counters are
+    // thread-local); the coordinator folds it in at the barrier so the
+    // world's payload accounting matches the single-thread run exactly.
+    const std::uint64_t allocs = util::SharedBytes::allocation_count();
+    const std::uint64_t bytes = util::SharedBytes::allocated_bytes();
+    slot.payload_allocs += allocs - slot.allocs_last;
+    slot.payload_bytes += bytes - slot.bytes_last;
+    slot.allocs_last = allocs;
+    slot.bytes_last = bytes;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_running_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void Scheduler::dispatch_window(TimeUs end_exclusive) {
+  if (shard_count_ == 1) {
+    // Single shard: the coordinator runs the window inline. Same pops,
+    // same stamps, same deferred-flush points as the worker path.
+    run_lane_window(0, end_exclusive, /*on_worker=*/false);
+    return;
+  }
+  ensure_workers();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window_end_ = end_exclusive;
+    workers_running_ = shard_count_;
+    ++window_epoch_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return workers_running_ == 0; });
+  }
+  for (auto& slot : worker_slots_) {
+    if (slot.payload_allocs != 0 || slot.payload_bytes != 0) {
+      util::SharedBytes::fold_in(slot.payload_allocs, slot.payload_bytes);
+      slot.payload_allocs = 0;
+      slot.payload_bytes = 0;
+    }
+  }
+  for (auto& slot : worker_slots_) {
+    if (slot.error) {
+      std::exception_ptr error = slot.error;
+      slot.error = nullptr;
+      stop_workers();
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+// -- run loops ----------------------------------------------------------
+
+void Scheduler::run_until_windowed(TimeUs t) {
+  for (;;) {
+    flush_deferred();
+    sample_peak();
+    EventNode* global_next = lanes_[0]->peek_earliest(t);
+    const TimeUs tg = global_next != nullptr ? global_next->time : kNoLimit;
+    TimeUs ts = kNoLimit;
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      EventNode* node = lanes_[s + 1]->peek_earliest(t);
+      if (node != nullptr && node->time < ts) ts = node->time;
+    }
+    if (tg == kNoLimit && ts == kNoLimit) break;
+    if (tg <= ts) {
+      // Global events run with every shard quiesced: they may touch any
+      // node, mutate topology, mine blocks. At a timestamp tie the
+      // global lane goes first — a fixed rule, not a thread race.
+      run_one_global(t);
+      continue;
+    }
+    // Shard window [ts, end): every shard executes its own events with
+    // time strictly below `end` without ever seeing a cross-shard
+    // delivery sent inside the window (delay >= lookahead puts any such
+    // delivery at or beyond `end`).
+    TimeUs end = ts + lookahead_;
+    if (tg < end) end = tg;
+    if (t != kNoLimit && t + 1 < end) end = t + 1;
+    DCHECK(end > ts);
+    dispatch_window(end);
+    drain_mailboxes();
+    now_ = std::max(now_, std::min(end, t));
+  }
+  if (t > now_) now_ = t;
+  flush_deferred();
+  for (auto& lane : lanes_) lane->reanchor(now_);
+}
+
+void Scheduler::run_until_merged(TimeUs t) {
+  for (;;) {
+    Lane* best_lane = nullptr;
+    std::size_t best_index = 0;
+    EventNode* best_node = nullptr;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      EventNode* node = lanes_[i]->peek_earliest(t);
+      if (node == nullptr) continue;
+      if (best_node == nullptr || LaterPtr{}(best_node, node)) {
+        best_lane = lanes_[i].get();
+        best_index = i;
+        best_node = node;
+      }
+    }
+    if (best_node == nullptr) break;
+    if (best_index == 0 && deferred_pending()) {
+      // Deferred work runs before the next global event (the merged
+      // engine's stand-in for a window barrier); it may reschedule or
+      // cancel, so re-peek from scratch.
+      flush_deferred();
+      continue;
+    }
+    sample_peak();
+    EventNode* node = best_lane->pop_earliest(t);
+    DCHECK(node == best_node);
+    if (best_lane->is_tombstone(node)) {
+      best_lane->release(node);
+      continue;
+    }
+    now_ = node->time;
+    cur_key_ = Stamp{node->time, node->origin, node->seq};
+    ExecCtx ctx;
+    ctx.sched = this;
+    CtxGuard guard(&ctx);
+    execute_event(*best_lane, best_index, node, ctx);
+    cur_origin_ = 0;
+  }
+  if (t > now_) now_ = t;
+  flush_deferred();
+  for (auto& lane : lanes_) lane->reanchor(now_);
+}
+
+bool Scheduler::run_next() {
+  for (;;) {
+    Lane* best_lane = nullptr;
+    std::size_t best_index = 0;
+    EventNode* best_node = nullptr;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      EventNode* node = lanes_[i]->peek_earliest(kNoLimit);
+      if (node == nullptr) continue;
+      if (best_node == nullptr || LaterPtr{}(best_node, node)) {
+        best_lane = lanes_[i].get();
+        best_index = i;
+        best_node = node;
+      }
+    }
+    if (best_node == nullptr) {
+      flush_deferred();
+      for (auto& lane : lanes_) lane->reanchor(now_);
+      return false;
+    }
+    if (best_index == 0 && deferred_pending()) {
+      flush_deferred();
+      continue;
+    }
+    sample_peak();
+    EventNode* node = best_lane->pop_earliest(kNoLimit);
+    DCHECK(node == best_node);
+    if (best_lane->is_tombstone(node)) {
+      best_lane->release(node);
+      continue;
+    }
+    now_ = node->time;
+    cur_key_ = Stamp{node->time, node->origin, node->seq};
+    ExecCtx ctx;
+    ctx.sched = this;
+    CtxGuard guard(&ctx);
+    execute_event(*best_lane, best_index, node, ctx);
+    cur_origin_ = 0;
     return true;
   }
 }
 
 void Scheduler::run_until(TimeUs t) {
-  for (;;) {
-    EventNode* node = pop_earliest(t);
-    if (node == nullptr) break;
-    if (is_tombstone(node)) {
-      release(node);
-      continue;
-    }
-    execute(node);
-  }
-  if (t > now_) now_ = t;
-  if (wheel_count_ == 0) {
-    // Re-anchor the ring's window at the clock: near-future events
-    // scheduled next land in the ring instead of the overflow heap, and
-    // a cursor that tombstone reaping walked ahead of the clock comes
-    // back so later insertions cannot land behind it.
-    cursor_slot_ = now_ >> kSlotShift;
-    migrate_overflow();
+  // The lookahead is a property of the world's link latencies, never of
+  // the thread count — so the choice of loop (and with it every window,
+  // barrier and flush point) is identical at every world_threads value.
+  if (lookahead_ == 0) {
+    run_until_merged(t);
+  } else {
+    run_until_windowed(t);
   }
 }
 
-void Scheduler::run_for(TimeUs duration) {
-  run_until(now_ + duration);
-}
+void Scheduler::run_for(TimeUs duration) { run_until(now() + duration); }
 
 void Scheduler::run_all() {
   while (run_next()) {
   }
 }
 
-std::size_t Scheduler::memory_bytes() const {
-  std::size_t total = sizeof(Scheduler);
-  // Pool blocks are the dominant term: kBlockSize nodes each, never freed.
-  total += blocks_.size() *
-           (sizeof(std::unique_ptr<EventNode[]>) + kBlockSize * sizeof(EventNode));
-  // Calendar ring: the slot headers plus the live node pointers parked in
-  // the wheel and the overflow heap.
-  total += buckets_.size() * sizeof(std::vector<EventNode*>);
-  total += (wheel_count_ + overflow_.size()) * sizeof(EventNode*);
-  // Timer table slots (the deque never shrinks; cancelled slots recycle).
-  total += timers_.size() * sizeof(TimerSlot);
+// -- introspection ------------------------------------------------------
+
+TimeUs Scheduler::now() const {
+  const ExecCtx* c = own_ctx();
+  return c != nullptr ? c->now : now_;
+}
+
+Scheduler::Stamp Scheduler::current_stamp() const {
+  const ExecCtx* c = own_ctx();
+  return c != nullptr ? c->key : cur_key_;
+}
+
+std::size_t Scheduler::current_lane() const {
+  const ExecCtx* c = own_ctx();
+  return c != nullptr ? c->lane_index : 0;
+}
+
+bool Scheduler::in_shard_context() const {
+  const ExecCtx* c = own_ctx();
+  return c != nullptr && c->lane != nullptr && c->lane_index != 0;
+}
+
+std::size_t Scheduler::pending() const {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane->live;
   return total;
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  Stats total;
+  for (const auto& lane : lanes_) {
+    const Stats& s = lane->stats;
+    total.scheduled += s.scheduled;
+    total.executed += s.executed;
+    total.node_allocs += s.node_allocs;
+    total.pool_reuses += s.pool_reuses;
+    total.overflow_events += s.overflow_events;
+    total.timers_created += s.timers_created;
+    total.timers_cancelled += s.timers_cancelled;
+    total.timer_fires += s.timer_fires;
+  }
+  total.peak_pending = barrier_peak_;
+  return total;
+}
+
+const Scheduler::Stats& Scheduler::lane_stats(std::size_t lane) const {
+  CHECK_MSG(lane < lanes_.size(), "lane_stats: lane out of range");
+  return lanes_[lane]->stats;
+}
+
+std::size_t Scheduler::memory_bytes() const {
+  // Single-lane-equivalent model (see the header): one global ring plus
+  // one merged node ring, a pool sized for the window-boundary peak, the
+  // pointers parked in wheels/overflow, and the timer tables. Every term
+  // is a function of the workload, not of the partition.
+  std::size_t total = sizeof(Scheduler);
+  total += 2 * kNumBuckets * sizeof(std::vector<EventNode*>);
+  const std::size_t pool_blocks = (barrier_peak_ + kBlockSize - 1) / kBlockSize;
+  total += pool_blocks * (sizeof(std::unique_ptr<EventNode[]>) +
+                          kBlockSize * sizeof(EventNode));
+  std::size_t parked = 0;
+  std::size_t timers = 0;
+  for (const auto& lane : lanes_) {
+    parked += lane->wheel_count + lane->overflow.size();
+    timers += lane->timers.size();
+  }
+  total += parked * sizeof(EventNode*);
+  total += timers * sizeof(TimerSlot);
+  total += origin_seq_.capacity() * sizeof(std::uint64_t);
+  return total;
+}
+
+std::size_t Scheduler::parallel_scratch_bytes() const {
+  std::size_t actual = sizeof(Scheduler);
+  for (const auto& lane : lanes_) actual += lane->resident_bytes();
+  for (const auto& box : mail_) actual += box.capacity() * sizeof(Mail);
+  actual += worker_slots_.capacity() * sizeof(WorkerSlot);
+  actual += origin_seq_.capacity() * sizeof(std::uint64_t);
+  const std::size_t model = memory_bytes();
+  return actual > model ? actual - model : 0;
 }
 
 }  // namespace wakurln::sim

@@ -2,9 +2,9 @@
 // Deterministic discrete-event engine: the clock of the whole simulated
 // world (network, gossip heartbeats, epochs, block mining).
 //
-// The engine is typed and pooled. The three dominant event classes each
-// have a first-class representation instead of a heap-allocated
-// type-erased closure:
+// The engine is typed, pooled and — since the parallel-world work —
+// *sharded*. The three dominant event classes each have a first-class
+// representation instead of a heap-allocated type-erased closure:
 //
 //   * frame deliveries   — plain data (DeliveryEvent) executed through a
 //                          DeliverySink, so the network hot path performs
@@ -15,35 +15,53 @@
 //                          generation-checked cancellation handle;
 //   * one-shot callbacks — the std::function fallback for everything else.
 //
-// Event nodes come from a free-list pool backed by chunked blocks: once
-// the pool has grown to the world's peak concurrency, steady-state
-// simulation schedules events with zero allocations.
+// Sharded execution model
+// -----------------------
+// The engine owns one *global lane* plus S >= 1 *shard lanes*. Nodes are
+// partitioned into contiguous ranges (shard_of(i) = i*S/N — aligned with
+// the contiguous geo regions of sim/topology.h); each shard lane owns a
+// full calendar-queue + event-pool + timer-table instance for its nodes.
+// Frame deliveries and owner-tagged periodic timers (gossip heartbeats,
+// nullifier GC) execute on the shard lane of their node; every untyped
+// one-shot and untagged periodic timer is a *global* event executed by
+// the coordinator with all shards quiesced.
 //
-// Near-future events (link deliveries, heartbeats) live in a calendar
-// queue — a ring of per-slot buckets, each a small binary heap — and
-// far-future events (epoch GC, block mining) wait in a fallback heap that
-// migrates into the ring as the cursor advances. Both structures order
-// events by (time, submission sequence), so the execution order is
-// exactly the one the classic single-heap scheduler produced.
+// With world_threads > 1 the shard lanes run on worker threads under
+// conservative time-window synchronisation: shards execute independently
+// inside a lookahead window bounded by the minimum cross-shard link
+// latency (sim::Network computes it and calls set_lookahead), and
+// cross-shard deliveries are exchanged at window barriers through
+// per-(src,dst)-shard FIFO mailboxes. The barrier schedule is a pure
+// function of the workload and the lookahead — never of the thread
+// count — so the single-thread run executes the *same* windows, making
+// every deterministic report byte identical across world_threads.
 //
-// Determinism contract (relied on by every seeded experiment):
-//   * Events with equal timestamps run in schedule order (global
-//     submission sequence, FIFO).
+// Ordering contract (relied on by every seeded experiment):
+//   * Every event carries a total-order stamp (time, origin, seq):
+//     origin 0 is the global lane, origin i+1 is node i, and seq is a
+//     per-origin submission counter. Events execute in stamp order
+//     within their lane; at equal timestamps global events run before
+//     node events, and lower origins before higher ones. Because seq
+//     counters are per-origin (not a single global counter), the stamps
+//     an execution produces are independent of the shard count.
 //   * An event running at time T may schedule more work at T (t < now
-//     throws); the new event runs after every event already queued at T —
-//     including within the same run_until/run_next drain, which re-checks
-//     the queue after every execution.
+//     throws); the new event runs after every event already queued at T
+//     with the same origin.
 //   * A periodic timer first fires at now + first_delay, then re-arms at
-//     fire_time + interval *after* its callback returns: the next
-//     occurrence is sequenced after everything the callback scheduled,
-//     matching the classic "reschedule at the end of the tick" idiom.
-//   * cancel() from inside the timer's own callback stops the re-arm.
+//     fire_time + interval *after* its callback returns; cancel() from
+//     inside the timer's own callback stops the re-arm.
+//   * Work deferred from shard context with run_deferred() executes at
+//     the next window barrier, in stamp order of the deferring events —
+//     the same points and order at every thread count.
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <variant>
 #include <vector>
 
@@ -69,7 +87,9 @@ struct DeliveryEvent {
 };
 
 /// Executes delivery events; implemented by sim::Network. One sink per
-/// scheduler — the simulated world has one network fabric.
+/// scheduler — the simulated world has one network fabric. on_delivery
+/// must be safe to call from shard worker threads (sim::Network keeps
+/// per-lane traffic accounting for exactly this reason).
 class DeliverySink {
  public:
   virtual void on_delivery(const DeliveryEvent& ev) = 0;
@@ -93,12 +113,15 @@ class TimerHandle {
   static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
   std::uint32_t index_ = kInvalidIndex;
   std::uint32_t generation_ = 0;
+  std::uint32_t lane_ = 0;  ///< owning lane (0 = global, 1 + shard otherwise)
 };
 
 class Scheduler {
  public:
   /// Engine statistics. All values are pure functions of the scheduled
   /// workload — deterministic for a fixed seed, safe to put in reports.
+  /// The aggregate's peak_pending is sampled at window boundaries (the
+  /// points every thread count shares); per-lane stats keep exact peaks.
   struct Stats {
     std::uint64_t scheduled = 0;      ///< events enqueued (incl. timer re-arms)
     std::uint64_t executed = 0;       ///< events run
@@ -111,22 +134,89 @@ class Scheduler {
     std::size_t peak_pending = 0;     ///< max live events queued at once
   };
 
-  Scheduler();
+  /// Total-order stamp of an event: (time, origin, seq), compared
+  /// lexicographically. Origin 0 is the global lane; origin i+1 is
+  /// node i. Thread-count independent by construction.
+  struct Stamp {
+    TimeUs time = 0;
+    std::uint32_t origin = 0;
+    std::uint64_t seq = 0;
+
+    friend bool operator<(const Stamp& a, const Stamp& b) {
+      if (a.time != b.time) return a.time < b.time;
+      if (a.origin != b.origin) return a.origin < b.origin;
+      return a.seq < b.seq;
+    }
+    friend bool operator==(const Stamp& a, const Stamp& b) {
+      return a.time == b.time && a.origin == b.origin && a.seq == b.seq;
+    }
+  };
+
+  /// `world_threads` shard lanes execute node events (clamped to
+  /// `node_count_hint`; 1 when the hint is 0 — the single-lane engine).
+  /// Worker threads are spawned lazily, only when a window actually runs
+  /// with more than one shard, so world_threads == 1 never creates one.
+  explicit Scheduler(unsigned world_threads = 1, std::size_t node_count_hint = 0);
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  TimeUs now() const { return now_; }
+  /// Simulated clock. Thread-aware: inside an executing event it is that
+  /// event's timestamp (on whichever lane is running it); between events
+  /// it is the coordinator clock.
+  TimeUs now() const;
 
-  /// Schedules `fn` at absolute time `t` (>= now; throws otherwise).
+  /// Stamp of the event currently executing on the calling thread (the
+  /// coordinator's last stamp outside shard execution). Observers use it
+  /// to record merge-stable orderings of concurrent shard work.
+  Stamp current_stamp() const;
+
+  /// Number of shard lanes (1 when the engine is single-lane).
+  std::size_t shard_count() const { return shard_count_; }
+  /// shard_count() + the global lane.
+  std::size_t lane_count() const { return shard_count_ + 1; }
+  /// Lane executing on the calling thread: 0 for the coordinator/global
+  /// lane, 1 + shard for shard execution. Observers index per-lane
+  /// buffers with it.
+  std::size_t current_lane() const;
+  std::size_t shard_of(NodeId node) const {
+    if (shard_count_ == 1 || node_count_ == 0) return 0;
+    const std::size_t s = (static_cast<std::size_t>(node) * shard_count_) / node_count_;
+    return s < shard_count_ ? s : shard_count_ - 1;
+  }
+  /// True while the calling thread executes shard-lane work (worker
+  /// thread, or the coordinator running a shard window inline).
+  bool in_shard_context() const;
+
+  /// Conservative lookahead: a lower bound on the delay of every
+  /// cross-shard delivery. sim::Network recomputes it from its link
+  /// parameters. 0 disables windowed execution — the engine falls back
+  /// to serially merging the lanes (correct at every thread count, no
+  /// parallelism). The value is a function of the world, never of the
+  /// thread count, so the window schedule it induces is too.
+  void set_lookahead(TimeUs min_cross_shard_delay) { lookahead_ = min_cross_shard_delay; }
+  TimeUs lookahead() const { return lookahead_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now; throws otherwise) as a
+  /// global event. Must not be called from shard context (throws): shard
+  /// work hands global actions to run_deferred instead.
   void schedule_at(TimeUs t, std::function<void()> fn);
 
   /// Schedules `fn` `delay` microseconds from now.
   void schedule_after(TimeUs delay, std::function<void()> fn);
 
-  /// Schedules a typed frame delivery `delay` microseconds from now; the
-  /// event is pooled plain data executed through the delivery sink.
+  /// Schedules a typed frame delivery `delay` microseconds from now on
+  /// the destination's shard lane. From shard context, a delivery to
+  /// another shard must satisfy delay >= lookahead() (the conservative
+  /// window bound); sim::Network's latency floor guarantees it.
   void schedule_delivery_after(TimeUs delay, DeliveryEvent ev);
+
+  /// From shard context: defers `fn` to the next window barrier, where
+  /// the coordinator runs all deferred work in stamp order of the
+  /// deferring events with the shards quiesced — the same points and
+  /// order at every thread count. From the coordinator: runs inline.
+  /// The deferred body may schedule global events and touch world state.
+  void run_deferred(std::function<void()> fn);
 
   /// Registers the delivery executor. One sink per scheduler: installing
   /// a second, different sink throws (clear the first one before).
@@ -134,15 +224,24 @@ class Scheduler {
   /// Clears the sink if it is `sink` (used by the network's destructor).
   void clear_delivery_sink(DeliverySink* sink);
 
-  /// Installs a periodic timer: first fire at now + first_delay, then
-  /// every `interval` (> 0) microseconds after the previous fire. The
-  /// callback is stored once; each fire costs one pooled event node and
-  /// zero allocations.
+  /// Installs a global periodic timer (coordinator lane): first fire at
+  /// now + first_delay, then every `interval` (> 0) microseconds after
+  /// the previous fire. The callback is stored once; each fire costs one
+  /// pooled event node and zero allocations.
   TimerHandle schedule_periodic(TimeUs first_delay, TimeUs interval,
                                 std::function<void()> fn);
 
+  /// Installs a periodic timer owned by `owner`'s shard lane: fires
+  /// execute on the shard (in parallel with other shards), so the
+  /// callback must only touch state of the owning node. Gossip
+  /// heartbeats and per-node GC use this; anything world-global stays on
+  /// schedule_periodic.
+  TimerHandle schedule_periodic_for(NodeId owner, TimeUs first_delay,
+                                    TimeUs interval, std::function<void()> fn);
+
   /// Cancels a periodic timer. Safe from inside the timer's own callback
-  /// (stops the re-arm) and with stale handles (returns false). Returns
+  /// (stops the re-arm) and with stale handles (returns false). From
+  /// shard context only the shard's own timers may be cancelled. Returns
   /// true when an active timer was cancelled.
   bool cancel(const TimerHandle& handle);
 
@@ -150,9 +249,13 @@ class Scheduler {
   bool timer_active(const TimerHandle& handle) const;
 
   /// Runs the earliest pending event, if any. Returns false when idle.
+  /// Serial stepping facility (tests/debug): executes inline on the
+  /// calling thread regardless of the thread count.
   bool run_next();
 
   /// Runs every event with timestamp <= t, then advances the clock to t.
+  /// With lookahead > 0 this is the windowed loop (parallel when
+  /// shard_count > 1); otherwise the lanes are merged serially.
   void run_until(TimeUs t);
 
   /// Convenience: run_until(now + duration).
@@ -162,16 +265,35 @@ class Scheduler {
   void run_all();
 
   /// Live events queued (cancelled timer occurrences are excluded).
-  std::size_t pending() const { return live_; }
+  std::size_t pending() const;
 
-  const Stats& stats() const { return stats_; }
+  /// Aggregate statistics over all lanes. Sums are shard-count invariant
+  /// for every field except node_allocs and pool_reuses (pooling is
+  /// per-lane, so the split between fresh allocations and reuses depends
+  /// on the partition — keep those two out of deterministic reports and
+  /// read the exact values from lane_stats for the resources block).
+  /// peak_pending is the window-boundary peak, identical at every thread
+  /// count.
+  Stats stats() const;
 
-  /// Resident bytes of the event engine: the pooled node blocks (the pool
-  /// never shrinks — this is the high-water mark of event concurrency),
-  /// the calendar ring, the overflow heap and the timer table. Exact for
-  /// the engine's own structures (live content, not allocator slack in
-  /// the per-slot vectors); deterministic for a fixed workload.
+  /// Exact per-lane statistics (lane 0 = global). Shard event counts and
+  /// allocator detail for the resources block come from here.
+  const Stats& lane_stats(std::size_t lane) const;
+
+  /// Deterministic memory model of the event engine: the calendar rings,
+  /// a node pool sized for the reported peak_pending, the live/overflow
+  /// pointer parking, the timer tables and the per-origin sequence
+  /// counters. The model is a function of the workload only — identical
+  /// at every thread count — so it can feed the deterministic memory
+  /// accounting; the extra resident bytes parallel execution actually
+  /// costs (per-shard rings and pools, mailboxes, worker slots) are
+  /// reported separately by parallel_scratch_bytes().
   std::size_t memory_bytes() const;
+
+  /// Actual resident bytes beyond the deterministic model: the per-shard
+  /// lane structures, cross-shard mailboxes and worker bookkeeping.
+  /// Shard-count dependent by nature — resources-block material.
+  std::size_t parallel_scratch_bytes() const;
 
  private:
   // Calendar-queue geometry: one slot covers 2^kSlotShift us (~1 ms), the
@@ -184,7 +306,7 @@ class Scheduler {
   static constexpr std::size_t kBlockSize = 256;  // event nodes per pool block
 
   /// A periodic timer occurrence: a generation-checked reference into the
-  /// timer table (the callback itself lives there, stored once).
+  /// owning lane's timer table (the callback itself lives there).
   struct TimerRef {
     std::uint32_t index = 0;
     std::uint32_t generation = 0;
@@ -198,6 +320,7 @@ class Scheduler {
 
   struct EventNode {
     TimeUs time = 0;
+    std::uint32_t origin = 0;
     std::uint64_t seq = 0;
     Payload payload;
     EventNode* next_free = nullptr;
@@ -208,49 +331,153 @@ class Scheduler {
     TimeUs interval = 0;
     std::uint32_t generation = 0;
     std::uint32_t next_free = TimerHandle::kInvalidIndex;
+    std::uint32_t owner_origin = 0;  ///< stamping origin of the fires
     bool active = false;
     bool firing = false;  ///< callback on the stack right now
   };
 
-  /// Heap order: top is the (time, seq) minimum, exactly the classic
-  /// scheduler's tie-break.
+  /// Heap order: top is the (time, origin, seq) minimum.
   struct LaterPtr {
     bool operator()(const EventNode* a, const EventNode* b) const {
       if (a->time != b->time) return a->time > b->time;
+      if (a->origin != b->origin) return a->origin > b->origin;
       return a->seq > b->seq;
     }
   };
 
-  EventNode* acquire();
-  void release(EventNode* node);
-  void enqueue(EventNode* node);
-  void migrate_overflow();
-  EventNode* pop_earliest(TimeUs limit);
-  bool is_tombstone(const EventNode* node) const;
-  void execute(EventNode* node);
-  void free_timer_slot(std::uint32_t index);
+  /// A deferred global action, ordered by the stamp of the deferring
+  /// event (plus a per-event sub-counter for multiple defers).
+  struct DeferredAction {
+    Stamp key;
+    std::uint32_t sub = 0;
+    std::function<void()> fn;
+  };
 
-  TimeUs now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::size_t live_ = 0;  ///< queued events excluding cancelled timers
+  /// One full event-engine instance: calendar ring + overflow heap +
+  /// node pool + timer table. Lane 0 is the global lane; lanes 1..S are
+  /// the shard lanes. Each lane is single-writer: its worker during a
+  /// window, the coordinator otherwise (barriers order the handoff).
+  struct Lane {
+    std::vector<std::vector<EventNode*>> buckets;
+    std::size_t wheel_count = 0;
+    std::uint64_t cursor_slot = 0;  ///< absolute slot index (time >> kSlotShift)
+    std::vector<EventNode*> overflow;
 
-  // Calendar ring + far-future overflow heap.
-  std::vector<std::vector<EventNode*>> buckets_;
-  std::size_t wheel_count_ = 0;    ///< nodes currently in the ring
-  std::uint64_t cursor_slot_ = 0;  ///< absolute slot index (time >> kSlotShift)
-  std::vector<EventNode*> overflow_;
+    std::vector<std::unique_ptr<EventNode[]>> blocks;
+    std::size_t block_used = kBlockSize;
+    EventNode* free_list = nullptr;
 
-  // Node pool: chunked backing store + intrusive free list.
-  std::vector<std::unique_ptr<EventNode[]>> blocks_;
-  std::size_t block_used_ = kBlockSize;
-  EventNode* free_list_ = nullptr;
+    std::deque<TimerSlot> timers;
+    std::uint32_t timer_free = TimerHandle::kInvalidIndex;
 
-  // Timer table (deque: slots must stay put while their callback runs).
-  std::deque<TimerSlot> timers_;
-  std::uint32_t timer_free_ = TimerHandle::kInvalidIndex;
+    std::size_t live = 0;  ///< queued events excluding cancelled timers
+    TimeUs exec_now = 0;   ///< timestamp of the lane's last executed event
+    Stats stats;
+
+    std::vector<DeferredAction> deferred;
+
+    Lane() : buckets(kNumBuckets) {}
+
+    EventNode* acquire();
+    void release(EventNode* node);
+    void enqueue(EventNode* node);
+    void migrate_overflow();
+    EventNode* pop_earliest(TimeUs limit);
+    /// Earliest pending node with time <= limit (nullptr otherwise).
+    /// Walks a *local* cursor over empty slots — the committed cursor
+    /// only moves in pop_earliest, so a barrier-time insert can never
+    /// land behind it.
+    EventNode* peek_earliest(TimeUs limit) const;
+    bool is_tombstone(const EventNode* node) const;
+    void free_timer_slot(std::uint32_t index);
+    void reanchor(TimeUs at);
+    std::size_t resident_bytes() const;
+  };
+
+  /// Per-thread execution context (thread_local pointer while a lane
+  /// executes). `origin` stamps every event the running handler
+  /// schedules; `on_worker` routes cross-shard deliveries through the
+  /// mailboxes instead of direct enqueues.
+  struct ExecCtx {
+    Scheduler* sched = nullptr;
+    Lane* lane = nullptr;
+    std::size_t lane_index = 0;
+    bool on_worker = false;
+    TimeUs now = 0;
+    Stamp key;
+    std::uint32_t origin = 0;
+    std::uint32_t defer_sub = 0;
+  };
+
+  /// A cross-shard delivery parked until the window barrier, already
+  /// stamped by its sender.
+  struct Mail {
+    Stamp key;
+    DeliveryEvent ev;
+  };
+
+  struct WorkerSlot {
+    std::exception_ptr error;
+    std::uint64_t payload_allocs = 0;  ///< unfolded SharedBytes count delta
+    std::uint64_t payload_bytes = 0;   ///< unfolded SharedBytes byte delta
+    std::uint64_t allocs_last = 0;     ///< worker counter at the last barrier
+    std::uint64_t bytes_last = 0;
+  };
+
+  ExecCtx* own_ctx() const;
+
+  std::uint64_t next_seq(std::uint32_t origin);
+  TimerHandle install_timer(std::size_t lane_index, std::uint32_t owner_origin,
+                            TimeUs first_delay, TimeUs interval,
+                            std::function<void()> fn);
+  bool deferred_pending() const;
+  void execute_event(Lane& lane, std::size_t lane_index, EventNode* node,
+                     ExecCtx& ctx);
+  void run_lane_window(std::size_t shard, TimeUs end_exclusive, bool on_worker);
+  void run_one_global(TimeUs limit);
+  void flush_deferred();
+  void drain_mailboxes();
+  void run_until_windowed(TimeUs t);
+  void run_until_merged(TimeUs t);
+  void sample_peak();
+  void ensure_workers();
+  void stop_workers();
+  void worker_main(std::size_t shard);
+  void dispatch_window(TimeUs end_exclusive);
+
+  /// RAII install/restore of the thread-local execution context
+  /// (exception-safe: a throwing callback must not leave it dangling).
+  class CtxGuard;
+
+  static thread_local ExecCtx* t_ctx_;
+
+  std::size_t shard_count_ = 1;
+  std::size_t node_count_ = 0;
+  unsigned world_threads_ = 1;
+  TimeUs lookahead_ = 0;
+
+  TimeUs now_ = 0;               ///< coordinator clock
+  Stamp cur_key_;                ///< stamp of the coordinator's current event
+  std::uint32_t cur_origin_ = 0; ///< coordinator stamping origin (flush restores)
+  std::size_t barrier_peak_ = 0; ///< peak_pending sampled at window boundaries
+
+  std::vector<std::uint64_t> origin_seq_;  ///< per-origin submission counters
+  std::vector<std::unique_ptr<Lane>> lanes_;  ///< [0] global, [1..S] shards
+  std::vector<std::vector<Mail>> mail_;    ///< [src_shard * S + dst_shard]
+  std::vector<DeferredAction> flush_scratch_;
+
+  // Worker pool (spawned lazily; only ever exists when shard_count_ > 1).
+  std::vector<std::thread> workers_;
+  std::vector<WorkerSlot> worker_slots_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t window_epoch_ = 0;
+  TimeUs window_end_ = 0;
+  std::size_t workers_running_ = 0;
+  bool stop_ = false;
 
   DeliverySink* sink_ = nullptr;
-  Stats stats_;
 };
 
 }  // namespace wakurln::sim

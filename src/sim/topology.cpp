@@ -132,19 +132,24 @@ LinkParams geo_link_params(std::size_t region_a, std::size_t region_b,
 
 void apply_geo_latency(Network& network, std::span<const NodeId> nodes,
                        const LinkParams& base) {
+  // Regional mode: one region byte per node plus the 5x5 parameter matrix,
+  // instead of stamping a per-link override on every edge. O(nodes)
+  // instead of O(links) to apply, O(1) matrix lookup per send instead of a
+  // hash probe — and links created later (peer exchange, churn rewiring)
+  // derive their parameters from the same region pair rather than falling
+  // back to the default link.
+  std::vector<std::uint8_t> regions(network.node_count(), 0);
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    const std::size_t region_i = geo_region_of(i, nodes.size());
-    for (const NodeId peer : network.neighbors(nodes[i])) {
-      if (peer <= nodes[i]) continue;  // each link once
-      // Map the neighbour id back to its span position: node ids are
-      // assigned densely in span order by every harness, so the id is the
-      // position. Ids outside the span keep the default link.
-      const std::size_t j = static_cast<std::size_t>(peer);
-      if (j >= nodes.size() || nodes[j] != peer) continue;
-      network.set_link_params(nodes[i], peer,
-                              geo_link_params(region_i, geo_region_of(j, nodes.size()), base));
+    regions.at(nodes[i]) =
+        static_cast<std::uint8_t>(geo_region_of(i, nodes.size()));
+  }
+  std::vector<LinkParams> matrix(kGeoRegions * kGeoRegions);
+  for (std::size_t a = 0; a < kGeoRegions; ++a) {
+    for (std::size_t b = 0; b < kGeoRegions; ++b) {
+      matrix[a * kGeoRegions + b] = geo_link_params(a, b, base);
     }
   }
+  network.set_regional_params(std::move(regions), std::move(matrix), kGeoRegions);
 }
 
 }  // namespace wakurln::sim

@@ -69,10 +69,12 @@ void build_topology(Network& network, std::span<const NodeId> nodes,
 // The kGeo profile assigns nodes to contiguous regions (geographic
 // clusters) and derives each link's LinkParams from the region pair via a
 // canonical inter-region latency matrix, so cross-continent links are an
-// order of magnitude slower than intra-region ones. Links created *after*
-// the profile is applied (peer exchange, churn rewiring) fall back to the
-// network's default LinkParams — a rejoining node is treated as connecting
-// through an unknown path.
+// order of magnitude slower than intra-region ones. The profile installs
+// Network's regional parameter mode (a region byte per node plus the 5x5
+// matrix), so links created *after* it is applied (peer exchange, churn
+// rewiring) get region-pair parameters too — a rejoining node keeps its
+// geography. Targeted per-link overrides (eclipse experiments) still win
+// over the region pair.
 
 /// Named link-parameter families for experiment specs and CLI flags.
 enum class LinkProfile {
@@ -99,8 +101,10 @@ std::size_t geo_region_of(std::size_t index, std::size_t node_count);
 LinkParams geo_link_params(std::size_t region_a, std::size_t region_b,
                            const LinkParams& base);
 
-/// Applies geo link params to every existing link among `nodes` (region
-/// assignment is by position in the span).
+/// Installs the geo profile as the network's regional parameter mode:
+/// region assignment is by position in the span, covering existing links
+/// and any created later. Network nodes outside the span (if any) land in
+/// region 0.
 void apply_geo_latency(Network& network, std::span<const NodeId> nodes,
                        const LinkParams& base);
 

@@ -45,4 +45,9 @@ bool SharedBytes::operator==(std::span<const std::uint8_t> other) const {
 std::uint64_t SharedBytes::allocation_count() { return g_allocation_count; }
 std::uint64_t SharedBytes::allocated_bytes() { return g_allocated_bytes; }
 
+void SharedBytes::fold_in(std::uint64_t count_delta, std::uint64_t bytes_delta) {
+  g_allocation_count += count_delta;
+  g_allocated_bytes += bytes_delta;
+}
+
 }  // namespace wakurln::util

@@ -76,6 +76,12 @@ class SharedBytes {
   static std::uint64_t allocation_count();
   static std::uint64_t allocated_bytes();
 
+  /// Adds a delta measured on another thread into the calling thread's
+  /// counters. The sharded scheduler folds each worker's per-window
+  /// deltas into the coordinator at the barrier, so a parallel world's
+  /// coordinator-side deltas equal the single-thread run's exactly.
+  static void fold_in(std::uint64_t count_delta, std::uint64_t bytes_delta);
+
  private:
   std::shared_ptr<const Bytes> buf_;
   const std::uint8_t* data_ = nullptr;

@@ -1,5 +1,7 @@
 #include "waku/harness.h"
 
+#include <algorithm>
+
 #include "obs/tracer.h"
 #include "sim/topology.h"
 
@@ -8,8 +10,10 @@ namespace wakurln::waku {
 SimHarness::SimHarness(HarnessConfig config)
     : config_(config),
       rng_(config.seed),
+      scheduler_(config.world_threads, config.node_count),
       network_(scheduler_, rng_, config.link),
       chain_(config.chain) {
+  lane_deliveries_.resize(scheduler_.lane_count());
   eth::MembershipConfig mcfg;
   mcfg.tree_depth = config_.rln.tree_depth;
   mcfg.stake_wei = config_.stake_wei;
@@ -66,7 +70,10 @@ void SimHarness::subscribe_all(const gossipsub::TopicId& topic) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i]->subscribe(topic, [this, i](const gossipsub::TopicId&,
                                           const util::SharedBytes& payload) {
-      deliveries_.push_back(Delivery{i, payload, scheduler_.now()});
+      // Record into the executing lane's private log, keyed by the event
+      // stamp — deliveries() merges the logs back into serial order.
+      lane_deliveries_[scheduler_.current_lane()].emplace_back(
+          scheduler_.current_stamp(), Delivery{i, payload, scheduler_.now()});
       if (tracer_ != nullptr) {
         tracer_->instant("deliver", scheduler_.now(),
                          static_cast<std::uint32_t>(i));
@@ -93,10 +100,36 @@ void SimHarness::run_ms(std::uint64_t ms) {
   scheduler_.run_for(ms * sim::kUsPerMs);
 }
 
+const std::vector<SimHarness::Delivery>& SimHarness::deliveries() const {
+  // Fold the per-lane logs into the merged history. Every unfolded entry
+  // carries a stamp no older than anything already folded (folds happen
+  // between runs, and stamps are monotone within a run), so sorting the
+  // fresh tail and appending preserves global stamp order.
+  std::size_t fresh = 0;
+  for (const auto& lane : lane_deliveries_) fresh += lane.size();
+  if (fresh == 0) return deliveries_;
+  std::vector<std::pair<sim::Scheduler::Stamp, Delivery>> tail;
+  tail.reserve(fresh);
+  for (auto& lane : lane_deliveries_) {
+    for (auto& entry : lane) tail.push_back(std::move(entry));
+    lane.clear();
+  }
+  std::stable_sort(tail.begin(), tail.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  deliveries_.reserve(deliveries_.size() + tail.size());
+  for (auto& entry : tail) deliveries_.push_back(std::move(entry.second));
+  return deliveries_;
+}
+
+void SimHarness::clear_deliveries() {
+  deliveries_.clear();
+  for (auto& lane : lane_deliveries_) lane.clear();
+}
+
 std::size_t SimHarness::nodes_delivered(const util::Bytes& payload) const {
   std::vector<bool> seen(nodes_.size(), false);
   std::size_t count = 0;
-  for (const Delivery& d : deliveries_) {
+  for (const Delivery& d : deliveries()) {
     if (d.payload == payload && !seen[d.node_index]) {
       seen[d.node_index] = true;
       ++count;
@@ -118,7 +151,7 @@ void SimHarness::attach_observability(obs::Registry& reg, obs::Tracer* tracer) {
   // Every value below is a pure function of the simulated workload, so the
   // sampled rows stay byte-identical across seeds-in-parallel runs.
   reg.probe("delivered_total",
-            [this] { return static_cast<double>(deliveries_.size()); });
+            [this] { return static_cast<double>(deliveries().size()); });
   reg.probe("rln_accepted", [this] {
     return static_cast<double>(aggregate_stats().accepted);
   });

@@ -25,6 +25,12 @@ namespace wakurln::waku {
 
 struct HarnessConfig {
   std::size_t node_count = 10;
+  /// Scheduler shards executing the world (sim/scheduler.h). 1 = the
+  /// serial engine; N > 1 partitions the nodes across N worker threads
+  /// with conservative window synchronisation — every deterministic
+  /// output stays byte-identical to the serial run. Worlds that attach a
+  /// Tracer must stay at 1 (the tracer is not shard-aware).
+  unsigned world_threads = 1;
   WakuRlnConfig rln;
   eth::Chain::Config chain;
   sim::LinkParams link;
@@ -111,8 +117,11 @@ class SimHarness {
   void run_seconds(std::uint64_t seconds);
   void run_ms(std::uint64_t ms);
 
-  const std::vector<Delivery>& deliveries() const { return deliveries_; }
-  void clear_deliveries() { deliveries_.clear(); }
+  /// All recorded deliveries in event-stamp order — the exact order the
+  /// serial engine would have produced, regardless of world_threads
+  /// (per-lane logs are merged deterministically on read).
+  const std::vector<Delivery>& deliveries() const;
+  void clear_deliveries();
 
   /// Number of distinct nodes that delivered `payload`.
   std::size_t nodes_delivered(const util::Bytes& payload) const;
@@ -144,7 +153,13 @@ class SimHarness {
   std::shared_ptr<gossipsub::TopicTable> topic_table_;
   std::vector<std::unique_ptr<WakuRelay>> relays_;
   std::vector<std::unique_ptr<WakuRlnRelay>> nodes_;
-  std::vector<Delivery> deliveries_;
+  /// Delivery records land in the recording node's lane log (workers
+  /// never touch a shared vector); deliveries() folds the lane logs into
+  /// deliveries_ in stamp order. Stamps only ever grow between folds, so
+  /// the fold appends — earlier merged entries never reorder.
+  mutable std::vector<Delivery> deliveries_;
+  mutable std::vector<std::vector<std::pair<sim::Scheduler::Stamp, Delivery>>>
+      lane_deliveries_;
   sim::TimerHandle mine_timer_;
   obs::Tracer* tracer_ = nullptr;
 };

@@ -266,10 +266,17 @@ void WakuRlnRelay::submit_slash(const field::Fr& sk) {
   if (slash_submitted_[pk]) return;  // one slash tx per offender
   slash_submitted_[pk] = true;
   ++stats_.slashes_submitted;
-  chain_.submit(
-      account_, 0, eth::MembershipContract::kSlashCalldataBytes,
-      [this, sk](eth::TxContext& ctx) { contract_.slash(ctx, sk); },
-      now_seconds());
+  // Detection runs on this node's shard lane, but the mempool is world
+  // state: defer the transaction to the next window barrier. Deferred
+  // actions replay in the detecting events' timestamp order, so the
+  // mempool sequence is identical at every thread count. The submission
+  // timestamp is captured here, at detection time.
+  const std::uint64_t at = now_seconds();
+  relay_.router().network().scheduler().run_deferred([this, sk, at] {
+    chain_.submit(
+        account_, 0, eth::MembershipContract::kSlashCalldataBytes,
+        [this, sk](eth::TxContext& ctx) { contract_.slash(ctx, sk); }, at);
+  });
 }
 
 bool WakuRlnRelay::root_acceptable(const field::Fr& root) const {
@@ -293,8 +300,11 @@ void WakuRlnRelay::schedule_nullifier_gc() {
       std::max<std::uint64_t>(epochs_.threshold(), 1) *
       std::max<std::uint64_t>(config_.nullifier_retention_factor, 1);
   const sim::TimeUs period_us = config_.epoch_period_seconds * sim::kUsPerSecond;
-  gc_timer_ = relay_.router().network().scheduler().schedule_periodic(
-      period_us, period_us, [this, keep_epochs] {
+  // Owned by this node's shard lane: the prune touches only this node's
+  // nullifier map (the shared store handles its own locking), so GC of
+  // different partitions runs in parallel.
+  gc_timer_ = relay_.router().network().scheduler().schedule_periodic_for(
+      relay_.router().id(), period_us, period_us, [this, keep_epochs] {
         const std::uint64_t epoch = current_epoch();
         if (epoch > keep_epochs) {
           nullifier_map_.prune_before(epoch - keep_epochs);

@@ -781,7 +781,7 @@ TEST(GeoLatencyTest, CrossRegionLinksAreSlowerThanLocalOnes) {
   EXPECT_EQ(geo_link_params(3, 0, base).base_latency, far.base_latency);
 }
 
-TEST(GeoLatencyTest, AppliesPerLinkParamsToExistingLinksOnly) {
+TEST(GeoLatencyTest, RegionalParamsCoverExistingAndFutureLinks) {
   Rng rng(77);
   Scheduler sched;
   LinkParams base;
@@ -795,9 +795,17 @@ TEST(GeoLatencyTest, AppliesPerLinkParamsToExistingLinksOnly) {
   apply_geo_latency(net, ids, base);
   EXPECT_GT(net.link_params(ids[0], ids[9]).base_latency,
             net.link_params(ids[0], ids[1]).base_latency);
-  // A link created after the profile was applied keeps the default.
+  // Regional mode covers links created after the profile was applied
+  // (churn rejoin, peer exchange): the new link gets its region pair's
+  // params, not the default.
   net.connect(ids[2], ids[9]);
-  EXPECT_EQ(net.link_params(ids[2], ids[9]).base_latency, base.base_latency);
+  EXPECT_EQ(net.link_params(ids[2], ids[9]).base_latency,
+            geo_link_params(1, 4, base).base_latency);
+  // A targeted per-link override still wins over the region pair.
+  LinkParams pinned = base;
+  pinned.base_latency = 123 * kUsPerMs;
+  net.set_link_params(ids[0], ids[9], pinned);
+  EXPECT_EQ(net.link_params(ids[0], ids[9]).base_latency, pinned.base_latency);
 }
 
 }  // namespace

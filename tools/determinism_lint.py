@@ -47,6 +47,16 @@ from pathlib import Path
 SCAN_GLOBS = [
     "src/scenario/*.h",
     "src/scenario/*.cpp",
+    # The sharded event engine, the network fabric and the harness feed
+    # the report directly since the parallel-world work: event stamps,
+    # per-lane stats, mailbox merges and per-lane delivery logs all
+    # shape report bytes.
+    "src/sim/scheduler.h",
+    "src/sim/scheduler.cpp",
+    "src/sim/network.h",
+    "src/sim/network.cpp",
+    "src/waku/harness.h",
+    "src/waku/harness.cpp",
     "src/obs/*.h",
     "src/obs/*.cpp",
     "src/util/json.h",
