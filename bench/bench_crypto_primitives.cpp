@@ -19,42 +19,100 @@ int main() {
   bench::Runner runner("crypto_primitives");
   std::printf("E0: cryptographic substrate microbenchmarks\n\n");
 
+  double field_mul_scalar_ns = 0.0;
   {
     util::Rng rng(1);
     field::Fr a = field::Fr::random(rng);
     const field::Fr b = field::Fr::random(rng);
-    runner.run(
+    const auto& s = runner.run(
         "field_mul",
         [&] {
           for (int i = 0; i < 10000; ++i) a = a * b;
           bench::do_not_optimize(a);
         },
         /*reps=*/20, /*warmup=*/3, /*batch=*/10000);
+    field_mul_scalar_ns = s.median_ns;
   }
 
   {
+    // Same element count through the 4-lane interleaved kernel. Each lane
+    // runs the scalar CIOS schedule bit-exactly; the win is pure ILP.
+    util::Rng rng(1);
+    std::vector<field::Fr> a(10000), b(10000);
+    for (auto& x : a) x = field::Fr::random(rng);
+    for (auto& x : b) x = field::Fr::random(rng);
+    const auto& s = runner.run(
+        "field_mul_batch",
+        [&] {
+          field::Fr::mul_batch(a, b, a);
+          bench::do_not_optimize(a.data());
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/10000);
+    runner.metric("field_mul_batch_speedup", field_mul_scalar_ns / s.median_ns, "x");
+  }
+
+  double field_inverse_scalar_ns = 0.0;
+  {
     util::Rng rng(2);
     field::Fr a = field::Fr::random(rng);
-    runner.run(
+    const auto& s = runner.run(
         "field_inverse",
         [&] {
           for (int i = 0; i < 100; ++i) a = a.inverse();
           bench::do_not_optimize(a);
         },
         /*reps=*/20, /*warmup=*/3, /*batch=*/100);
+    field_inverse_scalar_ns = s.median_ns;
   }
 
+  {
+    // Montgomery batch inversion: one Fermat ladder + 3(n-1) mults for
+    // the whole span, against n ladders scalar-side.
+    util::Rng rng(2);
+    std::vector<field::Fr> xs(100);
+    for (auto& x : xs) x = field::Fr::random(rng);
+    const auto& s = runner.run(
+        "field_inverse_batch",
+        [&] {
+          field::Fr::batch_inverse(xs);
+          bench::do_not_optimize(xs.data());
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/100);
+    runner.metric("field_inverse_batch_speedup", field_inverse_scalar_ns / s.median_ns,
+                  "x");
+  }
+
+  double poseidon_scalar_ns = 0.0;
   {
     util::Rng rng(3);
     field::Fr a = field::Fr::random(rng);
     const field::Fr b = field::Fr::random(rng);
-    runner.run(
+    const auto& s = runner.run(
         "poseidon2",
         [&] {
           for (int i = 0; i < 100; ++i) a = hash::poseidon_hash2(a, b);
           bench::do_not_optimize(a);
         },
         /*reps=*/20, /*warmup=*/3, /*batch=*/100);
+    poseidon_scalar_ns = s.median_ns;
+  }
+
+  {
+    // Independent hashes through the 8-state batch permutation (wide
+    // S-box lanes + fused MDS rows) — the Merkle wavefront's kernel.
+    // The speedup metric is the CI-gated headline number.
+    util::Rng rng(3);
+    std::vector<field::Fr> a(100), b(100), out(100);
+    for (auto& x : a) x = field::Fr::random(rng);
+    for (auto& x : b) x = field::Fr::random(rng);
+    const auto& s = runner.run(
+        "poseidon2_batch",
+        [&] {
+          hash::poseidon_hash2_batch(a, b, out);
+          bench::do_not_optimize(out.data());
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/100);
+    runner.metric("poseidon_batch_speedup", poseidon_scalar_ns / s.median_ns, "x");
   }
 
   {
@@ -83,6 +141,38 @@ int main() {
           for (int i = 0; i < 16; ++i) tree.append(field::Fr::random(rng));
         },
         /*reps=*/20, /*warmup=*/3, /*batch=*/16);
+  }
+
+  {
+    // The registration-storm shape: 16 appends land as one wavefront
+    // batch instead of 16 root-path walks. Compare against the scalar
+    // merkle_insert_d20 series above.
+    const std::size_t depth = 20;
+    util::Rng rng(5);
+    merkle::MerkleTree scalar_tree(depth);
+    const auto& scalar_s = runner.run(
+        "merkle_insert_scalar16_d20",
+        [&] {
+          if (scalar_tree.size() + 16 > scalar_tree.capacity()) {
+            scalar_tree = merkle::MerkleTree(depth);
+          }
+          for (int i = 0; i < 16; ++i) scalar_tree.append(field::Fr::random(rng));
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/16);
+    util::Rng brng(5);
+    merkle::MerkleTree batch_tree(depth);
+    std::vector<field::Fr> leaves(16);
+    const auto& batch_s = runner.run(
+        "merkle_insert_batch16_d20",
+        [&] {
+          if (batch_tree.size() + 16 > batch_tree.capacity()) {
+            batch_tree = merkle::MerkleTree(depth);
+          }
+          for (auto& leaf : leaves) leaf = field::Fr::random(brng);
+          batch_tree.append_batch(leaves);
+        },
+        /*reps=*/20, /*warmup=*/3, /*batch=*/16);
+    runner.metric("merkle_batch_speedup", scalar_s.median_ns / batch_s.median_ns, "x");
   }
 
   for (const std::size_t depth : {10u, 20u, 32u}) {

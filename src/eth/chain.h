@@ -129,6 +129,14 @@ class Chain {
   /// Registers a listener for sealed-block contract events.
   void subscribe_events(EventHandler handler);
 
+  using BlockHandler = std::function<void(const Block&)>;
+
+  /// Registers a listener fired once per sealed block, after every
+  /// per-event handler has run (even for blocks with no events). Lets
+  /// subscribers that buffer events (e.g. GroupSync's batched
+  /// registration flush) finalise their state at a block boundary.
+  void subscribe_blocks(BlockHandler handler);
+
  private:
   struct PendingTx {
     std::uint64_t id;
@@ -147,6 +155,7 @@ class Chain {
   std::vector<Block> blocks_;
   std::vector<Receipt> receipts_;  // indexed by tx id - 1
   std::vector<EventHandler> event_handlers_;
+  std::vector<BlockHandler> block_handlers_;
 };
 
 }  // namespace wakurln::eth

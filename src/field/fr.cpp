@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <vector>
 
 #include "util/bytes.h"
+#include "util/check.h"
 
 namespace wakurln::field {
 
@@ -73,38 +75,75 @@ constexpr Limbs compute_r1() {
 }
 constexpr Limbs kOneMont = compute_r1();
 
+// One outer CIOS iteration: t += a * bi, then one Montgomery reduction
+// step (add m * r with m = t[0] * n0inv and shift one limb). Factored
+// out so the scalar and the interleaved multi-lane kernels execute the
+// exact same instruction schedule per lane.
+inline void mont_iter(u64 t[6], const Limbs& a, u64 bi) {
+  // t += a * bi
+  u128 carry = 0;
+  for (int j = 0; j < 4; ++j) {
+    const u128 cur = static_cast<u128>(a[j]) * bi + t[j] + carry;
+    t[j] = static_cast<u64>(cur);
+    carry = cur >> 64;
+  }
+  u128 cur = static_cast<u128>(t[4]) + carry;
+  t[4] = static_cast<u64>(cur);
+  t[5] = static_cast<u64>(cur >> 64);
+
+  // reduce: add m * r where m = t[0] * n0inv, then shift one limb
+  const u64 m = t[0] * kN0Inv;
+  cur = static_cast<u128>(t[0]) + static_cast<u128>(m) * kModulus[0];
+  carry = cur >> 64;
+  for (int j = 1; j < 4; ++j) {
+    cur = static_cast<u128>(t[j]) + static_cast<u128>(m) * kModulus[j] + carry;
+    t[j - 1] = static_cast<u64>(cur);
+    carry = cur >> 64;
+  }
+  cur = static_cast<u128>(t[4]) + carry;
+  t[3] = static_cast<u64>(cur);
+  t[4] = t[5] + static_cast<u64>(cur >> 64);
+}
+
+// Final conditional subtraction back into canonical range.
+inline void mont_finish(const u64 t[6], Limbs& out) {
+  Limbs r = {t[0], t[1], t[2], t[3]};
+  if (t[4] != 0 || geq(r, kModulus)) sub_in_place(r, kModulus);
+  out = r;
+}
+
 // CIOS Montgomery multiplication: out = a * b * R^{-1} mod r.
 // Inputs must be < r.
 void mont_mul(const Limbs& a, const Limbs& b, Limbs& out) {
   u64 t[6] = {0, 0, 0, 0, 0, 0};
-  for (int i = 0; i < 4; ++i) {
-    // t += a * b[i]
-    u128 carry = 0;
-    for (int j = 0; j < 4; ++j) {
-      const u128 cur = static_cast<u128>(a[j]) * b[i] + t[j] + carry;
-      t[j] = static_cast<u64>(cur);
-      carry = cur >> 64;
-    }
-    u128 cur = static_cast<u128>(t[4]) + carry;
-    t[4] = static_cast<u64>(cur);
-    t[5] = static_cast<u64>(cur >> 64);
+  for (int i = 0; i < 4; ++i) mont_iter(t, a, b[i]);
+  mont_finish(t, out);
+}
 
-    // reduce: add m * r where m = t[0] * n0inv, then shift one limb
-    const u64 m = t[0] * kN0Inv;
-    cur = static_cast<u128>(t[0]) + static_cast<u128>(m) * kModulus[0];
-    carry = cur >> 64;
-    for (int j = 1; j < 4; ++j) {
-      cur = static_cast<u128>(t[j]) + static_cast<u128>(m) * kModulus[j] + carry;
-      t[j - 1] = static_cast<u64>(cur);
-      carry = cur >> 64;
-    }
-    cur = static_cast<u128>(t[4]) + carry;
-    t[3] = static_cast<u64>(cur);
-    t[4] = t[5] + static_cast<u64>(cur >> 64);
+// Four independent CIOS multiplications with their outer iterations
+// interleaved. Each lane's carry chain is serial, but the lanes are
+// independent, so the core can overlap the 64x64 multiplies across
+// lanes (ILP). Per lane this is operation-for-operation mont_mul, so
+// every output is bit-identical to the scalar product. Outputs may
+// alias their own lane's inputs (they are written only at the end).
+void mont_mul_x4(const Limbs& a0, const Limbs& b0, const Limbs& a1,
+                 const Limbs& b1, const Limbs& a2, const Limbs& b2,
+                 const Limbs& a3, const Limbs& b3, Limbs& o0, Limbs& o1,
+                 Limbs& o2, Limbs& o3) {
+  u64 t0[6] = {0, 0, 0, 0, 0, 0};
+  u64 t1[6] = {0, 0, 0, 0, 0, 0};
+  u64 t2[6] = {0, 0, 0, 0, 0, 0};
+  u64 t3[6] = {0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    mont_iter(t0, a0, b0[i]);
+    mont_iter(t1, a1, b1[i]);
+    mont_iter(t2, a2, b2[i]);
+    mont_iter(t3, a3, b3[i]);
   }
-  Limbs r = {t[0], t[1], t[2], t[3]};
-  if (t[4] != 0 || geq(r, kModulus)) sub_in_place(r, kModulus);
-  out = r;
+  mont_finish(t0, o0);
+  mont_finish(t1, o1);
+  mont_finish(t2, o2);
+  mont_finish(t3, o3);
 }
 
 void add_mod(const Limbs& a, const Limbs& b, Limbs& out) {
@@ -268,6 +307,156 @@ Fr Fr::inverse() const {
   Limbs e = kModulus;
   e[0] -= 2;  // r is odd and > 2, no borrow
   return pow(e);
+}
+
+void Fr::mul_batch(std::span<const Fr> a, std::span<const Fr> b,
+                   std::span<Fr> out) {
+  WAKURLN_CHECK(a.size() == b.size() && a.size() == out.size());
+  std::size_t i = 0;
+  for (; i + 4 <= a.size(); i += 4) {
+    mont_mul_x4(a[i].limbs_, b[i].limbs_, a[i + 1].limbs_, b[i + 1].limbs_,
+                a[i + 2].limbs_, b[i + 2].limbs_, a[i + 3].limbs_,
+                b[i + 3].limbs_, out[i].limbs_, out[i + 1].limbs_,
+                out[i + 2].limbs_, out[i + 3].limbs_);
+  }
+  for (; i < a.size(); ++i) {
+    mont_mul(a[i].limbs_, b[i].limbs_, out[i].limbs_);
+  }
+}
+
+void Fr::square_batch(std::span<const Fr> a, std::span<Fr> out) {
+  mul_batch(a, a, out);
+}
+
+void Fr::batch_inverse(std::span<Fr> xs) {
+  if (xs.empty()) return;
+  // Zero scan first so a throw leaves the span untouched.
+  for (const Fr& x : xs) {
+    if (x.is_zero()) {
+      throw std::domain_error("Fr::batch_inverse: zero has no inverse");
+    }
+  }
+  if (xs.size() == 1) {
+    xs[0] = xs[0].inverse();
+    return;
+  }
+  // Montgomery's trick: prefix[i] = x0 * ... * xi, one inversion of the
+  // full product, then walk back emitting each inverse.
+  std::vector<Fr> prefix(xs.size());
+  prefix[0] = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    prefix[i] = prefix[i - 1] * xs[i];
+  }
+  Fr inv = prefix.back().inverse();
+  for (std::size_t i = xs.size() - 1; i > 0; --i) {
+    const Fr xi = xs[i];
+    xs[i] = inv * prefix[i - 1];
+    inv = inv * xi;
+  }
+  xs[0] = inv;
+}
+
+namespace {
+
+// acc += a * b as a full 512-bit product (schoolbook 4x4) — the shared
+// core of FrAcc::add_mul and the fused matrix kernel. Callers bound the
+// term count so the sum stays below 2^512.
+inline void acc_add_mul(u64 acc[8], const Limbs& a, const Limbs& b) {
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a[j]) * b[i] + acc[i + j] + carry;
+      acc[i + j] = static_cast<u64>(cur);
+      carry = cur >> 64;
+    }
+    // Propagate into the upper limbs; within the term bound the sum
+    // stays below 2^512, so no carry ever leaves acc[7].
+    u64 c = static_cast<u64>(carry);
+    for (int k = i + 4; c != 0 && k < 8; ++k) {
+      const u128 cur = static_cast<u128>(acc[k]) + c;
+      acc[k] = static_cast<u64>(cur);
+      c = static_cast<u64>(cur >> 64);
+    }
+  }
+}
+
+// One round of the 512-bit Montgomery reduction: m = t[i] * n0inv;
+// t += m * r << (64 * i). Factored (like mont_iter) so the scalar and
+// interleaved multi-row reductions execute the same per-row schedule.
+inline void acc_reduce_round(u64 t[9], int i) {
+  const u64 m = t[i] * kN0Inv;
+  u128 carry = 0;
+  for (int j = 0; j < 4; ++j) {
+    const u128 cur =
+        static_cast<u128>(t[i + j]) + static_cast<u128>(m) * kModulus[j] + carry;
+    t[i + j] = static_cast<u64>(cur);
+    carry = cur >> 64;
+  }
+  for (int k = i + 4; carry != 0 && k < 9; ++k) {
+    const u128 cur = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<u64>(cur);
+    carry = cur >> 64;
+  }
+}
+
+// Canonicalises the reduced accumulator t[4..7]. Within the term bound
+// the value is < 2^256 (t[8] == 0) and < 6r, so a short subtraction
+// loop suffices.
+inline void acc_reduce_finish(const u64 t[9], Limbs& out) {
+  WAKURLN_DCHECK(t[8] == 0);
+  Limbs r = {t[4], t[5], t[6], t[7]};
+  while (geq(r, kModulus)) sub_in_place(r, kModulus);
+  out = r;
+}
+
+}  // namespace
+
+void FrAcc::add_mul(const Fr& a, const Fr& b) {
+  WAKURLN_CHECK(terms_ < kMaxTerms);
+  ++terms_;
+  acc_add_mul(acc_.data(), a.limbs_, b.limbs_);
+}
+
+Fr FrAcc::reduce() const {
+  // Montgomery reduction of the 512-bit accumulator: the result is
+  // acc * R^{-1} mod r — exactly sum(mont_mul(a_i, b_i)) mod r — and is
+  // canonicalised by acc_reduce_finish.
+  u64 t[9] = {acc_[0], acc_[1], acc_[2], acc_[3], acc_[4],
+              acc_[5], acc_[6], acc_[7], 0};
+  for (int i = 0; i < 4; ++i) acc_reduce_round(t, i);
+  Limbs r;
+  acc_reduce_finish(t, r);
+  return FrAccess::make(r);
+}
+
+void Fr::mat3_mul_fused(const std::array<std::array<Fr, 3>, 3>& m,
+                        const std::array<Fr, 3>& v, std::array<Fr, 3>& out) {
+  // Three rows, three independent accumulate-then-reduce chains,
+  // interleaved so the core can overlap the 64x64 multiplies across rows
+  // (the mont_mul_x4 trick applied to the FrAcc schedule). Per row this
+  // is operation-for-operation FrAcc::add_mul x3 + reduce(), so each
+  // output is bit-identical to the unfused accumulator path.
+  u64 r0[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+  u64 r1[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+  u64 r2[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+  for (int j = 0; j < 3; ++j) {
+    const Limbs& vj = v[static_cast<std::size_t>(j)].limbs_;
+    acc_add_mul(r0, m[0][static_cast<std::size_t>(j)].limbs_, vj);
+    acc_add_mul(r1, m[1][static_cast<std::size_t>(j)].limbs_, vj);
+    acc_add_mul(r2, m[2][static_cast<std::size_t>(j)].limbs_, vj);
+  }
+  for (int i = 0; i < 4; ++i) {
+    acc_reduce_round(r0, i);
+    acc_reduce_round(r1, i);
+    acc_reduce_round(r2, i);
+  }
+  Limbs o0, o1, o2;
+  acc_reduce_finish(r0, o0);
+  acc_reduce_finish(r1, o1);
+  acc_reduce_finish(r2, o2);
+  out[0] = FrAccess::make(o0);
+  out[1] = FrAccess::make(o1);
+  out[2] = FrAccess::make(o2);
 }
 
 bool Fr::is_zero() const {

@@ -1,9 +1,11 @@
 #include "hash/poseidon.h"
 
+#include <algorithm>
 #include <string>
 
 #include "hash/sha256.h"
 #include "util/bytes.h"
+#include "util/check.h"
 
 namespace wakurln::hash {
 
@@ -105,6 +107,117 @@ field::Fr poseidon_hash2(const Fr& a, const Fr& b) {
   std::array<Fr, PoseidonParams::kWidth> state = {Fr::from_u64(2), a, b};
   poseidon_permute(state);
   return state[0];
+}
+
+namespace {
+
+// States per batch block: bounds the stack scratch and keeps the
+// S-box lanes wide enough (24 elements on full rounds) to fill the
+// 4-lane interleaved CIOS kernel.
+constexpr int kBatchBlock = 8;
+
+// MDS mix as one fused 3x3 kernel: each row is sum(mds[i][j] * state[j])
+// accumulated raw with one Montgomery reduction, the three rows
+// interleaved in the field layer for ILP. Equal mod r to the scalar
+// mix()'s chain of mont_mul + add_mod, and both store canonically, so
+// the limbs are bit-identical.
+void mix_fused(const PoseidonParams& p,
+               std::array<Fr, PoseidonParams::kWidth>& state) {
+  static_assert(PoseidonParams::kWidth == 3);
+  std::array<Fr, PoseidonParams::kWidth> out;
+  Fr::mat3_mul_fused(p.mds, state, out);
+  state = out;
+}
+
+}  // namespace
+
+void poseidon_permute_batch(
+    std::span<std::array<Fr, PoseidonParams::kWidth>> states) {
+  constexpr int kW = PoseidonParams::kWidth;
+  const PoseidonParams& p = PoseidonParams::instance();
+  const int half_full = PoseidonParams::kFullRounds / 2;
+
+  for (std::size_t base = 0; base < states.size(); base += kBatchBlock) {
+    const int nb = static_cast<int>(
+        std::min<std::size_t>(kBatchBlock, states.size() - base));
+    const auto blk = states.subspan(base, static_cast<std::size_t>(nb));
+
+    // Scratch lanes: x holds the S-box inputs, y the running powers.
+    std::array<Fr, kW * kBatchBlock> x;
+    std::array<Fr, kW * kBatchBlock> y;
+
+    // x^5 over the first n scratch lanes, bit-identical to sbox():
+    // two squarings then a multiply by the saved base.
+    const auto sbox_lanes = [&](std::size_t n) {
+      const std::span<const Fr> xs(x.data(), n);
+      const std::span<Fr> ys(y.data(), n);
+      Fr::square_batch(xs, ys);
+      Fr::square_batch(std::span<const Fr>(y.data(), n), ys);
+      Fr::mul_batch(std::span<const Fr>(y.data(), n), xs, ys);
+    };
+
+    const auto full_round = [&](int round) {
+      for (int b = 0; b < nb; ++b) {
+        for (int j = 0; j < kW; ++j) {
+          x[static_cast<std::size_t>(kW * b + j)] =
+              blk[static_cast<std::size_t>(b)][static_cast<std::size_t>(j)] +
+              p.round_constants[static_cast<std::size_t>(round)]
+                               [static_cast<std::size_t>(j)];
+        }
+      }
+      sbox_lanes(static_cast<std::size_t>(kW * nb));
+      for (int b = 0; b < nb; ++b) {
+        for (int j = 0; j < kW; ++j) {
+          blk[static_cast<std::size_t>(b)][static_cast<std::size_t>(j)] =
+              y[static_cast<std::size_t>(kW * b + j)];
+        }
+        mix_fused(p, blk[static_cast<std::size_t>(b)]);
+      }
+    };
+
+    const auto partial_round = [&](int round) {
+      for (int b = 0; b < nb; ++b) {
+        auto& s = blk[static_cast<std::size_t>(b)];
+        for (int j = 0; j < kW; ++j) {
+          s[static_cast<std::size_t>(j)] +=
+              p.round_constants[static_cast<std::size_t>(round)]
+                               [static_cast<std::size_t>(j)];
+        }
+        x[static_cast<std::size_t>(b)] = s[0];
+      }
+      sbox_lanes(static_cast<std::size_t>(nb));
+      for (int b = 0; b < nb; ++b) {
+        auto& s = blk[static_cast<std::size_t>(b)];
+        s[0] = y[static_cast<std::size_t>(b)];
+        mix_fused(p, s);
+      }
+    };
+
+    int round = 0;
+    for (int r = 0; r < half_full; ++r, ++round) full_round(round);
+    for (int r = 0; r < PoseidonParams::kPartialRounds; ++r, ++round) {
+      partial_round(round);
+    }
+    for (int r = 0; r < half_full; ++r, ++round) full_round(round);
+  }
+}
+
+void poseidon_hash2_batch(std::span<const Fr> a, std::span<const Fr> b,
+                          std::span<Fr> out) {
+  WAKURLN_CHECK(a.size() == b.size() && a.size() == out.size());
+  static const Fr kTag2 = Fr::from_u64(2);
+  std::array<std::array<Fr, PoseidonParams::kWidth>, kBatchBlock> states;
+  for (std::size_t base = 0; base < a.size(); base += kBatchBlock) {
+    const std::size_t nb =
+        std::min<std::size_t>(kBatchBlock, a.size() - base);
+    for (std::size_t i = 0; i < nb; ++i) {
+      states[i] = {kTag2, a[base + i], b[base + i]};
+    }
+    poseidon_permute_batch(std::span(states.data(), nb));
+    for (std::size_t i = 0; i < nb; ++i) {
+      out[base + i] = states[i][0];
+    }
+  }
 }
 
 }  // namespace wakurln::hash

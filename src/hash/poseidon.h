@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "field/fr.h"
@@ -44,5 +45,20 @@ field::Fr poseidon_hash1(const field::Fr& a);
 
 /// Two-input hash: used for a1 = H(sk, epoch) and Merkle node hashing.
 field::Fr poseidon_hash2(const field::Fr& a, const field::Fr& b);
+
+/// Applies the Poseidon permutation to many independent width-3 states.
+/// Runs the identical per-state operation schedule as poseidon_permute
+/// (S-boxes through Fr::mul_batch lanes, MDS rows through one fused
+/// FrAcc reduction), so every output state is bit-identical to calling
+/// poseidon_permute on it — poseidon_permute stays the executable
+/// reference spec, pinned by tests/poseidon_test.cpp.
+void poseidon_permute_batch(
+    std::span<std::array<field::Fr, PoseidonParams::kWidth>> states);
+
+/// Batched two-input hash: out[i] = poseidon_hash2(a[i], b[i]),
+/// bit-identical per element. out may alias a or b.
+void poseidon_hash2_batch(std::span<const field::Fr> a,
+                          std::span<const field::Fr> b,
+                          std::span<field::Fr> out);
 
 }  // namespace wakurln::hash

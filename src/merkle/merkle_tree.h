@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "field/fr.h"
@@ -43,6 +44,19 @@ class MerkleTree {
 
   /// Appends a leaf; returns its index. Throws std::length_error when full.
   std::uint64_t append(const field::Fr& leaf);
+
+  /// Appends `leaves` contiguously in one amortised wavefront pass:
+  /// level by level, the whole batch's path nodes are hashed through
+  /// poseidon_hash2_batch. Returns the index of the first appended leaf.
+  /// If `roots_out` is non-empty it must hold leaves.size() slots and
+  /// receives the tree root after each individual append — the final
+  /// node storage AND every intermediate root are bit-identical to a
+  /// sequence of scalar append() calls (pinned by tests/merkle_test.cpp),
+  /// which is what lets GroupSync batch registrations without changing
+  /// the acceptable-root-window history. Throws std::length_error when
+  /// the batch does not fit.
+  std::uint64_t append_batch(std::span<const field::Fr> leaves,
+                             std::span<field::Fr> roots_out = {});
 
   /// Overwrites an existing leaf (member deletion sets it to zero).
   /// Throws std::out_of_range if index >= size().

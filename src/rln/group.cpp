@@ -18,6 +18,21 @@ std::uint64_t RlnGroup::add_member(const field::Fr& pk) {
   return index;
 }
 
+std::uint64_t RlnGroup::add_members(std::span<const field::Fr> pks,
+                                    std::span<field::Fr> roots_out) {
+  for (const field::Fr& pk : pks) {
+    if (pk.is_zero()) {
+      throw std::invalid_argument("RlnGroup: zero is reserved for empty/deleted leaves");
+    }
+  }
+  const std::uint64_t base = tree_.append_batch(pks, roots_out);
+  for (std::size_t i = 0; i < pks.size(); ++i) {
+    index_by_pk_[pks[i]] = base + i;
+  }
+  active_members_ += pks.size();
+  return base;
+}
+
 void RlnGroup::remove_member(std::uint64_t index) {
   const field::Fr pk = tree_.leaf(index);
   if (pk.is_zero()) {

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 
 #include "field/fr.h"
@@ -23,6 +24,14 @@ class RlnGroup {
 
   /// Inserts a member commitment; returns its leaf index.
   std::uint64_t add_member(const field::Fr& pk);
+
+  /// Inserts a run of member commitments through the tree's amortised
+  /// batch append; returns the leaf index of the first. If `roots_out`
+  /// is non-empty it must hold pks.size() slots and receives the tree
+  /// root after each individual insertion, bit-identical to calling
+  /// add_member in a loop (as is all bookkeeping).
+  std::uint64_t add_members(std::span<const field::Fr> pks,
+                            std::span<field::Fr> roots_out = {});
 
   /// Deletes the member at `index` by zeroing its leaf (slashing).
   void remove_member(std::uint64_t index);

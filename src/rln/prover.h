@@ -51,8 +51,15 @@ class RlnVerifier {
   /// verifies for (root, ∅(epoch, index), H(payload), y, nullifier).
   bool verify(std::span<const std::uint8_t> payload, const RlnSignal& signal) const;
 
+  /// Identical verdict bit-for-bit (pinned by tests/zksnark_test.cpp),
+  /// through the allocation-free PreparedVerifier with precomputed HMAC
+  /// midstates — the verify path the relay's batched-crypto mode runs.
+  bool verify_prepared(std::span<const std::uint8_t> payload,
+                       const RlnSignal& signal) const;
+
  private:
   zksnark::VerifyingKey verifying_key_;
+  zksnark::PreparedVerifier prepared_;
   std::uint64_t messages_per_epoch_;
 };
 

@@ -18,6 +18,7 @@
 
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "eth/chain.h"
 #include "rln/group.h"
@@ -48,7 +49,17 @@ class GroupSync {
 
   /// Subscribes to `chain` events immediately; construct before any relay
   /// that reads the group, so membership updates land first.
-  GroupSync(eth::Chain& chain, std::size_t tree_depth);
+  ///
+  /// With `batch_appends` (the default), registrations arriving within
+  /// one block are buffered and applied through the tree's amortised
+  /// batch append when the block seals (or earlier, the moment a slash
+  /// needs the up-to-date membership). Every per-registration root still
+  /// enters the history in order and all stats count identically, so
+  /// the externally observable state between blocks — and hence every
+  /// scenario report byte — is identical to per-event application; only
+  /// the Poseidon work inside a registration-heavy block is amortised.
+  GroupSync(eth::Chain& chain, std::size_t tree_depth,
+            bool batch_appends = true);
 
   const rln::RlnGroup& group() const { return group_; }
   const Stats& stats() const { return stats_; }
@@ -83,11 +94,19 @@ class GroupSync {
 
  private:
   void on_event(const eth::ContractEvent& event);
+  /// Applies the buffered registrations in one batch append.
+  void flush_pending();
   /// Appends the current root to the history if it changed.
   void note_root();
+  /// Appends `root` to the history if it changed.
+  void note_root_value(const field::Fr& root);
 
   rln::RlnGroup group_;
   Stats stats_;
+  bool batch_appends_;
+  /// Registrations buffered since the last flush (batch mode only).
+  std::vector<field::Fr> pending_pks_;
+  std::vector<field::Fr> pending_roots_;
   /// Consecutive-deduplicated recent roots, newest at the back.
   std::deque<field::Fr> root_history_;
   /// Roots aged out of the front of root_history_.

@@ -1,0 +1,44 @@
+#include "zksnark/batch_verifier.h"
+
+#include <algorithm>
+
+namespace wakurln::zksnark {
+
+BatchVerifier::BatchVerifier(std::size_t watermark, const DeviceProfile& device)
+    : watermark_(watermark), device_(device) {}
+
+void BatchVerifier::enqueue() {
+  ++stats_.enqueued;
+  ++pending_;
+  if (watermark_ > 0 && pending_ >= watermark_) {
+    drain(DrainReason::kWatermark);
+  }
+}
+
+void BatchVerifier::drain(DrainReason reason) {
+  if (pending_ == 0) return;
+  ++stats_.drains;
+  switch (reason) {
+    case DrainReason::kWatermark:
+      ++stats_.watermark_drains;
+      break;
+    case DrainReason::kEpochBoundary:
+      ++stats_.epoch_drains;
+      break;
+    case DrainReason::kFlush:
+      ++stats_.flush_drains;
+      break;
+  }
+  stats_.largest_batch = std::max<std::uint64_t>(stats_.largest_batch, pending_);
+  stats_.modeled_scalar_ms +=
+      static_cast<double>(pending_) * CostModel::verify_ms(device_);
+  stats_.modeled_batched_ms += CostModel::batch_verify_ms(pending_, device_);
+  pending_ = 0;
+}
+
+double BatchVerifier::modeled_speedup() const {
+  if (stats_.modeled_batched_ms <= 0.0) return 1.0;
+  return stats_.modeled_scalar_ms / stats_.modeled_batched_ms;
+}
+
+}  // namespace wakurln::zksnark

@@ -1,0 +1,74 @@
+#pragma once
+// Modeled amortised proof-verification queue — the batch-verification
+// mode production RLN deployments run: routing peers collect incoming
+// proofs and verify them in one pairing-amortised pass per epoch (or
+// when a size watermark fills) instead of paying a full multi-pairing
+// per message.
+//
+// In this simulation, message verdicts must stay synchronous — gossipsub
+// validation decides forwarding immediately, and deferring verdicts
+// would change message propagation (and hence report bytes). So the
+// relay still verifies every proof as it arrives (through the
+// allocation-free PreparedVerifier), and this queue amortises only the
+// *modeled* pairing cost: enqueue() counts a verification into the open
+// batch; a drain charges CostModel::batch_verify_ms for the whole batch
+// against the n * verify_ms a scalar verifier would have paid. All
+// counters are pure functions of the enqueue/drain call sequence —
+// deterministic, but kept out of scenario report serialisation.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "zksnark/cost_model.h"
+
+namespace wakurln::zksnark {
+
+class BatchVerifier {
+ public:
+  enum class DrainReason {
+    kWatermark,      ///< the open batch reached the size watermark
+    kEpochBoundary,  ///< periodic per-epoch drain
+    kFlush,          ///< explicit flush (shutdown / tests)
+  };
+
+  struct Stats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t drains = 0;
+    std::uint64_t watermark_drains = 0;
+    std::uint64_t epoch_drains = 0;
+    std::uint64_t flush_drains = 0;
+    std::uint64_t largest_batch = 0;
+    /// Modeled cost of everything drained so far: what a scalar verifier
+    /// would pay vs. the amortised batch passes.
+    double modeled_scalar_ms = 0.0;
+    double modeled_batched_ms = 0.0;
+  };
+
+  /// `watermark` proofs auto-drain the queue (0 = drain only on
+  /// epoch/flush). The device profile scales the modeled latencies.
+  explicit BatchVerifier(std::size_t watermark,
+                         const DeviceProfile& device = DeviceProfile::laptop());
+
+  /// Counts one verification into the open batch; auto-drains when the
+  /// watermark fills.
+  void enqueue();
+
+  /// Drains the open batch (no-op when empty).
+  void drain(DrainReason reason);
+
+  std::size_t pending() const { return pending_; }
+  std::size_t watermark() const { return watermark_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Modeled amortisation over everything drained so far:
+  /// scalar_ms / batched_ms (1.0 while nothing has drained).
+  double modeled_speedup() const;
+
+ private:
+  std::size_t watermark_;
+  DeviceProfile device_;
+  std::size_t pending_ = 0;
+  Stats stats_;
+};
+
+}  // namespace wakurln::zksnark

@@ -83,6 +83,67 @@ bool MockGroth16::verify(const VerifyingKey& vk, const Proof& proof,
   return util::equal_ct(expansion, std::span<const std::uint8_t>(proof.bytes).subspan(64));
 }
 
+PreparedVerifier::PreparedVerifier(const VerifyingKey& vk) {
+  // HMAC key schedule, mirroring hash::hmac_sha256 for a 32-byte key.
+  std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
+  for (std::size_t i = 0; i < vk.binding_secret.size(); ++i) {
+    ipad[i] = vk.binding_secret[i];
+    opad[i] = vk.binding_secret[i];
+  }
+  for (int i = 0; i < 64; ++i) {
+    ipad[static_cast<std::size_t>(i)] ^= 0x36;
+    opad[static_cast<std::size_t>(i)] ^= 0x5c;
+  }
+  inner_midstate_.update(ipad);
+  outer_midstate_.update(opad);
+  // Constant transcript prefix: var(circuit_id) || u64(depth). One-time
+  // setup, so the ByteWriter allocation here is fine.
+  util::ByteWriter w;
+  w.put_var(util::to_bytes(vk.circuit_id));
+  w.put_u64(vk.tree_depth);
+  inner_midstate_.update(w.data());
+}
+
+bool PreparedVerifier::verify(const Proof& proof, const RlnPublicInputs& pub) const {
+  const auto salt = std::span<const std::uint8_t>(proof.bytes).first(32);
+  // Stack serialisation of the public inputs (RlnPublicInputs::serialize
+  // layout: five 32-byte big-endian field elements).
+  std::array<std::uint8_t, 5 * field::Fr::kByteSize> pub_bytes;
+  std::size_t off = 0;
+  for (const field::Fr* f : {&pub.root, &pub.epoch, &pub.x, &pub.y, &pub.nullifier}) {
+    const auto b = f->to_bytes_be();
+    std::copy(b.begin(), b.end(), pub_bytes.begin() + off);
+    off += b.size();
+  }
+
+  hash::Sha256 inner = inner_midstate_;
+  inner.update(salt);
+  inner.update(pub_bytes);
+  const hash::Digest inner_digest = inner.finalize();
+  hash::Sha256 outer = outer_midstate_;
+  outer.update(inner_digest);
+  const hash::Digest tag = outer.finalize();
+
+  if (!util::equal_ct(tag, std::span<const std::uint8_t>(proof.bytes).subspan(32, 32))) {
+    return false;
+  }
+  // expand_tag without the per-block ByteWriter: SHA(tag || counter).
+  std::array<std::uint8_t, 33> block_in;
+  std::copy(tag.begin(), tag.end(), block_in.begin());
+  std::array<std::uint8_t, Proof::kSize - 64> expansion{};
+  std::uint8_t counter = 0;
+  std::size_t written = 0;
+  while (written < expansion.size()) {
+    block_in[32] = counter++;
+    const hash::Digest block = hash::Sha256::digest(block_in);
+    const std::size_t take = std::min(block.size(), expansion.size() - written);
+    std::copy_n(block.begin(), take, expansion.begin() + written);
+    written += take;
+  }
+  return util::equal_ct(expansion, std::span<const std::uint8_t>(proof.bytes).subspan(64));
+}
+
 std::size_t MockGroth16::modelled_proving_key_bytes(std::size_t tree_depth) {
   // Calibrated so that the depth-20 circuit matches the paper's 3.89 MB.
   const double per_constraint =

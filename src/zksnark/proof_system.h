@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "hash/sha256.h"
 #include "util/rng.h"
 #include "zksnark/rln_circuit.h"
 
@@ -73,6 +74,26 @@ class MockGroth16 {
   /// Modelled proving-key size for a depth-d circuit, anchored to the
   /// paper's 3.89 MB figure.
   static std::size_t modelled_proving_key_bytes(std::size_t tree_depth);
+};
+
+/// Allocation-free verifier for one verifying key. Precomputes the HMAC
+/// ipad/opad midstates and the constant transcript prefix (circuit id +
+/// depth) once, then each verify() resumes from the cached state and
+/// serialises the varying parts (salt, public inputs) into stack
+/// buffers — no ByteWriter heap traffic on the validation hot path.
+/// Replays the exact MockGroth16::verify byte transcript, so verdicts
+/// are bit-equal (pinned by tests/zksnark_test.cpp). Verify is const and
+/// copies the midstates per call: safe to share across a world's relays.
+class PreparedVerifier {
+ public:
+  explicit PreparedVerifier(const VerifyingKey& vk);
+
+  /// Same verdict as MockGroth16::verify(vk, proof, pub).
+  bool verify(const Proof& proof, const RlnPublicInputs& pub) const;
+
+ private:
+  hash::Sha256 inner_midstate_;  ///< ipad block + constant transcript prefix
+  hash::Sha256 outer_midstate_;  ///< opad block
 };
 
 }  // namespace wakurln::zksnark
